@@ -1,0 +1,60 @@
+/// \file bench_common.h
+/// Shared helpers for the benchmark binaries: environment-variable sizing
+/// (so the paper-scale 1M-point runs are opt-in) and workload construction.
+#ifndef STARK_BENCH_BENCH_COMMON_H_
+#define STARK_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "io/generator.h"
+
+namespace stark {
+namespace bench {
+
+/// Reads a size_t from the environment, with a default.
+inline size_t EnvSize(const char* name, size_t default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  return static_cast<size_t>(std::strtoull(value, nullptr, 10));
+}
+
+/// Reads a double from the environment, with a default.
+inline double EnvDouble(const char* name, double default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  return std::strtod(value, nullptr);
+}
+
+/// The benchmark universe used throughout the suite.
+inline Envelope BenchUniverse() { return Envelope(0, 0, 100, 100); }
+
+/// The skewed ("land-mass") point workload of the evaluation: clustered
+/// events plus background noise, matching the paper's motivation.
+inline std::vector<STObject> BenchPoints(size_t count, uint64_t seed = 42) {
+  SkewedPointsOptions options;
+  options.count = count;
+  options.seed = seed;
+  options.universe = BenchUniverse();
+  options.clusters = 12;
+  options.cluster_spread = 0.02;
+  options.noise_fraction = 0.05;
+  return GenerateSkewedPoints(options);
+}
+
+/// Polygon workload for the join/filter benchmarks.
+inline std::vector<STObject> BenchPolygons(size_t count, uint64_t seed = 43) {
+  PolygonsOptions options;
+  options.count = count;
+  options.seed = seed;
+  options.universe = BenchUniverse();
+  options.min_radius = 0.5;
+  options.max_radius = 3.0;
+  return GenerateRandomPolygons(options);
+}
+
+}  // namespace bench
+}  // namespace stark
+
+#endif  // STARK_BENCH_BENCH_COMMON_H_

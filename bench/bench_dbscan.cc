@@ -1,0 +1,123 @@
+/// \file bench_dbscan.cc
+/// Experiment E7: the §2.3 density-based clustering operator — distributed
+/// MR-DBSCAN-style DBSCAN (partitioning + eps-border replication + local
+/// clustering + merge) against the sequential reference, over data-size and
+/// eps sweeps.
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "clustering/distributed_dbscan.h"
+#include "partition/bsp_partitioner.h"
+#include "partition/grid_partitioner.h"
+
+namespace stark {
+namespace {
+
+Context* Ctx() {
+  static Context ctx;
+  return &ctx;
+}
+
+std::vector<Coordinate> CoordsOf(const std::vector<STObject>& points) {
+  std::vector<Coordinate> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.Centroid());
+  return out;
+}
+
+SpatialRDD<int64_t> RddOf(const std::vector<STObject>& points) {
+  std::vector<std::pair<STObject, int64_t>> data;
+  data.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    data.emplace_back(points[i], static_cast<int64_t>(i));
+  }
+  return SpatialRDD<int64_t>::FromVector(Ctx(), std::move(data)).Cache();
+}
+
+void BM_Dbscan_Sequential(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto points = bench::BenchPoints(n);
+  const auto coords = CoordsOf(points);
+  size_t clusters = 0;
+  for (auto _ : state) {
+    clusters = DbscanLocal(coords, {0.5, 8}).num_clusters;
+    benchmark::DoNotOptimize(clusters);
+  }
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+BENCHMARK(BM_Dbscan_Sequential)
+    ->Arg(5'000)
+    ->Arg(20'000)
+    ->Arg(50'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Dbscan_Distributed_Grid(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto points = bench::BenchPoints(n);
+  auto rdd = RddOf(points);
+  rdd.rdd().Count();
+  auto grid = std::make_shared<GridPartitioner>(bench::BenchUniverse(), 4);
+  size_t clusters = 0;
+  for (auto _ : state) {
+    int64_t max_label = kNoise;
+    for (const auto& [elem, label] :
+         DistributedDbscan(rdd, {0.5, 8}, grid).Collect()) {
+      max_label = std::max(max_label, label);
+    }
+    clusters = static_cast<size_t>(max_label + 1);
+    benchmark::DoNotOptimize(clusters);
+  }
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+BENCHMARK(BM_Dbscan_Distributed_Grid)
+    ->Arg(5'000)
+    ->Arg(20'000)
+    ->Arg(50'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Dbscan_Distributed_Bsp(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto points = bench::BenchPoints(n);
+  auto rdd = RddOf(points);
+  rdd.rdd().Count();
+  BSPartitioner::Options options;
+  options.max_cost = n / 16 + 1;
+  auto bsp = std::make_shared<BSPartitioner>(bench::BenchUniverse(),
+                                             CoordsOf(points), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DistributedDbscan(rdd, {0.5, 8}, bsp).Count());
+  }
+}
+BENCHMARK(BM_Dbscan_Distributed_Bsp)
+    ->Arg(20'000)
+    ->Arg(50'000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Eps sweep: larger eps -> more replication across borders -> more merge
+/// work. Counters show the replication the halo causes.
+void BM_Dbscan_EpsSweep(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 10.0;
+  const auto points = bench::BenchPoints(20'000);
+  auto rdd = RddOf(points);
+  rdd.rdd().Count();
+  auto grid = std::make_shared<GridPartitioner>(bench::BenchUniverse(), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DistributedDbscan(rdd, {eps, 8}, grid).Count());
+  }
+  state.counters["eps"] = eps;
+}
+BENCHMARK(BM_Dbscan_EpsSweep)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace stark
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+/// \file bench_engine.cc
+/// Substrate benchmark (supporting DESIGN.md's substitution argument):
+/// throughput of the sparklet engine primitives that every STARK operator
+/// is built from — map/filter scans, shuffles, reduceByKey and caching —
+/// so the E1–E8 numbers can be read relative to the engine's own costs.
+#include <numeric>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "engine/pair_rdd.h"
+#include "engine/rdd.h"
+
+namespace stark {
+namespace {
+
+size_t N() { return bench::EnvSize("STARK_BENCH_ENGINE_N", 1'000'000); }
+
+Context* Ctx() {
+  static Context ctx;
+  return &ctx;
+}
+
+const RDD<int64_t>& Data() {
+  static const RDD<int64_t> rdd = [] {
+    std::vector<int64_t> data(N());
+    std::iota(data.begin(), data.end(), 0);
+    return MakeRDD(Ctx(), std::move(data), 16).Cache();
+  }();
+  return rdd;
+}
+
+void BM_Engine_MapCount(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Data().Map([](int64_t& x) { return x * 2 + 1; }).Count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(N()));
+}
+BENCHMARK(BM_Engine_MapCount)->Unit(benchmark::kMillisecond);
+
+void BM_Engine_FilterCount(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Data().Filter([](const int64_t& x) { return x % 7 == 0; }).Count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(N()));
+}
+BENCHMARK(BM_Engine_FilterCount)->Unit(benchmark::kMillisecond);
+
+void BM_Engine_Fold(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Data().Fold(int64_t{0}, [](int64_t a, int64_t b) { return a + b; }));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(N()));
+}
+BENCHMARK(BM_Engine_Fold)->Unit(benchmark::kMillisecond);
+
+void BM_Engine_Shuffle(benchmark::State& state) {
+  const size_t targets = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Data()
+            .PartitionBy(targets,
+                         [targets](const int64_t& x) {
+                           return static_cast<size_t>(x) % targets;
+                         })
+            .NumPartitions());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(N()));
+  state.counters["targets"] = static_cast<double>(targets);
+}
+BENCHMARK(BM_Engine_Shuffle)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Engine_ReduceByKey(benchmark::State& state) {
+  static const RDD<std::pair<int64_t, int64_t>> pairs = [] {
+    std::vector<std::pair<int64_t, int64_t>> data;
+    data.reserve(N());
+    for (size_t i = 0; i < N(); ++i) {
+      data.emplace_back(static_cast<int64_t>(i % 1024), 1);
+    }
+    return MakeRDD(Ctx(), std::move(data), 16).Cache();
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ReduceByKey(pairs, [](int64_t a, int64_t b) { return a + b; })
+            .Count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(N()));
+}
+BENCHMARK(BM_Engine_ReduceByKey)->Unit(benchmark::kMillisecond);
+
+void BM_Engine_CacheHitCount(benchmark::State& state) {
+  // Counting a cached RDD measures the per-evaluation overhead floor
+  // (partition copy + task dispatch).
+  Data().Count();  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Data().Count());
+  }
+}
+BENCHMARK(BM_Engine_CacheHitCount)->Unit(benchmark::kMillisecond);
+
+void BM_Engine_PrunedCount(benchmark::State& state) {
+  // Same as above but with 15/16 partitions pruned: the pruning fast path.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Data().PrunePartitions([](size_t p) { return p == 0; }).Count());
+  }
+}
+BENCHMARK(BM_Engine_PrunedCount)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace stark
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+/// \file bench_filter.cc
+/// Experiment E2 (spatialbm extended suite): range-query filters —
+/// intersects and containedBy against a query polygon — under every
+/// combination of partitioner (none / grid / BSP) and indexing mode
+/// (scan / live index). Shows the §2.1 claim that partition pruning
+/// "can decrease the number of data items to process significantly".
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "partition/bsp_partitioner.h"
+#include "partition/grid_partitioner.h"
+#include "spatial_rdd/spatial_rdd.h"
+
+namespace stark {
+namespace {
+
+size_t N() { return bench::EnvSize("STARK_BENCH_FILTER_N", 400'000); }
+
+Context* Ctx() {
+  static Context ctx;
+  return &ctx;
+}
+
+using Rdd = SpatialRDD<int64_t>;
+
+std::vector<std::pair<STObject, int64_t>> MakeData() {
+  auto points = bench::BenchPoints(N());
+  std::vector<std::pair<STObject, int64_t>> data;
+  data.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    data.emplace_back(std::move(points[i]), static_cast<int64_t>(i));
+  }
+  return data;
+}
+
+const Rdd& Unpartitioned() {
+  static const Rdd rdd = Rdd::FromVector(Ctx(), MakeData()).Cache();
+  return rdd;
+}
+
+const Rdd& GridPartitioned() {
+  static const Rdd rdd = [] {
+    auto grid = std::make_shared<GridPartitioner>(bench::BenchUniverse(), 4);
+    return Unpartitioned().PartitionBy(grid).Cache();
+  }();
+  return rdd;
+}
+
+const Rdd& BspPartitioned() {
+  static const Rdd rdd = [] {
+    std::vector<Coordinate> centroids;
+    for (const auto& [obj, id] : Unpartitioned().rdd().Collect()) {
+      centroids.push_back(obj.Centroid());
+    }
+    BSPartitioner::Options options;
+    options.max_cost = N() / 16 + 1;
+    auto bsp = std::make_shared<BSPartitioner>(bench::BenchUniverse(),
+                                               centroids, options);
+    return Unpartitioned().PartitionBy(bsp).Cache();
+  }();
+  return rdd;
+}
+
+/// A selective query window over one of the dense clusters.
+STObject Query() {
+  return STObject(Geometry::MakeBox(Envelope(20, 20, 30, 30)));
+}
+
+void RunFilter(benchmark::State& state, const Rdd& rdd, bool live_index) {
+  const STObject query = Query();
+  size_t results = 0;
+  for (auto _ : state) {
+    results = live_index ? rdd.LiveIndex(10).Intersects(query).Count()
+                         : rdd.Intersects(query).Count();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["partitions"] = static_cast<double>(rdd.NumPartitions());
+}
+
+void BM_Filter_Scan_NoPartitioning(benchmark::State& state) {
+  RunFilter(state, Unpartitioned(), false);
+}
+BENCHMARK(BM_Filter_Scan_NoPartitioning)->Unit(benchmark::kMillisecond);
+
+void BM_Filter_Scan_Grid(benchmark::State& state) {
+  RunFilter(state, GridPartitioned(), false);
+}
+BENCHMARK(BM_Filter_Scan_Grid)->Unit(benchmark::kMillisecond);
+
+void BM_Filter_Scan_Bsp(benchmark::State& state) {
+  RunFilter(state, BspPartitioned(), false);
+}
+BENCHMARK(BM_Filter_Scan_Bsp)->Unit(benchmark::kMillisecond);
+
+void BM_Filter_LiveIndex_NoPartitioning(benchmark::State& state) {
+  RunFilter(state, Unpartitioned(), true);
+}
+BENCHMARK(BM_Filter_LiveIndex_NoPartitioning)->Unit(benchmark::kMillisecond);
+
+void BM_Filter_LiveIndex_Grid(benchmark::State& state) {
+  RunFilter(state, GridPartitioned(), true);
+}
+BENCHMARK(BM_Filter_LiveIndex_Grid)->Unit(benchmark::kMillisecond);
+
+void BM_Filter_LiveIndex_Bsp(benchmark::State& state) {
+  RunFilter(state, BspPartitioned(), true);
+}
+BENCHMARK(BM_Filter_LiveIndex_Bsp)->Unit(benchmark::kMillisecond);
+
+/// containedBy (the paper's example query) on the best configuration.
+void BM_Filter_ContainedBy_Bsp(benchmark::State& state) {
+  const STObject query = Query();
+  size_t results = 0;
+  for (auto _ : state) {
+    results = BspPartitioned().ContainedBy(query).Count();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_Filter_ContainedBy_Bsp)->Unit(benchmark::kMillisecond);
+
+/// withinDistance filter, scan vs pruned.
+void BM_Filter_WithinDistance_NoPartitioning(benchmark::State& state) {
+  const STObject query(Geometry::MakePoint(25, 25));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unpartitioned().WithinDistance(query, 2.0).Count());
+  }
+}
+BENCHMARK(BM_Filter_WithinDistance_NoPartitioning)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Filter_WithinDistance_Bsp(benchmark::State& state) {
+  const STObject query(Geometry::MakePoint(25, 25));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BspPartitioned().WithinDistance(query, 2.0).Count());
+  }
+}
+BENCHMARK(BM_Filter_WithinDistance_Bsp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace stark
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+/// \file bench_indexing_modes.cc
+/// Experiment E6: the three indexing modes of §2.2 — no indexing, live
+/// indexing (tree built on every evaluation), and persistent indexing
+/// (tree built once / loaded from disk) — plus an R-tree order sweep.
+#include <cstdlib>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "partition/grid_partitioner.h"
+#include "spatial_rdd/spatial_rdd.h"
+
+namespace stark {
+namespace {
+
+size_t N() { return bench::EnvSize("STARK_BENCH_INDEX_N", 100'000); }
+
+Context* Ctx() {
+  static Context ctx;
+  return &ctx;
+}
+
+const SpatialRDD<int64_t>& Data() {
+  static const SpatialRDD<int64_t> rdd = [] {
+    auto points = bench::BenchPoints(N());
+    std::vector<std::pair<STObject, int64_t>> data;
+    data.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      data.emplace_back(std::move(points[i]), static_cast<int64_t>(i));
+    }
+    auto grid = std::make_shared<GridPartitioner>(bench::BenchUniverse(), 6);
+    return SpatialRDD<int64_t>::FromVector(Ctx(), std::move(data))
+        .PartitionBy(grid)
+        .Cache();
+  }();
+  return rdd;
+}
+
+STObject Query() {
+  return STObject(Geometry::MakeBox(Envelope(22, 22, 32, 32)));
+}
+
+void BM_IndexMode_None(benchmark::State& state) {
+  const STObject query = Query();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Data().Intersects(query).Count());
+  }
+}
+BENCHMARK(BM_IndexMode_None)->Unit(benchmark::kMillisecond);
+
+/// Live indexing rebuilds the R-tree on every evaluation — construction is
+/// inside the timed region by design (that is the mode's semantics).
+void BM_IndexMode_Live(benchmark::State& state) {
+  const size_t order = static_cast<size_t>(state.range(0));
+  const STObject query = Query();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Data().LiveIndex(order).Intersects(query).Count());
+  }
+  state.counters["order"] = static_cast<double>(order);
+}
+BENCHMARK(BM_IndexMode_Live)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(25)
+    ->Unit(benchmark::kMillisecond);
+
+/// Persistent mode: the tree is built once (cached) — queries pay only the
+/// lookup, amortizing construction across reuses.
+void BM_IndexMode_Persistent_Query(benchmark::State& state) {
+  const size_t order = static_cast<size_t>(state.range(0));
+  auto indexed = Data().Index(order);
+  indexed.ToElements().Count();  // force construction outside timing
+  const STObject query = Query();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(indexed.Intersects(query).Count());
+  }
+  state.counters["order"] = static_cast<double>(order);
+}
+BENCHMARK(BM_IndexMode_Persistent_Query)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(25)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IndexMode_Persistent_Save(benchmark::State& state) {
+  auto indexed = Data().Index(10);
+  indexed.ToElements().Count();
+  const std::string dir = "/tmp/stark_bench_index";
+  [[maybe_unused]] int rc = std::system(("mkdir -p " + dir).c_str());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(indexed.Save(dir).ok());
+  }
+}
+BENCHMARK(BM_IndexMode_Persistent_Save)->Unit(benchmark::kMillisecond);
+
+void BM_IndexMode_Persistent_LoadAndQuery(benchmark::State& state) {
+  // "often the same index will be reused in subsequent runs": measure the
+  // reload-then-query path of the next program.
+  auto indexed = Data().Index(10);
+  indexed.ToElements().Count();
+  const std::string dir = "/tmp/stark_bench_index";
+  [[maybe_unused]] int rc = std::system(("mkdir -p " + dir).c_str());
+  STARK_CHECK(indexed.Save(dir).ok());
+  const STObject query = Query();
+  for (auto _ : state) {
+    auto loaded = IndexedSpatialRDD<int64_t>::Load(Ctx(), dir);
+    benchmark::DoNotOptimize(
+        loaded.ValueOrDie().Intersects(query).Count());
+  }
+}
+BENCHMARK(BM_IndexMode_Persistent_LoadAndQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace stark
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+/// \file bench_join.cc
+/// Experiment E3 (spatialbm extended suite): spatial join predicates —
+/// point-in-polygon (containedBy) and polygon-polygon (intersects) joins,
+/// partitioned vs. unpartitioned, indexed vs. nested loop.
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "partition/grid_partitioner.h"
+#include "spatial_rdd/join.h"
+
+namespace stark {
+namespace {
+
+size_t NPoints() { return bench::EnvSize("STARK_BENCH_JOIN_N", 150'000); }
+size_t NPolys() { return bench::EnvSize("STARK_BENCH_JOIN_POLYS", 1'500); }
+
+Context* Ctx() {
+  static Context ctx;
+  return &ctx;
+}
+
+using Rdd = SpatialRDD<int64_t>;
+
+Rdd FromObjects(std::vector<STObject> objects) {
+  std::vector<std::pair<STObject, int64_t>> data;
+  data.reserve(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    data.emplace_back(std::move(objects[i]), static_cast<int64_t>(i));
+  }
+  return Rdd::FromVector(Ctx(), std::move(data)).Cache();
+}
+
+const Rdd& Points() {
+  static const Rdd rdd = FromObjects(bench::BenchPoints(NPoints()));
+  return rdd;
+}
+
+const Rdd& Polygons() {
+  static const Rdd rdd = FromObjects(bench::BenchPolygons(NPolys()));
+  return rdd;
+}
+
+const Rdd& PointsPartitioned() {
+  static const Rdd rdd = [] {
+    auto grid = std::make_shared<GridPartitioner>(bench::BenchUniverse(), 4);
+    return Points().PartitionBy(grid).Cache();
+  }();
+  return rdd;
+}
+
+const Rdd& PolygonsPartitioned() {
+  static const Rdd rdd = [] {
+    auto grid = std::make_shared<GridPartitioner>(bench::BenchUniverse(), 4);
+    return Polygons().PartitionBy(grid).Cache();
+  }();
+  return rdd;
+}
+
+size_t CountJoin(const Rdd& left, const Rdd& right, const JoinPredicate& pred,
+                 size_t index_order) {
+  JoinOptions options;
+  options.index_order = index_order;
+  using E = std::pair<STObject, int64_t>;
+  return SpatialJoinProject(left, right, pred, options,
+                            [](const E& l, const E& r) {
+                              return std::pair<int64_t, int64_t>(l.second,
+                                                                 r.second);
+                            })
+      .Count();
+}
+
+void BM_Join_PointInPolygon_Unpartitioned(benchmark::State& state) {
+  size_t results = 0;
+  for (auto _ : state) {
+    results =
+        CountJoin(Points(), Polygons(), JoinPredicate::ContainedBy(), 10);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_Join_PointInPolygon_Unpartitioned)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Join_PointInPolygon_Partitioned(benchmark::State& state) {
+  size_t results = 0;
+  for (auto _ : state) {
+    results = CountJoin(PointsPartitioned(), PolygonsPartitioned(),
+                        JoinPredicate::ContainedBy(), 10);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_Join_PointInPolygon_Partitioned)->Unit(benchmark::kMillisecond);
+
+void BM_Join_PointInPolygon_NoIndex(benchmark::State& state) {
+  size_t results = 0;
+  for (auto _ : state) {
+    results = CountJoin(PointsPartitioned(), PolygonsPartitioned(),
+                        JoinPredicate::ContainedBy(), 0);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_Join_PointInPolygon_NoIndex)->Unit(benchmark::kMillisecond);
+
+void BM_Join_PolygonIntersects_Unpartitioned(benchmark::State& state) {
+  size_t results = 0;
+  for (auto _ : state) {
+    results =
+        CountJoin(Polygons(), Polygons(), JoinPredicate::Intersects(), 10);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_Join_PolygonIntersects_Unpartitioned)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Join_PolygonIntersects_Partitioned(benchmark::State& state) {
+  size_t results = 0;
+  for (auto _ : state) {
+    results = CountJoin(PolygonsPartitioned(), PolygonsPartitioned(),
+                        JoinPredicate::Intersects(), 10);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_Join_PolygonIntersects_Partitioned)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Join_WithinDistance_Partitioned(benchmark::State& state) {
+  size_t results = 0;
+  for (auto _ : state) {
+    results = CountJoin(PointsPartitioned(), PolygonsPartitioned(),
+                        JoinPredicate::WithinDistance(0.5), 10);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_Join_WithinDistance_Partitioned)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace stark
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+/// \file bench_knn.cc
+/// Experiment E4 (spatialbm extended suite): k-nearest-neighbor search for
+/// k in {1, 5, 10, 50}, comparing the per-partition scan operator with the
+/// R-tree branch-and-bound search of a persistent index.
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "partition/grid_partitioner.h"
+#include "spatial_rdd/knn_join.h"
+#include "spatial_rdd/spatial_rdd.h"
+
+namespace stark {
+namespace {
+
+size_t N() { return bench::EnvSize("STARK_BENCH_KNN_N", 100'000); }
+
+Context* Ctx() {
+  static Context ctx;
+  return &ctx;
+}
+
+const SpatialRDD<int64_t>& Data() {
+  static const SpatialRDD<int64_t> rdd = [] {
+    auto points = bench::BenchPoints(N());
+    std::vector<std::pair<STObject, int64_t>> data;
+    data.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      data.emplace_back(std::move(points[i]), static_cast<int64_t>(i));
+    }
+    return SpatialRDD<int64_t>::FromVector(Ctx(), std::move(data)).Cache();
+  }();
+  return rdd;
+}
+
+const IndexedSpatialRDD<int64_t>& Indexed() {
+  static const IndexedSpatialRDD<int64_t> indexed = [] {
+    auto idx = Data().Index(16);
+    idx.ToElements().Count();  // force tree construction outside timing
+    return idx;
+  }();
+  return indexed;
+}
+
+void BM_Knn_Scan(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const STObject query(Geometry::MakePoint(42.0, 57.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Data().Knn(query, k));
+  }
+  state.counters["k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_Knn_Scan)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Knn_Indexed(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const STObject query(Geometry::MakePoint(42.0, 57.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Indexed().Knn(query, k));
+  }
+  state.counters["k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_Knn_Indexed)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+/// Query point far outside the data: branch-and-bound must still prune.
+void BM_Knn_Indexed_RemoteQuery(benchmark::State& state) {
+  const STObject query(Geometry::MakePoint(-500.0, -500.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Indexed().Knn(query, 10));
+  }
+}
+BENCHMARK(BM_Knn_Indexed_RemoteQuery)->Unit(benchmark::kMillisecond);
+
+/// kNN join: k nearest right points for each of 2000 left points, with and
+/// without spatial partitioning of the right side (extent pruning).
+void BM_KnnJoin(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const bool partitioned = state.range(1) != 0;
+  static const SpatialRDD<int64_t> left = [] {
+    auto pts = bench::BenchPoints(2'000, /*seed=*/77);
+    std::vector<std::pair<STObject, int64_t>> data;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      data.emplace_back(std::move(pts[i]), static_cast<int64_t>(i));
+    }
+    return SpatialRDD<int64_t>::FromVector(Ctx(), std::move(data)).Cache();
+  }();
+  static const SpatialRDD<int64_t> right_parted = [] {
+    auto grid = std::make_shared<GridPartitioner>(bench::BenchUniverse(), 6);
+    return Data().PartitionBy(grid).Cache();
+  }();
+  const SpatialRDD<int64_t>& right = partitioned ? right_parted : Data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KnnJoin(left, right, k).Count());
+  }
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["partitioned"] = partitioned ? 1 : 0;
+}
+BENCHMARK(BM_KnnJoin)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({20, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace stark
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+/// \file bench_partitioners.cc
+/// Experiment E5: the §2.1 claims in isolation — partitioner construction
+/// and shuffle cost (grid vs. cost-based BSP, over partition-count sweeps)
+/// and the load balance each produces on skewed data (max/avg partition
+/// size, the quantity that bounds parallel makespan).
+#include <algorithm>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "partition/bsp_partitioner.h"
+#include "partition/grid_partitioner.h"
+#include "spatial_rdd/spatial_rdd.h"
+
+namespace stark {
+namespace {
+
+size_t N() { return bench::EnvSize("STARK_BENCH_PART_N", 100'000); }
+
+Context* Ctx() {
+  static Context ctx;
+  return &ctx;
+}
+
+const SpatialRDD<int64_t>& Data() {
+  static const SpatialRDD<int64_t> rdd = [] {
+    auto points = bench::BenchPoints(N());
+    std::vector<std::pair<STObject, int64_t>> data;
+    data.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      data.emplace_back(std::move(points[i]), static_cast<int64_t>(i));
+    }
+    return SpatialRDD<int64_t>::FromVector(Ctx(), std::move(data)).Cache();
+  }();
+  return rdd;
+}
+
+const std::vector<Coordinate>& Centroids() {
+  static const std::vector<Coordinate> centroids = [] {
+    std::vector<Coordinate> out;
+    for (const auto& [obj, id] : Data().rdd().Collect()) {
+      out.push_back(obj.Centroid());
+    }
+    return out;
+  }();
+  return centroids;
+}
+
+void ReportBalance(benchmark::State& state, const SpatialRDD<int64_t>& rdd) {
+  auto parts = rdd.rdd().CollectPartitions();
+  size_t max_size = 0;
+  size_t empty = 0;
+  for (const auto& p : parts) {
+    max_size = std::max(max_size, p.size());
+    if (p.empty()) ++empty;
+  }
+  state.counters["partitions"] = static_cast<double>(parts.size());
+  state.counters["max_part"] = static_cast<double>(max_size);
+  state.counters["empty_parts"] = static_cast<double>(empty);
+  state.counters["imbalance"] =
+      static_cast<double>(max_size) /
+      (static_cast<double>(N()) / static_cast<double>(parts.size()));
+}
+
+void BM_Partition_Grid(benchmark::State& state) {
+  const size_t cells = static_cast<size_t>(state.range(0));
+  SpatialRDD<int64_t> last = Data();
+  for (auto _ : state) {
+    auto grid =
+        std::make_shared<GridPartitioner>(bench::BenchUniverse(), cells);
+    last = Data().PartitionBy(grid);
+    benchmark::DoNotOptimize(last.NumPartitions());
+  }
+  ReportBalance(state, last);
+}
+BENCHMARK(BM_Partition_Grid)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Partition_Bsp(benchmark::State& state) {
+  const size_t max_cost = N() / static_cast<size_t>(state.range(0));
+  SpatialRDD<int64_t> last = Data();
+  for (auto _ : state) {
+    BSPartitioner::Options options;
+    options.max_cost = std::max<size_t>(max_cost, 1);
+    auto bsp = std::make_shared<BSPartitioner>(bench::BenchUniverse(),
+                                               Centroids(), options);
+    last = Data().PartitionBy(bsp);
+    benchmark::DoNotOptimize(last.NumPartitions());
+  }
+  ReportBalance(state, last);
+}
+BENCHMARK(BM_Partition_Bsp)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+/// Pruning effectiveness: the same selective query with and without
+/// partition bounds to prune on (the §2.1 "intersects only has to check
+/// partitions whose bounds intersect the query" claim).
+void BM_PruningEffect_Without(benchmark::State& state) {
+  const STObject query(Geometry::MakeBox(Envelope(20, 20, 26, 26)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Data().Intersects(query).Count());
+  }
+}
+BENCHMARK(BM_PruningEffect_Without)->Unit(benchmark::kMillisecond);
+
+void BM_PruningEffect_With(benchmark::State& state) {
+  static const SpatialRDD<int64_t> parted = [] {
+    auto grid = std::make_shared<GridPartitioner>(bench::BenchUniverse(), 10);
+    return Data().PartitionBy(grid).Cache();
+  }();
+  parted.rdd().Count();  // materialize cache outside timing
+  const STObject query(Geometry::MakeBox(Envelope(20, 20, 26, 26)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parted.Intersects(query).Count());
+  }
+}
+BENCHMARK(BM_PruningEffect_With)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace stark
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/// \file stark_shell.cpp
+/// Interactive Piglet shell — the terminal substitute for the paper's web
+/// front end (§4): type statements, DUMP/DESCRIBE results, iterate. Each
+/// submitted statement (terminated by ';') runs immediately against the
+/// session's interpreter, so relations accumulate like cells in the demo UI.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "engine/context.h"
+#include "piglet/explain.h"
+#include "piglet/interpreter.h"
+#include "piglet/parser.h"
+
+using namespace stark;
+
+namespace {
+
+const char* kBanner = R"(STARK shell — Piglet dialect. Statements end with ';'.
+Operators: LOAD SPATIALIZE FILTER PARTITION INDEX JOIN KNN CLUSTER
+           AGGREGATE LIMIT DUMP STORE DESCRIBE
+Example:
+  events = LOAD 'events.csv';
+  s = SPATIALIZE events;
+  hits = FILTER s BY INTERSECTS('POLYGON((0 0,10 0,10 10,0 0))', 0, 1000);
+  DUMP hits;
+\e <statements>  shows the optimized plan without running it.
+Type \q to quit.
+)";
+
+}  // namespace
+
+int main() {
+  Context ctx;
+  piglet::Interpreter interpreter(&ctx, &std::cout);
+  std::printf("%s", kBanner);
+
+  std::string pending;
+  std::string line;
+  std::printf("stark> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (line == "\\q" || line == "\\quit") break;
+    if (line.rfind("\\e ", 0) == 0) {
+      // EXPLAIN: parse + optimize + pretty-print, without executing.
+      auto program = piglet::Parse(line.substr(3));
+      if (!program.ok()) {
+        std::printf("error: %s\n", program.status().ToString().c_str());
+      } else {
+        piglet::OptimizerReport report;
+        const auto optimized =
+            piglet::Optimize(program.ValueOrDie(), &report);
+        std::printf("%s(%zu rewrites applied)\n",
+                    piglet::FormatProgram(optimized).c_str(),
+                    report.Total());
+      }
+      std::printf("stark> ");
+      std::fflush(stdout);
+      continue;
+    }
+    pending += line;
+    pending += '\n';
+    // Execute once the buffered input ends a statement.
+    const auto last_non_ws = pending.find_last_not_of(" \t\n\r");
+    if (last_non_ws != std::string::npos && pending[last_non_ws] == ';') {
+      const Status status = interpreter.RunScript(pending);
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+      }
+      pending.clear();
+    }
+    std::printf(pending.empty() ? "stark> " : "   ... ");
+    std::fflush(stdout);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+/// \file baseline_stats.h
+/// Shared measurement record for the Figure-4 self-join comparison between
+/// STARK and the reimplemented GeoSpark/SpatialSpark execution strategies.
+#ifndef STARK_BASELINES_BASELINE_STATS_H_
+#define STARK_BASELINES_BASELINE_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace stark {
+
+/// Timing/size breakdown of one self-join run.
+struct BaselineStats {
+  std::string system;   // "STARK", "GeoSpark-like", "SpatialSpark-like"
+  std::string config;   // "none", "voronoi", "tile", "grid", "bsp"
+  size_t input_size = 0;
+  size_t result_pairs = 0;   // ordered pairs, identity excluded
+  size_t replicated = 0;     // extra copies created by replication
+  double partition_seconds = 0.0;
+  double index_seconds = 0.0;
+  double join_seconds = 0.0;
+  double dedup_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+}  // namespace stark
+
+#endif  // STARK_BASELINES_BASELINE_STATS_H_

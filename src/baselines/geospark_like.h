@@ -1,0 +1,40 @@
+/// \file geospark_like.h
+/// Reimplementation of the GeoSpark [3] execution strategy for the paper's
+/// Figure-4 self join: the dataset is partitioned with *replication* (every
+/// object is copied into each partition its halo envelope overlaps), each
+/// partition is joined locally over a per-partition R-tree, and duplicate
+/// result pairs are eliminated afterwards — the strategy STARK's
+/// centroid-assignment + extents design avoids (see DESIGN.md).
+#ifndef STARK_BASELINES_GEOSPARK_LIKE_H_
+#define STARK_BASELINES_GEOSPARK_LIKE_H_
+
+#include <vector>
+
+#include "baselines/baseline_stats.h"
+#include "core/stobject.h"
+#include "engine/context.h"
+
+namespace stark {
+
+/// Options for the GeoSpark-like self join.
+struct GeoSparkLikeOptions {
+  /// Number of Voronoi seed cells; 0 disables spatial partitioning (one
+  /// global partition whose index is built serially, as a broadcast-style
+  /// join would).
+  size_t voronoi_seeds = 0;
+  /// R-tree node capacity.
+  size_t index_order = 10;
+  /// Seed for the Voronoi sample.
+  uint64_t seed = 7;
+};
+
+/// Self join with the withinDistance predicate: emits (and counts) every
+/// ordered pair (a, b), a != b, with Euclidean distance <= max_distance.
+BaselineStats GeoSparkLikeSelfJoin(Context* ctx,
+                                   const std::vector<STObject>& data,
+                                   double max_distance,
+                                   const GeoSparkLikeOptions& options);
+
+}  // namespace stark
+
+#endif  // STARK_BASELINES_GEOSPARK_LIKE_H_

@@ -1,0 +1,35 @@
+/// \file spatialspark_like.h
+/// Reimplementation of the SpatialSpark [2] execution strategy for the
+/// paper's Figure-4 self join. SpatialSpark performs a broadcast join:
+/// one side is collected, sorted by the x-extent of the envelopes, and every
+/// probe scans its x-overlap window (a 1-D candidate filter). Its "Tile"
+/// partitioner splits the data into sort-tile partitions first and joins
+/// tile-locally with replication + dedup.
+#ifndef STARK_BASELINES_SPATIALSPARK_LIKE_H_
+#define STARK_BASELINES_SPATIALSPARK_LIKE_H_
+
+#include <vector>
+
+#include "baselines/baseline_stats.h"
+#include "core/stobject.h"
+#include "engine/context.h"
+
+namespace stark {
+
+/// Options for the SpatialSpark-like self join.
+struct SpatialSparkLikeOptions {
+  /// Number of sort-tile partitions; 0 disables partitioning (a single
+  /// broadcast sort-merge window scan over the whole dataset).
+  size_t tiles = 0;
+};
+
+/// Self join with the withinDistance predicate: emits (and counts) every
+/// ordered pair (a, b), a != b, with Euclidean distance <= max_distance.
+BaselineStats SpatialSparkLikeSelfJoin(Context* ctx,
+                                       const std::vector<STObject>& data,
+                                       double max_distance,
+                                       const SpatialSparkLikeOptions& options);
+
+}  // namespace stark
+
+#endif  // STARK_BASELINES_SPATIALSPARK_LIKE_H_

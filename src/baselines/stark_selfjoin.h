@@ -1,0 +1,34 @@
+/// \file stark_selfjoin.h
+/// STARK's side of the Figure-4 self-join comparison, instrumented with the
+/// same BaselineStats record as the GeoSpark/SpatialSpark-like strategies.
+#ifndef STARK_BASELINES_STARK_SELFJOIN_H_
+#define STARK_BASELINES_STARK_SELFJOIN_H_
+
+#include <vector>
+
+#include "baselines/baseline_stats.h"
+#include "core/stobject.h"
+#include "engine/context.h"
+
+namespace stark {
+
+/// Which spatial partitioner the STARK run uses.
+enum class StarkPartitionerChoice { kNone, kGrid, kBsp };
+
+/// Options for the STARK self join.
+struct StarkSelfJoinOptions {
+  StarkPartitionerChoice partitioner = StarkPartitionerChoice::kNone;
+  size_t index_order = 10;       // live-index R-tree order (0 = no index)
+  size_t grid_cells_per_dim = 8; // used when partitioner == kGrid
+  size_t bsp_max_cost = 10'000;  // used when partitioner == kBsp
+};
+
+/// Self join with the withinDistance predicate via the STARK operators
+/// (centroid partitioning + live indexing + extent-pruned partition pairs).
+BaselineStats StarkSelfJoin(Context* ctx, const std::vector<STObject>& data,
+                            double max_distance,
+                            const StarkSelfJoinOptions& options);
+
+}  // namespace stark
+
+#endif  // STARK_BASELINES_STARK_SELFJOIN_H_

@@ -1,0 +1,54 @@
+/// \file union_find.h
+/// Disjoint-set forest used by the DBSCAN merge step to connect local
+/// clusters across partition borders.
+#ifndef STARK_CLUSTERING_UNION_FIND_H_
+#define STARK_CLUSTERING_UNION_FIND_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace stark {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  /// Representative of \p x's set.
+  size_t Find(size_t x) {
+    STARK_DCHECK(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of \p a and \p b; returns the new representative.
+  size_t Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return ra;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return ra;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+}  // namespace stark
+
+#endif  // STARK_CLUSTERING_UNION_FIND_H_

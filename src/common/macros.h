@@ -1,0 +1,49 @@
+/// \file macros.h
+/// Assertion and utility macros shared across the STARK library.
+#ifndef STARK_COMMON_MACROS_H_
+#define STARK_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when an internal invariant is violated. Used for
+/// programmer errors only; user-facing failures are reported via Status.
+#define STARK_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "STARK_CHECK failed: %s at %s:%d\n", #cond,       \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define STARK_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define STARK_DCHECK(cond) STARK_CHECK(cond)
+#endif
+
+#define STARK_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;            \
+  TypeName& operator=(const TypeName&) = delete
+
+/// Propagates a non-OK Status from an expression, Arrow-style.
+#define STARK_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::stark::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define STARK_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  auto STARK_CONCAT_(_res, __LINE__) = (rexpr);       \
+  if (!STARK_CONCAT_(_res, __LINE__).ok())            \
+    return STARK_CONCAT_(_res, __LINE__).status();    \
+  lhs = std::move(STARK_CONCAT_(_res, __LINE__)).ValueUnsafe()
+
+#define STARK_CONCAT_IMPL_(a, b) a##b
+#define STARK_CONCAT_(a, b) STARK_CONCAT_IMPL_(a, b)
+
+#endif  // STARK_COMMON_MACROS_H_

@@ -1,0 +1,67 @@
+/// \file result.h
+/// Result<T>: a Status plus a value on success (Arrow-style).
+#ifndef STARK_COMMON_RESULT_H_
+#define STARK_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace stark {
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// Use ValueOrDie() in tests/examples where failure is a bug, and
+/// STARK_ASSIGN_OR_RETURN in library code to propagate errors.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding \p value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    STARK_DCHECK(!std::get<Status>(repr_).ok());
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    STARK_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    STARK_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    STARK_CHECK(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Unchecked accessors used by STARK_ASSIGN_OR_RETURN after an ok() test.
+  T& ValueUnsafe() & { return std::get<T>(repr_); }
+  T ValueUnsafe() && { return std::move(std::get<T>(repr_)); }
+
+  /// Returns the value, or \p alternative if this Result holds an error.
+  T ValueOr(T alternative) const& {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace stark
+
+#endif  // STARK_COMMON_RESULT_H_

@@ -1,0 +1,45 @@
+/// \file rng.h
+/// Deterministic pseudo-random number generation for workload synthesis.
+#ifndef STARK_COMMON_RNG_H_
+#define STARK_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace stark {
+
+/// \brief Seedable RNG wrapper so that data generators, tests and benchmarks
+/// are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace stark
+
+#endif  // STARK_COMMON_RNG_H_

@@ -1,0 +1,41 @@
+#include "common/serde.h"
+
+#include <cstdio>
+
+namespace stark {
+
+Status WriteFileBytes(const std::string& path, const std::vector<char>& buf) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  size_t written = buf.empty() ? 0 : std::fwrite(buf.data(), 1, buf.size(), f);
+  int rc = std::fclose(f);
+  if (written != buf.size() || rc != 0) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<char>> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat: " + path);
+  }
+  std::vector<char> buf(static_cast<size_t>(size));
+  size_t got = buf.empty() ? 0 : std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (got != buf.size()) {
+    return Status::IOError("short read: " + path);
+  }
+  return buf;
+}
+
+}  // namespace stark

@@ -1,0 +1,116 @@
+/// \file status.h
+/// Arrow/RocksDB-style Status object: the return type of every fallible
+/// operation in the STARK library. Library code does not throw exceptions.
+#ifndef STARK_COMMON_STATUS_H_
+#define STARK_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace stark {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kParseError = 3,
+  kKeyError = 4,
+  kNotImplemented = 5,
+  kOutOfRange = 6,
+  kUnknownError = 7,
+};
+
+/// \brief Result of a fallible operation: either OK or a coded error message.
+///
+/// The OK state is represented by a null internal pointer so that returning
+/// Status::OK() is free of allocation.
+class Status {
+ public:
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_)
+                            : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Returns a success status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status UnknownError(std::string msg) {
+    return Status(StatusCode::kUnknownError, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+
+  /// Human-readable error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(state_->code)) + ": " + state_->msg;
+  }
+
+ private:
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kIOError: return "IOError";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kKeyError: return "KeyError";
+      case StatusCode::kNotImplemented: return "NotImplemented";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kUnknownError: return "UnknownError";
+    }
+    return "UnknownError";
+  }
+
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace stark
+
+#endif  // STARK_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+/// \file stopwatch.h
+/// Wall-clock timing helper used by benchmarks and examples.
+#ifndef STARK_COMMON_STOPWATCH_H_
+#define STARK_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace stark {
+
+/// Measures elapsed wall time from construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start as a double.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start as a double.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stark
+
+#endif  // STARK_COMMON_STOPWATCH_H_

@@ -1,0 +1,62 @@
+/// \file thread_pool.h
+/// Fixed-size worker pool. In the sparklet engine each worker thread plays
+/// the role of a Spark executor: partitions are computed as tasks here.
+#ifndef STARK_COMMON_THREAD_POOL_H_
+#define STARK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace stark {
+
+/// \brief A simple FIFO thread pool with a blocking Submit/Wait interface.
+class ThreadPool {
+ public:
+  /// Creates a pool with \p num_threads workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  STARK_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// Enqueues \p fn and returns a future for its completion.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      STARK_CHECK(!shutdown_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs \p fn(i) for i in [0, n) across the pool and blocks until all
+  /// complete. Exceptions propagate from the first failing task.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace stark
+
+#endif  // STARK_COMMON_THREAD_POOL_H_

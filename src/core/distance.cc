@@ -1,0 +1,45 @@
+#include "core/distance.h"
+
+namespace stark {
+
+double EuclideanDistance(const STObject& a, const STObject& b) {
+  return Distance(a.geo(), b.geo());
+}
+
+double ManhattanDistance(const STObject& a, const STObject& b) {
+  const Coordinate ca = a.Centroid();
+  const Coordinate cb = b.Centroid();
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+double HaversineDistanceKm(const STObject& a, const STObject& b) {
+  constexpr double kEarthRadiusKm = 6371.0088;
+  constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+  const Coordinate ca = a.Centroid();
+  const Coordinate cb = b.Centroid();
+  const double lat1 = ca.y * kDegToRad;
+  const double lat2 = cb.y * kDegToRad;
+  const double dlat = (cb.y - ca.y) * kDegToRad;
+  const double dlon = (cb.x - ca.x) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double TemporalDistance(const STObject& a, const STObject& b) {
+  if (!a.HasTime() || !b.HasTime()) return 0.0;
+  return static_cast<double>(a.time()->Distance(*b.time()));
+}
+
+DistanceFunction CombinedDistance(DistanceFunction spatial,
+                                  double spatial_weight,
+                                  double temporal_weight) {
+  return [spatial = std::move(spatial), spatial_weight, temporal_weight](
+             const STObject& a, const STObject& b) {
+    return spatial_weight * spatial(a, b) +
+           temporal_weight * TemporalDistance(a, b);
+  };
+}
+
+}  // namespace stark

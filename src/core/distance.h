@@ -1,0 +1,41 @@
+/// \file distance.h
+/// Pluggable distance functions for withinDistance and kNN. The paper lets
+/// users pass their own distance function; these are the out-of-the-box ones.
+#ifndef STARK_CORE_DISTANCE_H_
+#define STARK_CORE_DISTANCE_H_
+
+#include <cmath>
+#include <functional>
+
+#include "core/stobject.h"
+
+namespace stark {
+
+/// User-suppliable distance between two spatio-temporal objects.
+using DistanceFunction =
+    std::function<double(const STObject&, const STObject&)>;
+
+/// Minimum planar Euclidean distance between the spatial components.
+double EuclideanDistance(const STObject& a, const STObject& b);
+
+/// Manhattan (L1) distance between the spatial centroids.
+double ManhattanDistance(const STObject& a, const STObject& b);
+
+/// Great-circle distance in kilometers between the spatial centroids,
+/// interpreting x as longitude and y as latitude in degrees (Haversine).
+double HaversineDistanceKm(const STObject& a, const STObject& b);
+
+/// Temporal gap between the two objects in ticks; 0 when either has no
+/// temporal component or the intervals overlap.
+double TemporalDistance(const STObject& a, const STObject& b);
+
+/// Weighted combination of a spatial and the temporal distance:
+/// spatial_weight * spatial(a,b) + temporal_weight * temporal_gap(a,b).
+/// Lets withinDistance express "near in space and time" as one threshold.
+DistanceFunction CombinedDistance(DistanceFunction spatial,
+                                  double spatial_weight,
+                                  double temporal_weight);
+
+}  // namespace stark
+
+#endif  // STARK_CORE_DISTANCE_H_

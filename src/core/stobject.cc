@@ -1,0 +1,32 @@
+#include "core/stobject.h"
+
+#include "geometry/wkt.h"
+
+namespace stark {
+
+Result<STObject> STObject::FromWkt(std::string_view wkt) {
+  STARK_ASSIGN_OR_RETURN(Geometry geo, ParseWkt(wkt));
+  return STObject(std::move(geo));
+}
+
+Result<STObject> STObject::FromWkt(std::string_view wkt, Instant time) {
+  STARK_ASSIGN_OR_RETURN(Geometry geo, ParseWkt(wkt));
+  return STObject(std::move(geo), time);
+}
+
+Result<STObject> STObject::FromWkt(std::string_view wkt, Instant begin,
+                                   Instant end) {
+  STARK_ASSIGN_OR_RETURN(Geometry geo, ParseWkt(wkt));
+  return STObject(std::move(geo), begin, end);
+}
+
+std::string STObject::ToString() const {
+  std::string s = "STObject(" + geo_.ToWkt();
+  if (time_.has_value()) {
+    s += ", " + time_->ToString();
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace stark

@@ -1,0 +1,99 @@
+/// \file stobject.h
+/// STObject — the paper's central data type: a spatial geometry plus an
+/// optional temporal component (§2.3).
+#ifndef STARK_CORE_STOBJECT_H_
+#define STARK_CORE_STOBJECT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+#include "geometry/geometry.h"
+#include "geometry/predicates.h"
+#include "temporal/interval.h"
+
+namespace stark {
+
+/// \brief Spatio-temporal object with two fields, exactly as in the paper:
+/// (1) `geo`, the spatial attribute, and (2) an optional `time` field.
+///
+/// The combined predicates implement the paper's formula (1)-(3): a
+/// predicate holds iff the spatial predicate holds AND either both temporal
+/// components are undefined, or both are defined and the temporal predicate
+/// holds as well. A defined/undefined mix is always false.
+class STObject {
+ public:
+  /// Spatial-only object.
+  explicit STObject(Geometry geo) : geo_(std::move(geo)) {}
+
+  /// Object valid at a single instant.
+  STObject(Geometry geo, Instant time)
+      : geo_(std::move(geo)), time_(TemporalInterval(time)) {}
+
+  /// Object valid over a closed interval [begin, end].
+  STObject(Geometry geo, Instant begin, Instant end)
+      : geo_(std::move(geo)), time_(TemporalInterval(begin, end)) {}
+
+  STObject(Geometry geo, std::optional<TemporalInterval> time)
+      : geo_(std::move(geo)), time_(std::move(time)) {}
+
+  /// Parses the spatial component from WKT; mirrors `STObject(wkt, time)`
+  /// from the paper's Scala example.
+  static Result<STObject> FromWkt(std::string_view wkt);
+  static Result<STObject> FromWkt(std::string_view wkt, Instant time);
+  static Result<STObject> FromWkt(std::string_view wkt, Instant begin,
+                                  Instant end);
+
+  const Geometry& geo() const { return geo_; }
+  const std::optional<TemporalInterval>& time() const { return time_; }
+  bool HasTime() const { return time_.has_value(); }
+
+  /// Bounding rectangle of the spatial component.
+  const Envelope& envelope() const { return geo_.envelope(); }
+
+  /// Centroid of the spatial component (partition assignment point, §2.1).
+  Coordinate Centroid() const { return geo_.Centroid(); }
+
+  // -- Combined spatio-temporal predicates (paper formula (1)-(3)) --------
+
+  /// True iff this and \p o intersect spatially and temporally.
+  bool Intersects(const STObject& o) const {
+    return CombinedPredicate(o, stark::Intersects(geo_, o.geo_),
+                             TemporalPredicate::kIntersects);
+  }
+
+  /// True iff this object completely contains \p o (space and time).
+  bool Contains(const STObject& o) const {
+    return CombinedPredicate(o, stark::Contains(geo_, o.geo_),
+                             TemporalPredicate::kContains);
+  }
+
+  /// Reverse of Contains, as in the paper's API.
+  bool ContainedBy(const STObject& o) const { return o.Contains(*this); }
+
+  bool operator==(const STObject& o) const {
+    return geo_ == o.geo_ && time_ == o.time_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  bool CombinedPredicate(const STObject& o, bool spatial_holds,
+                         TemporalPredicate temporal_pred) const {
+    if (!spatial_holds) return false;
+    if (!time_.has_value() && !o.time_.has_value()) return true;   // (2)
+    if (time_.has_value() && o.time_.has_value()) {                // (3)
+      return EvalTemporalPredicate(temporal_pred, *time_, *o.time_);
+    }
+    return false;  // defined/undefined mix
+  }
+
+  Geometry geo_;
+  std::optional<TemporalInterval> time_;
+};
+
+}  // namespace stark
+
+#endif  // STARK_CORE_STOBJECT_H_

@@ -1,0 +1,69 @@
+/// \file checkpoint.h
+/// Materializes an RDD to disk and reads it back — the engine-level
+/// "store to HDFS" step of the paper's Figure-2 workflow (partitioned data
+/// is persisted once and re-used by later programs), with the local
+/// filesystem substituting for HDFS.
+#ifndef STARK_ENGINE_CHECKPOINT_H_
+#define STARK_ENGINE_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "engine/rdd.h"
+// Callers must also include the Serde specializations for their element
+// type: spatial_rdd/value_serde.h (scalars, strings, pairs) and/or
+// core/st_serde.h (STObject).
+
+namespace stark {
+
+/// Writes every partition of \p rdd to `<directory>/part-<i>.bin` plus a
+/// `_meta` file; T must have a Serde specialization.
+template <typename T>
+Status Checkpoint(const RDD<T>& rdd, const std::string& directory) {
+  const auto parts = rdd.CollectPartitions();
+  BinaryWriter meta;
+  meta.WriteU32(0x53544350);  // "STCP"
+  meta.WriteU64(parts.size());
+  STARK_RETURN_NOT_OK(WriteFileBytes(directory + "/_meta", meta.buffer()));
+  for (size_t p = 0; p < parts.size(); ++p) {
+    BinaryWriter w;
+    w.WriteU64(parts[p].size());
+    for (const T& x : parts[p]) Serde<T>::Write(&w, x);
+    STARK_RETURN_NOT_OK(WriteFileBytes(
+        directory + "/part-" + std::to_string(p) + ".bin", w.buffer()));
+  }
+  return Status::OK();
+}
+
+/// Reads a checkpoint written by Checkpoint(), preserving the partition
+/// structure.
+template <typename T>
+Result<RDD<T>> LoadCheckpoint(Context* ctx, const std::string& directory) {
+  STARK_ASSIGN_OR_RETURN(std::vector<char> meta_buf,
+                         ReadFileBytes(directory + "/_meta"));
+  BinaryReader meta(meta_buf);
+  STARK_ASSIGN_OR_RETURN(uint32_t magic, meta.ReadU32());
+  if (magic != 0x53544350) {
+    return Status::IOError("bad checkpoint magic in " + directory);
+  }
+  STARK_ASSIGN_OR_RETURN(uint64_t num_parts, meta.ReadU64());
+  std::vector<std::vector<T>> parts(num_parts);
+  for (uint64_t p = 0; p < num_parts; ++p) {
+    STARK_ASSIGN_OR_RETURN(
+        std::vector<char> buf,
+        ReadFileBytes(directory + "/part-" + std::to_string(p) + ".bin"));
+    BinaryReader r(buf);
+    STARK_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+    parts[p].reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      STARK_ASSIGN_OR_RETURN(T x, Serde<T>::Read(&r));
+      parts[p].push_back(std::move(x));
+    }
+  }
+  return MakeRDDFromPartitions(ctx, std::move(parts));
+}
+
+}  // namespace stark
+
+#endif  // STARK_ENGINE_CHECKPOINT_H_

@@ -1,0 +1,45 @@
+/// \file context.h
+/// Execution context of the sparklet engine — the stand-in for a
+/// SparkContext. Worker threads play the role of cluster executors: every
+/// partition of an RDD is computed as one task on the pool (see DESIGN.md
+/// for why this substitution preserves the paper's behaviour).
+#ifndef STARK_ENGINE_CONTEXT_H_
+#define STARK_ENGINE_CONTEXT_H_
+
+#include <memory>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace stark {
+
+/// \brief Owns the worker pool and the default parallelism of a program.
+class Context {
+ public:
+  /// \p parallelism 0 means "number of hardware threads".
+  explicit Context(size_t parallelism = 0)
+      : parallelism_(parallelism != 0 ? parallelism
+                                      : DefaultHardwareParallelism()),
+        pool_(std::make_unique<ThreadPool>(parallelism_)) {}
+
+  STARK_DISALLOW_COPY_AND_ASSIGN(Context);
+
+  ThreadPool& pool() { return *pool_; }
+
+  /// Default number of partitions for new RDDs, like Spark's
+  /// `spark.default.parallelism`.
+  size_t default_parallelism() const { return parallelism_; }
+
+ private:
+  static size_t DefaultHardwareParallelism() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 2 : hw;
+  }
+
+  size_t parallelism_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace stark
+
+#endif  // STARK_ENGINE_CONTEXT_H_

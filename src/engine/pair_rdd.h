@@ -1,0 +1,134 @@
+/// \file pair_rdd.h
+/// Key-value operations over RDDs of pairs — sparklet's counterpart of
+/// Spark's PairRDDFunctions (the class whose implicit-conversion pattern
+/// STARK's SpatialRDDFunctions mirrors, §2.3). Includes map-side combining
+/// for ReduceByKey, exactly like Spark.
+#ifndef STARK_ENGINE_PAIR_RDD_H_
+#define STARK_ENGINE_PAIR_RDD_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/rdd.h"
+
+namespace stark {
+
+/// Merges values per key with an associative, commutative \p combine.
+/// Values are pre-combined inside each input partition (map-side combine)
+/// before the shuffle, like Spark's reduceByKey.
+template <typename K, typename V, typename F>
+RDD<std::pair<K, V>> ReduceByKey(const RDD<std::pair<K, V>>& rdd, F combine,
+                                 size_t num_partitions = 0) {
+  const size_t targets =
+      num_partitions != 0 ? num_partitions : rdd.ctx()->default_parallelism();
+  // Map-side combine.
+  RDD<std::pair<K, V>> combined = rdd.MapPartitionsWithIndex(
+      [combine](size_t, std::vector<std::pair<K, V>> part) {
+        std::map<K, V> acc;
+        for (auto& [k, v] : part) {
+          auto it = acc.find(k);
+          if (it == acc.end()) {
+            acc.emplace(std::move(k), std::move(v));
+          } else {
+            it->second = combine(std::move(it->second), std::move(v));
+          }
+        }
+        std::vector<std::pair<K, V>> out;
+        out.reserve(acc.size());
+        for (auto& [k, v] : acc) out.emplace_back(k, std::move(v));
+        return out;
+      });
+  // Shuffle by key hash, then final merge per partition.
+  RDD<std::pair<K, V>> shuffled =
+      combined.PartitionBy(targets, [targets](const std::pair<K, V>& kv) {
+        return std::hash<K>{}(kv.first) % targets;
+      });
+  return shuffled.MapPartitionsWithIndex(
+      [combine](size_t, std::vector<std::pair<K, V>> part) {
+        std::map<K, V> acc;
+        for (auto& [k, v] : part) {
+          auto it = acc.find(k);
+          if (it == acc.end()) {
+            acc.emplace(std::move(k), std::move(v));
+          } else {
+            it->second = combine(std::move(it->second), std::move(v));
+          }
+        }
+        std::vector<std::pair<K, V>> out;
+        out.reserve(acc.size());
+        for (auto& [k, v] : acc) out.emplace_back(k, std::move(v));
+        return out;
+      });
+}
+
+/// Groups all values per key (full shuffle; no combining possible).
+template <typename K, typename V>
+RDD<std::pair<K, std::vector<V>>> GroupByKey(const RDD<std::pair<K, V>>& rdd,
+                                             size_t num_partitions = 0) {
+  const size_t targets =
+      num_partitions != 0 ? num_partitions : rdd.ctx()->default_parallelism();
+  RDD<std::pair<K, V>> shuffled =
+      rdd.PartitionBy(targets, [targets](const std::pair<K, V>& kv) {
+        return std::hash<K>{}(kv.first) % targets;
+      });
+  return shuffled.MapPartitionsWithIndex(
+      [](size_t, std::vector<std::pair<K, V>> part) {
+        std::map<K, std::vector<V>> groups;
+        for (auto& [k, v] : part) groups[k].push_back(std::move(v));
+        std::vector<std::pair<K, std::vector<V>>> out;
+        out.reserve(groups.size());
+        for (auto& [k, vs] : groups) out.emplace_back(k, std::move(vs));
+        return out;
+      });
+}
+
+/// Element count per key, returned to the driver (Spark's countByKey).
+template <typename K, typename V>
+std::map<K, size_t> CountByKey(const RDD<std::pair<K, V>>& rdd) {
+  auto ones = rdd.Map([](std::pair<K, V>& kv) {
+    return std::pair<K, size_t>(std::move(kv.first), 1);
+  });
+  std::map<K, size_t> out;
+  for (auto& [k, count] :
+       ReduceByKey(ones, [](size_t a, size_t b) { return a + b; }).Collect()) {
+    out.emplace(std::move(k), count);
+  }
+  return out;
+}
+
+/// Removes duplicate elements (hash shuffle + per-partition sort/unique).
+template <typename T>
+RDD<T> Distinct(const RDD<T>& rdd, size_t num_partitions = 0) {
+  const size_t targets =
+      num_partitions != 0 ? num_partitions : rdd.ctx()->default_parallelism();
+  RDD<T> shuffled = rdd.PartitionBy(targets, [targets](const T& x) {
+    return std::hash<T>{}(x) % targets;
+  });
+  return shuffled.MapPartitionsWithIndex(
+      [](size_t, std::vector<T> part) {
+        std::sort(part.begin(), part.end());
+        part.erase(std::unique(part.begin(), part.end()), part.end());
+        return part;
+      });
+}
+
+/// Globally sorts by \p key_of into \p num_partitions range partitions
+/// (ascending). The key extractor must be deterministic.
+template <typename T, typename KeyOf>
+RDD<T> SortBy(const RDD<T>& rdd, KeyOf key_of, size_t num_partitions = 0) {
+  const size_t targets =
+      num_partitions != 0 ? num_partitions : rdd.ctx()->default_parallelism();
+  std::vector<T> all = rdd.Collect();
+  std::sort(all.begin(), all.end(), [&key_of](const T& a, const T& b) {
+    return key_of(a) < key_of(b);
+  });
+  return MakeRDD(rdd.ctx(), std::move(all), targets);
+}
+
+}  // namespace stark
+
+#endif  // STARK_ENGINE_PAIR_RDD_H_

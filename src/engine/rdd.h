@@ -1,0 +1,446 @@
+/// \file rdd.h
+/// Lazy, lineage-based resilient-distributed-dataset abstraction — the
+/// sparklet engine's equivalent of Spark's RDD. Transformations build a
+/// lineage graph of RDDImpl nodes; actions evaluate all partitions in
+/// parallel on the Context's worker pool.
+#ifndef STARK_ENGINE_RDD_H_
+#define STARK_ENGINE_RDD_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "engine/context.h"
+
+namespace stark {
+
+/// Lineage node: computes the contents of one partition on demand.
+template <typename T>
+class RDDImpl {
+ public:
+  explicit RDDImpl(Context* ctx) : ctx_(ctx) { STARK_CHECK(ctx != nullptr); }
+  virtual ~RDDImpl() = default;
+
+  virtual size_t NumPartitions() const = 0;
+  virtual std::vector<T> Compute(size_t partition) const = 0;
+
+  Context* ctx() const { return ctx_; }
+
+ private:
+  Context* ctx_;
+};
+
+namespace engine_internal {
+
+/// Materialized data, the leaf of every lineage graph.
+template <typename T>
+class CollectionRDD final : public RDDImpl<T> {
+ public:
+  CollectionRDD(Context* ctx, std::vector<std::vector<T>> partitions)
+      : RDDImpl<T>(ctx), partitions_(std::move(partitions)) {}
+
+  size_t NumPartitions() const override { return partitions_.size(); }
+  std::vector<T> Compute(size_t p) const override { return partitions_[p]; }
+
+ private:
+  std::vector<std::vector<T>> partitions_;
+};
+
+template <typename T, typename U, typename F>
+class MapRDD final : public RDDImpl<U> {
+ public:
+  MapRDD(std::shared_ptr<const RDDImpl<T>> parent, F fn)
+      : RDDImpl<U>(parent->ctx()), parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  size_t NumPartitions() const override { return parent_->NumPartitions(); }
+  std::vector<U> Compute(size_t p) const override {
+    std::vector<T> in = parent_->Compute(p);
+    std::vector<U> out;
+    out.reserve(in.size());
+    for (auto& x : in) out.push_back(fn_(x));
+    return out;
+  }
+
+ private:
+  std::shared_ptr<const RDDImpl<T>> parent_;
+  F fn_;
+};
+
+template <typename T, typename F>
+class FilterRDD final : public RDDImpl<T> {
+ public:
+  FilterRDD(std::shared_ptr<const RDDImpl<T>> parent, F fn)
+      : RDDImpl<T>(parent->ctx()), parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  size_t NumPartitions() const override { return parent_->NumPartitions(); }
+  std::vector<T> Compute(size_t p) const override {
+    std::vector<T> in = parent_->Compute(p);
+    std::vector<T> out;
+    for (auto& x : in) {
+      if (fn_(x)) out.push_back(std::move(x));
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<const RDDImpl<T>> parent_;
+  F fn_;
+};
+
+template <typename T, typename U, typename F>
+class FlatMapRDD final : public RDDImpl<U> {
+ public:
+  FlatMapRDD(std::shared_ptr<const RDDImpl<T>> parent, F fn)
+      : RDDImpl<U>(parent->ctx()), parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  size_t NumPartitions() const override { return parent_->NumPartitions(); }
+  std::vector<U> Compute(size_t p) const override {
+    std::vector<T> in = parent_->Compute(p);
+    std::vector<U> out;
+    for (auto& x : in) {
+      std::vector<U> ys = fn_(x);
+      for (auto& y : ys) out.push_back(std::move(y));
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<const RDDImpl<T>> parent_;
+  F fn_;
+};
+
+/// fn(partition_index, partition_contents) -> new partition contents.
+template <typename T, typename U, typename F>
+class MapPartitionsRDD final : public RDDImpl<U> {
+ public:
+  MapPartitionsRDD(std::shared_ptr<const RDDImpl<T>> parent, F fn)
+      : RDDImpl<U>(parent->ctx()), parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  size_t NumPartitions() const override { return parent_->NumPartitions(); }
+  std::vector<U> Compute(size_t p) const override {
+    return fn_(p, parent_->Compute(p));
+  }
+
+ private:
+  std::shared_ptr<const RDDImpl<T>> parent_;
+  F fn_;
+};
+
+template <typename T>
+class UnionRDD final : public RDDImpl<T> {
+ public:
+  UnionRDD(std::shared_ptr<const RDDImpl<T>> a,
+           std::shared_ptr<const RDDImpl<T>> b)
+      : RDDImpl<T>(a->ctx()), a_(std::move(a)), b_(std::move(b)) {}
+
+  size_t NumPartitions() const override {
+    return a_->NumPartitions() + b_->NumPartitions();
+  }
+  std::vector<T> Compute(size_t p) const override {
+    if (p < a_->NumPartitions()) return a_->Compute(p);
+    return b_->Compute(p - a_->NumPartitions());
+  }
+
+ private:
+  std::shared_ptr<const RDDImpl<T>> a_;
+  std::shared_ptr<const RDDImpl<T>> b_;
+};
+
+/// Skips whole partitions without ever computing them — the engine-level
+/// hook behind STARK's partition-bound pruning (Spark's
+/// PartitionPruningRDD). Pruned partitions yield an empty result.
+template <typename T>
+class PrunePartitionsRDD final : public RDDImpl<T> {
+ public:
+  PrunePartitionsRDD(std::shared_ptr<const RDDImpl<T>> parent,
+                     std::function<bool(size_t)> keep)
+      : RDDImpl<T>(parent->ctx()), parent_(std::move(parent)),
+        keep_(std::move(keep)) {}
+
+  size_t NumPartitions() const override { return parent_->NumPartitions(); }
+  std::vector<T> Compute(size_t p) const override {
+    if (!keep_(p)) return {};
+    return parent_->Compute(p);
+  }
+
+ private:
+  std::shared_ptr<const RDDImpl<T>> parent_;
+  std::function<bool(size_t)> keep_;
+};
+
+/// Computes each parent partition at most once and keeps the result, like
+/// Spark's MEMORY-persisted RDDs.
+template <typename T>
+class CacheRDD final : public RDDImpl<T> {
+ public:
+  explicit CacheRDD(std::shared_ptr<const RDDImpl<T>> parent)
+      : RDDImpl<T>(parent->ctx()), parent_(std::move(parent)),
+        slots_(parent_->NumPartitions()) {}
+
+  size_t NumPartitions() const override { return parent_->NumPartitions(); }
+  std::vector<T> Compute(size_t p) const override {
+    Slot& slot = slots_[p];
+    std::call_once(slot.once, [&] { slot.data = parent_->Compute(p); });
+    return slot.data;
+  }
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    std::vector<T> data;
+  };
+  std::shared_ptr<const RDDImpl<T>> parent_;
+  mutable std::vector<Slot> slots_;
+};
+
+}  // namespace engine_internal
+
+/// \brief User-facing RDD handle (cheap to copy; shares the lineage node).
+template <typename T>
+class RDD {
+ public:
+  using ElementType = T;
+
+  RDD() = default;
+  explicit RDD(std::shared_ptr<const RDDImpl<T>> impl)
+      : impl_(std::move(impl)) {}
+
+  bool Valid() const { return impl_ != nullptr; }
+  Context* ctx() const { return impl_->ctx(); }
+  size_t NumPartitions() const { return impl_->NumPartitions(); }
+
+  /// Computes the contents of one partition (used by multi-RDD operators
+  /// such as the spatial join; combine with Cache() to avoid recomputation).
+  std::vector<T> ComputePartition(size_t p) const { return impl_->Compute(p); }
+
+  // ---- Transformations (lazy) -------------------------------------------
+
+  /// Element-wise transform, like Spark's `map`.
+  template <typename F>
+  auto Map(F fn) const {
+    using U = std::invoke_result_t<F, T&>;
+    return RDD<U>(std::make_shared<engine_internal::MapRDD<T, U, F>>(
+        impl_, std::move(fn)));
+  }
+
+  /// Keeps elements for which \p fn returns true.
+  template <typename F>
+  RDD<T> Filter(F fn) const {
+    return RDD<T>(std::make_shared<engine_internal::FilterRDD<T, F>>(
+        impl_, std::move(fn)));
+  }
+
+  /// Element to zero-or-more elements; \p fn returns a std::vector.
+  template <typename F>
+  auto FlatMap(F fn) const {
+    using Vec = std::invoke_result_t<F, T&>;
+    using U = typename Vec::value_type;
+    return RDD<U>(std::make_shared<engine_internal::FlatMapRDD<T, U, F>>(
+        impl_, std::move(fn)));
+  }
+
+  /// Whole-partition transform: fn(partition_index, std::vector<T>) must
+  /// return the new partition contents (any element type).
+  template <typename F>
+  auto MapPartitionsWithIndex(F fn) const {
+    using Vec = std::invoke_result_t<F, size_t, std::vector<T>>;
+    using U = typename Vec::value_type;
+    return RDD<U>(
+        std::make_shared<engine_internal::MapPartitionsRDD<T, U, F>>(
+            impl_, std::move(fn)));
+  }
+
+  /// Concatenation of the two datasets' partition lists.
+  RDD<T> Union(const RDD<T>& other) const {
+    return RDD<T>(std::make_shared<engine_internal::UnionRDD<T>>(
+        impl_, other.impl_));
+  }
+
+  /// Marks this RDD as cached: each partition is computed at most once.
+  RDD<T> Cache() const {
+    return RDD<T>(std::make_shared<engine_internal::CacheRDD<T>>(impl_));
+  }
+
+  /// Skips partitions for which \p keep returns false without computing
+  /// them (Spark's PartitionPruningRDD; partition count is preserved).
+  RDD<T> PrunePartitions(std::function<bool(size_t)> keep) const {
+    return RDD<T>(std::make_shared<engine_internal::PrunePartitionsRDD<T>>(
+        impl_, std::move(keep)));
+  }
+
+  /// Bernoulli sample of roughly `fraction` of the elements; deterministic
+  /// for a given seed (each partition derives its own stream).
+  RDD<T> Sample(double fraction, uint64_t seed = 42) const {
+    return MapPartitionsWithIndex(
+        [fraction, seed](size_t idx, std::vector<T> part) {
+          Rng rng(seed * 1315423911u + idx);
+          std::vector<T> out;
+          for (auto& x : part) {
+            if (rng.Bernoulli(fraction)) out.push_back(std::move(x));
+          }
+          return out;
+        });
+  }
+
+  // ---- Shuffles (eager, like a Spark stage boundary) --------------------
+
+  /// Reassigns every element to the partition returned by \p target
+  /// (which must be < \p num_partitions). Materializes the shuffle.
+  RDD<T> PartitionBy(size_t num_partitions,
+                     const std::function<size_t(const T&)>& target) const {
+    STARK_CHECK(num_partitions >= 1);
+    const size_t in_parts = NumPartitions();
+    // Route each input partition into per-target buckets in parallel...
+    std::vector<std::vector<std::vector<T>>> routed(in_parts);
+    ctx()->pool().ParallelFor(in_parts, [&](size_t p) {
+      std::vector<std::vector<T>> buckets(num_partitions);
+      std::vector<T> in = impl_->Compute(p);
+      for (auto& x : in) {
+        const size_t t = target(x);
+        STARK_DCHECK(t < num_partitions);
+        buckets[t].push_back(std::move(x));
+      }
+      routed[p] = std::move(buckets);
+    });
+    // ...then concatenate the buckets per target partition.
+    std::vector<std::vector<T>> out(num_partitions);
+    for (size_t t = 0; t < num_partitions; ++t) {
+      size_t total = 0;
+      for (size_t p = 0; p < in_parts; ++p) total += routed[p][t].size();
+      out[t].reserve(total);
+      for (size_t p = 0; p < in_parts; ++p) {
+        for (auto& x : routed[p][t]) out[t].push_back(std::move(x));
+        routed[p][t].clear();
+      }
+    }
+    return RDD<T>(std::make_shared<engine_internal::CollectionRDD<T>>(
+        ctx(), std::move(out)));
+  }
+
+  /// Rebalances into \p num_partitions equal chunks (round-robin).
+  RDD<T> Repartition(size_t num_partitions) const {
+    std::vector<T> all = Collect();
+    return MakeRDD(ctx(), std::move(all), num_partitions);
+  }
+
+  /// Pairs every element with a globally unique, stable index.
+  RDD<std::pair<T, size_t>> ZipWithIndex() const {
+    std::vector<std::vector<T>> parts = CollectPartitions();
+    std::vector<std::vector<std::pair<T, size_t>>> out(parts.size());
+    size_t next = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+      out[p].reserve(parts[p].size());
+      for (auto& x : parts[p]) out[p].emplace_back(std::move(x), next++);
+    }
+    return RDD<std::pair<T, size_t>>(
+        std::make_shared<engine_internal::CollectionRDD<std::pair<T, size_t>>>(
+            ctx(), std::move(out)));
+  }
+
+  // ---- Actions (trigger evaluation) --------------------------------------
+
+  /// Evaluates and returns all partitions, in partition order.
+  std::vector<std::vector<T>> CollectPartitions() const {
+    const size_t n = NumPartitions();
+    std::vector<std::vector<T>> parts(n);
+    ctx()->pool().ParallelFor(n, [&](size_t p) { parts[p] = impl_->Compute(p); });
+    return parts;
+  }
+
+  /// Evaluates and concatenates all partitions.
+  std::vector<T> Collect() const {
+    std::vector<std::vector<T>> parts = CollectPartitions();
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    std::vector<T> out;
+    out.reserve(total);
+    for (auto& part : parts) {
+      for (auto& x : part) out.push_back(std::move(x));
+    }
+    return out;
+  }
+
+  /// Number of elements.
+  size_t Count() const {
+    const size_t n = NumPartitions();
+    std::vector<size_t> counts(n, 0);
+    ctx()->pool().ParallelFor(
+        n, [&](size_t p) { counts[p] = impl_->Compute(p).size(); });
+    size_t total = 0;
+    for (size_t c : counts) total += c;
+    return total;
+  }
+
+  /// Folds all elements with \p fn starting from \p init (fn must be
+  /// associative and commutative, as in Spark).
+  template <typename F>
+  T Fold(T init, F fn) const {
+    const size_t n = NumPartitions();
+    std::vector<T> partials(n, init);
+    ctx()->pool().ParallelFor(n, [&](size_t p) {
+      T acc = init;
+      for (auto& x : impl_->Compute(p)) acc = fn(acc, x);
+      partials[p] = std::move(acc);
+    });
+    T acc = init;
+    for (auto& x : partials) acc = fn(acc, x);
+    return acc;
+  }
+
+  /// First \p n elements in partition order.
+  std::vector<T> Take(size_t n) const {
+    std::vector<T> out;
+    for (size_t p = 0; p < NumPartitions() && out.size() < n; ++p) {
+      std::vector<T> part = impl_->Compute(p);
+      for (auto& x : part) {
+        if (out.size() >= n) break;
+        out.push_back(std::move(x));
+      }
+    }
+    return out;
+  }
+
+  const std::shared_ptr<const RDDImpl<T>>& impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<const RDDImpl<T>> impl_;
+};
+
+/// Creates an RDD from in-memory data split into \p num_partitions chunks
+/// (0 = the context's default parallelism) — Spark's `parallelize`.
+template <typename T>
+RDD<T> MakeRDD(Context* ctx, std::vector<T> data, size_t num_partitions = 0) {
+  const size_t n =
+      num_partitions != 0 ? num_partitions : ctx->default_parallelism();
+  std::vector<std::vector<T>> parts(n);
+  const size_t chunk = (data.size() + n - 1) / std::max<size_t>(n, 1);
+  size_t i = 0;
+  for (size_t p = 0; p < n && i < data.size(); ++p) {
+    const size_t end = std::min(i + chunk, data.size());
+    parts[p].reserve(end - i);
+    for (; i < end; ++i) parts[p].push_back(std::move(data[i]));
+  }
+  return RDD<T>(std::make_shared<engine_internal::CollectionRDD<T>>(
+      ctx, std::move(parts)));
+}
+
+/// Creates an RDD directly from pre-built partitions.
+template <typename T>
+RDD<T> MakeRDDFromPartitions(Context* ctx,
+                             std::vector<std::vector<T>> partitions) {
+  return RDD<T>(std::make_shared<engine_internal::CollectionRDD<T>>(
+      ctx, std::move(partitions)));
+}
+
+}  // namespace stark
+
+#endif  // STARK_ENGINE_RDD_H_

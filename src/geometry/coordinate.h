@@ -1,0 +1,36 @@
+/// \file coordinate.h
+/// Planar coordinate type shared by all geometry classes.
+#ifndef STARK_GEOMETRY_COORDINATE_H_
+#define STARK_GEOMETRY_COORDINATE_H_
+
+#include <cmath>
+
+namespace stark {
+
+/// A 2-D coordinate. STARK (like JTS) operates on planar coordinates; for
+/// geographic data, longitude maps to x and latitude to y.
+struct Coordinate {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Coordinate& o) const { return x == o.x && y == o.y; }
+  bool operator!=(const Coordinate& o) const { return !(*this == o); }
+
+  /// Euclidean distance to \p o.
+  double DistanceTo(const Coordinate& o) const {
+    const double dx = x - o.x;
+    const double dy = y - o.y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Squared Euclidean distance to \p o (avoids the sqrt in hot loops).
+  double SquaredDistanceTo(const Coordinate& o) const {
+    const double dx = x - o.x;
+    const double dy = y - o.y;
+    return dx * dx + dy * dy;
+  }
+};
+
+}  // namespace stark
+
+#endif  // STARK_GEOMETRY_COORDINATE_H_

@@ -1,0 +1,15 @@
+#include "geometry/envelope.h"
+
+#include <cstdio>
+
+namespace stark {
+
+std::string Envelope::ToString() const {
+  if (IsEmpty()) return "Env[empty]";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "Env[%g..%g, %g..%g]", min_x_, max_x_,
+                min_y_, max_y_);
+  return buf;
+}
+
+}  // namespace stark

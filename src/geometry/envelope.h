@@ -1,0 +1,140 @@
+/// \file envelope.h
+/// Axis-aligned minimum bounding rectangle. Envelopes drive both the R-tree
+/// candidate search and the partition bounds / extent pruning of §2.1.
+#ifndef STARK_GEOMETRY_ENVELOPE_H_
+#define STARK_GEOMETRY_ENVELOPE_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geometry/coordinate.h"
+
+namespace stark {
+
+/// \brief An axis-aligned bounding box; default-constructed empty ("null
+/// envelope" in JTS terms) and grown with ExpandToInclude.
+class Envelope {
+ public:
+  /// Creates an empty envelope that contains nothing.
+  Envelope() = default;
+
+  Envelope(double min_x, double min_y, double max_x, double max_y)
+      : min_x_(min_x), min_y_(min_y), max_x_(max_x), max_y_(max_y) {}
+
+  /// Envelope of a single coordinate.
+  explicit Envelope(const Coordinate& c) : Envelope(c.x, c.y, c.x, c.y) {}
+
+  /// True iff no coordinate has been included yet.
+  bool IsEmpty() const { return min_x_ > max_x_; }
+
+  double min_x() const { return min_x_; }
+  double min_y() const { return min_y_; }
+  double max_x() const { return max_x_; }
+  double max_y() const { return max_y_; }
+
+  double Width() const { return IsEmpty() ? 0.0 : max_x_ - min_x_; }
+  double Height() const { return IsEmpty() ? 0.0 : max_y_ - min_y_; }
+  double Area() const { return Width() * Height(); }
+
+  /// Center point; (0,0) for an empty envelope.
+  Coordinate Center() const {
+    if (IsEmpty()) return {0.0, 0.0};
+    return {(min_x_ + max_x_) / 2.0, (min_y_ + max_y_) / 2.0};
+  }
+
+  /// Grows this envelope to cover \p c.
+  void ExpandToInclude(const Coordinate& c) {
+    min_x_ = std::min(min_x_, c.x);
+    min_y_ = std::min(min_y_, c.y);
+    max_x_ = std::max(max_x_, c.x);
+    max_y_ = std::max(max_y_, c.y);
+  }
+
+  /// Grows this envelope to cover \p other.
+  void ExpandToInclude(const Envelope& other) {
+    if (other.IsEmpty()) return;
+    min_x_ = std::min(min_x_, other.min_x_);
+    min_y_ = std::min(min_y_, other.min_y_);
+    max_x_ = std::max(max_x_, other.max_x_);
+    max_y_ = std::max(max_y_, other.max_y_);
+  }
+
+  /// Grows the envelope outward by \p margin on every side.
+  Envelope Expanded(double margin) const {
+    if (IsEmpty()) return *this;
+    return Envelope(min_x_ - margin, min_y_ - margin, max_x_ + margin,
+                    max_y_ + margin);
+  }
+
+  /// True iff the rectangles share at least one point (boundaries count).
+  bool Intersects(const Envelope& o) const {
+    if (IsEmpty() || o.IsEmpty()) return false;
+    return !(o.min_x_ > max_x_ || o.max_x_ < min_x_ || o.min_y_ > max_y_ ||
+             o.max_y_ < min_y_);
+  }
+
+  /// True iff \p c lies inside or on the boundary.
+  bool Contains(const Coordinate& c) const {
+    if (IsEmpty()) return false;
+    return c.x >= min_x_ && c.x <= max_x_ && c.y >= min_y_ && c.y <= max_y_;
+  }
+
+  /// True iff \p o lies entirely inside or on the boundary.
+  bool Contains(const Envelope& o) const {
+    if (IsEmpty() || o.IsEmpty()) return false;
+    return o.min_x_ >= min_x_ && o.max_x_ <= max_x_ && o.min_y_ >= min_y_ &&
+           o.max_y_ <= max_y_;
+  }
+
+  /// Minimum distance between the two rectangles; 0 if they intersect.
+  double Distance(const Envelope& o) const {
+    if (Intersects(o)) return 0.0;
+    double dx = 0.0;
+    if (o.max_x_ < min_x_) {
+      dx = min_x_ - o.max_x_;
+    } else if (o.min_x_ > max_x_) {
+      dx = o.min_x_ - max_x_;
+    }
+    double dy = 0.0;
+    if (o.max_y_ < min_y_) {
+      dy = min_y_ - o.max_y_;
+    } else if (o.min_y_ > max_y_) {
+      dy = o.min_y_ - max_y_;
+    }
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Minimum distance from the rectangle to a coordinate; 0 if contained.
+  double Distance(const Coordinate& c) const {
+    if (Contains(c)) return 0.0;
+    const double dx = std::max({min_x_ - c.x, 0.0, c.x - max_x_});
+    const double dy = std::max({min_y_ - c.y, 0.0, c.y - max_y_});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Intersection rectangle; empty when disjoint.
+  Envelope Intersection(const Envelope& o) const {
+    if (!Intersects(o)) return Envelope();
+    return Envelope(std::max(min_x_, o.min_x_), std::max(min_y_, o.min_y_),
+                    std::min(max_x_, o.max_x_), std::min(max_y_, o.max_y_));
+  }
+
+  bool operator==(const Envelope& o) const {
+    if (IsEmpty() && o.IsEmpty()) return true;
+    return min_x_ == o.min_x_ && min_y_ == o.min_y_ && max_x_ == o.max_x_ &&
+           max_y_ == o.max_y_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  double min_x_ = std::numeric_limits<double>::infinity();
+  double min_y_ = std::numeric_limits<double>::infinity();
+  double max_x_ = -std::numeric_limits<double>::infinity();
+  double max_y_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace stark
+
+#endif  // STARK_GEOMETRY_ENVELOPE_H_

@@ -1,0 +1,118 @@
+#include "geometry/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stark {
+
+namespace {
+constexpr double kEps = 1e-12;
+}  // namespace
+
+int Orientation(const Coordinate& a, const Coordinate& b,
+                const Coordinate& c) {
+  const double cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  // Scale the tolerance by the magnitude of the operands so that both tiny
+  // and planet-scale coordinates classify near-collinear points as collinear.
+  const double scale = std::max({std::abs(b.x - a.x), std::abs(b.y - a.y),
+                                 std::abs(c.x - a.x), std::abs(c.y - a.y),
+                                 1.0});
+  if (std::abs(cross) <= kEps * scale * scale) return 0;
+  return cross > 0 ? 1 : -1;
+}
+
+bool PointOnSegment(const Coordinate& p, const Coordinate& a,
+                    const Coordinate& b) {
+  if (Orientation(a, b, p) != 0) return false;
+  return p.x >= std::min(a.x, b.x) - kEps && p.x <= std::max(a.x, b.x) + kEps &&
+         p.y >= std::min(a.y, b.y) - kEps && p.y <= std::max(a.y, b.y) + kEps;
+}
+
+bool SegmentsIntersect(const Coordinate& p1, const Coordinate& p2,
+                       const Coordinate& q1, const Coordinate& q2) {
+  const int o1 = Orientation(p1, p2, q1);
+  const int o2 = Orientation(p1, p2, q2);
+  const int o3 = Orientation(q1, q2, p1);
+  const int o4 = Orientation(q1, q2, p2);
+
+  if (o1 != o2 && o3 != o4) return true;  // proper crossing
+
+  // Collinear / endpoint-touch cases.
+  if (o1 == 0 && PointOnSegment(q1, p1, p2)) return true;
+  if (o2 == 0 && PointOnSegment(q2, p1, p2)) return true;
+  if (o3 == 0 && PointOnSegment(p1, q1, q2)) return true;
+  if (o4 == 0 && PointOnSegment(p2, q1, q2)) return true;
+  return false;
+}
+
+RingLocation LocateInRing(const Coordinate& p, const Ring& ring) {
+  if (ring.size() < 4) return RingLocation::kOutside;  // not a valid ring
+  bool inside = false;
+  for (size_t i = 0, n = ring.size() - 1; i < n; ++i) {
+    const Coordinate& a = ring[i];
+    const Coordinate& b = ring[i + 1];
+    if (PointOnSegment(p, a, b)) return RingLocation::kBoundary;
+    // Standard ray cast: count edges crossing the horizontal ray to +x.
+    const bool crosses =
+        ((a.y > p.y) != (b.y > p.y)) &&
+        (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x);
+    if (crosses) inside = !inside;
+  }
+  return inside ? RingLocation::kInside : RingLocation::kOutside;
+}
+
+double DistancePointSegment(const Coordinate& p, const Coordinate& a,
+                            const Coordinate& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  if (len2 == 0.0) return p.DistanceTo(a);
+  double t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  const Coordinate proj{a.x + t * dx, a.y + t * dy};
+  return p.DistanceTo(proj);
+}
+
+double DistanceSegmentSegment(const Coordinate& p1, const Coordinate& p2,
+                              const Coordinate& q1, const Coordinate& q2) {
+  if (SegmentsIntersect(p1, p2, q1, q2)) return 0.0;
+  return std::min({DistancePointSegment(p1, q1, q2),
+                   DistancePointSegment(p2, q1, q2),
+                   DistancePointSegment(q1, p1, p2),
+                   DistancePointSegment(q2, p1, p2)});
+}
+
+double SignedRingArea(const Ring& ring) {
+  double area = 0.0;
+  for (size_t i = 0; i + 1 < ring.size(); ++i) {
+    area += ring[i].x * ring[i + 1].y - ring[i + 1].x * ring[i].y;
+  }
+  return area / 2.0;
+}
+
+Coordinate RingCentroid(const Ring& ring) {
+  const double area = SignedRingArea(ring);
+  if (std::abs(area) < 1e-30) {
+    // Degenerate ring: fall back to the vertex mean (skip the closing point).
+    Coordinate mean{0.0, 0.0};
+    const size_t n = ring.size() > 1 ? ring.size() - 1 : ring.size();
+    if (n == 0) return mean;
+    for (size_t i = 0; i < n; ++i) {
+      mean.x += ring[i].x;
+      mean.y += ring[i].y;
+    }
+    mean.x /= static_cast<double>(n);
+    mean.y /= static_cast<double>(n);
+    return mean;
+  }
+  double cx = 0.0;
+  double cy = 0.0;
+  for (size_t i = 0; i + 1 < ring.size(); ++i) {
+    const double f = ring[i].x * ring[i + 1].y - ring[i + 1].x * ring[i].y;
+    cx += (ring[i].x + ring[i + 1].x) * f;
+    cy += (ring[i].y + ring[i + 1].y) * f;
+  }
+  return {cx / (6.0 * area), cy / (6.0 * area)};
+}
+
+}  // namespace stark

@@ -1,0 +1,53 @@
+/// \file kernels.h
+/// Low-level computational-geometry primitives used by the predicate layer:
+/// orientation tests, segment intersection, point-in-ring, and distances.
+#ifndef STARK_GEOMETRY_KERNELS_H_
+#define STARK_GEOMETRY_KERNELS_H_
+
+#include <vector>
+
+#include "geometry/coordinate.h"
+
+namespace stark {
+
+/// A closed ring is a coordinate sequence whose first and last entries are
+/// equal; used as polygon shells and holes.
+using Ring = std::vector<Coordinate>;
+
+/// Sign of the cross product (b-a) x (c-a): >0 counter-clockwise turn,
+/// <0 clockwise, 0 collinear (within a small tolerance).
+int Orientation(const Coordinate& a, const Coordinate& b, const Coordinate& c);
+
+/// True iff \p p lies on the closed segment [a, b].
+bool PointOnSegment(const Coordinate& p, const Coordinate& a,
+                    const Coordinate& b);
+
+/// True iff segments [p1,p2] and [q1,q2] share at least one point
+/// (including endpoint touches and collinear overlap).
+bool SegmentsIntersect(const Coordinate& p1, const Coordinate& p2,
+                       const Coordinate& q1, const Coordinate& q2);
+
+/// Point-in-ring classification result.
+enum class RingLocation { kInside, kBoundary, kOutside };
+
+/// Ray-casting point-in-ring test; the ring must be closed.
+RingLocation LocateInRing(const Coordinate& p, const Ring& ring);
+
+/// Minimum distance from \p p to the closed segment [a, b].
+double DistancePointSegment(const Coordinate& p, const Coordinate& a,
+                            const Coordinate& b);
+
+/// Minimum distance between segments [p1,p2] and [q1,q2]; 0 if they touch.
+double DistanceSegmentSegment(const Coordinate& p1, const Coordinate& p2,
+                              const Coordinate& q1, const Coordinate& q2);
+
+/// Signed area of a closed ring (positive if counter-clockwise).
+double SignedRingArea(const Ring& ring);
+
+/// Centroid of a closed ring by the standard area-weighted formula. Falls
+/// back to the vertex mean for degenerate (zero-area) rings.
+Coordinate RingCentroid(const Ring& ring);
+
+}  // namespace stark
+
+#endif  // STARK_GEOMETRY_KERNELS_H_

@@ -1,0 +1,39 @@
+/// \file predicates.h
+/// Spatial predicates over Geometry values: intersects, contains, distance.
+/// These are the spatial halves of STARK's spatio-temporal predicates; the
+/// combined semantics (formula (1)-(3) of the paper) live in core/.
+#ifndef STARK_GEOMETRY_PREDICATES_H_
+#define STARK_GEOMETRY_PREDICATES_H_
+
+#include "geometry/geometry.h"
+
+namespace stark {
+
+/// True iff \p a and \p b share at least one point (boundaries count).
+/// Symmetric.
+bool Intersects(const Geometry& a, const Geometry& b);
+
+/// True iff \p a completely contains \p b. Boundary points count as
+/// contained (JTS "covers" semantics, which is what spatial filters want:
+/// an event on the query polygon's border is reported).
+///
+/// For a MultiPolygon / MultiPoint container the test is per-part: every
+/// part of \p b must be contained by some single part of \p a. Containment
+/// that only holds for the union of multiple parts is not detected; STARK's
+/// workloads (event points vs. query regions) never need it.
+bool Contains(const Geometry& a, const Geometry& b);
+
+/// Reverse of Contains: true iff \p b completely contains \p a.
+inline bool ContainedBy(const Geometry& a, const Geometry& b) {
+  return Contains(b, a);
+}
+
+/// Minimum Euclidean distance between \p a and \p b; 0 when they intersect.
+double Distance(const Geometry& a, const Geometry& b);
+
+/// Point-in-polygon classification against shell and holes.
+RingLocation LocateInPolygon(const Coordinate& p, const PolygonData& poly);
+
+}  // namespace stark
+
+#endif  // STARK_GEOMETRY_PREDICATES_H_

@@ -1,0 +1,304 @@
+#include "geometry/wkb.h"
+
+#include <bit>
+#include <cstring>
+
+namespace stark {
+
+namespace {
+
+// OGC geometry type codes.
+constexpr uint32_t kWkbPoint = 1;
+constexpr uint32_t kWkbLineString = 2;
+constexpr uint32_t kWkbPolygon = 3;
+constexpr uint32_t kWkbMultiPoint = 4;
+constexpr uint32_t kWkbMultiPolygon = 6;
+
+constexpr uint8_t kBigEndian = 0;
+constexpr uint8_t kLittleEndian = 1;
+
+/// This host's WKB byte-order tag.
+constexpr uint8_t HostOrder() {
+  return std::endian::native == std::endian::little ? kLittleEndian
+                                                    : kBigEndian;
+}
+
+uint32_t ByteSwap32(uint32_t v) {
+  return ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+         ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+}
+
+uint64_t ByteSwap64(uint64_t v) {
+  v = ((v & 0x00000000FFFFFFFFull) << 32) | (v >> 32);
+  v = ((v & 0x0000FFFF0000FFFFull) << 16) | ((v >> 16) & 0x0000FFFF0000FFFFull);
+  v = ((v & 0x00FF00FF00FF00FFull) << 8) | ((v >> 8) & 0x00FF00FF00FF00FFull);
+  return v;
+}
+
+// -- Writer -----------------------------------------------------------------
+
+class WkbWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void U32(uint32_t v) {
+    char raw[4];
+    std::memcpy(raw, &v, 4);
+    buf_.insert(buf_.end(), raw, raw + 4);
+  }
+
+  void F64(double v) {
+    char raw[8];
+    std::memcpy(raw, &v, 8);
+    buf_.insert(buf_.end(), raw, raw + 8);
+  }
+
+  void Coord(const Coordinate& c) {
+    F64(c.x);
+    F64(c.y);
+  }
+
+  void CoordSeq(const std::vector<Coordinate>& coords) {
+    U32(static_cast<uint32_t>(coords.size()));
+    for (const auto& c : coords) Coord(c);
+  }
+
+  void Header(uint32_t type) {
+    U8(HostOrder());
+    U32(type);
+  }
+
+  void PolygonBody(const PolygonData& poly) {
+    U32(static_cast<uint32_t>(1 + poly.holes.size()));
+    CoordSeq(poly.shell);
+    for (const auto& hole : poly.holes) CoordSeq(hole);
+  }
+
+  std::vector<char> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<char> buf_;
+};
+
+// -- Reader -----------------------------------------------------------------
+
+class WkbReader {
+ public:
+  WkbReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> U8() {
+    if (pos_ + 1 > size_) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > size_) return Truncated();
+    uint32_t v;
+    std::memcpy(&v, data_ + pos_, 4);
+    pos_ += 4;
+    return swap_ ? ByteSwap32(v) : v;
+  }
+
+  Result<double> F64() {
+    if (pos_ + 8 > size_) return Truncated();
+    uint64_t bits;
+    std::memcpy(&bits, data_ + pos_, 8);
+    pos_ += 8;
+    if (swap_) bits = ByteSwap64(bits);
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  Result<Coordinate> Coord() {
+    STARK_ASSIGN_OR_RETURN(double x, F64());
+    STARK_ASSIGN_OR_RETURN(double y, F64());
+    return Coordinate{x, y};
+  }
+
+  Result<std::vector<Coordinate>> CoordSeq() {
+    STARK_ASSIGN_OR_RETURN(uint32_t n, U32());
+    if (static_cast<size_t>(n) * 16 > size_ - pos_) return Truncated();
+    std::vector<Coordinate> coords;
+    coords.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      STARK_ASSIGN_OR_RETURN(Coordinate c, Coord());
+      coords.push_back(c);
+    }
+    return coords;
+  }
+
+  /// Reads the 1-byte order marker + type code of a (nested) geometry.
+  Result<uint32_t> Header() {
+    STARK_ASSIGN_OR_RETURN(uint8_t order, U8());
+    if (order != kLittleEndian && order != kBigEndian) {
+      return Status::ParseError("WKB: bad byte-order marker");
+    }
+    swap_ = order != HostOrder();
+    return U32();
+  }
+
+  Result<PolygonData> PolygonBody() {
+    STARK_ASSIGN_OR_RETURN(uint32_t rings, U32());
+    if (rings == 0) return Status::ParseError("WKB: polygon with 0 rings");
+    PolygonData poly;
+    STARK_ASSIGN_OR_RETURN(poly.shell, CoordSeq());
+    for (uint32_t r = 1; r < rings; ++r) {
+      STARK_ASSIGN_OR_RETURN(Ring hole, CoordSeq());
+      poly.holes.push_back(std::move(hole));
+    }
+    return poly;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Truncated() const {
+    return Status::ParseError("WKB: truncated buffer");
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool swap_ = false;
+};
+
+Result<Geometry> ReadGeometryBody(WkbReader* reader) {
+  STARK_ASSIGN_OR_RETURN(uint32_t type, reader->Header());
+  switch (type) {
+    case kWkbPoint: {
+      STARK_ASSIGN_OR_RETURN(Coordinate c, reader->Coord());
+      return Geometry::MakePoint(c);
+    }
+    case kWkbLineString: {
+      STARK_ASSIGN_OR_RETURN(auto coords, reader->CoordSeq());
+      return Geometry::MakeLineString(std::move(coords));
+    }
+    case kWkbPolygon: {
+      STARK_ASSIGN_OR_RETURN(PolygonData poly, reader->PolygonBody());
+      return Geometry::MakePolygon(std::move(poly.shell),
+                                   std::move(poly.holes));
+    }
+    case kWkbMultiPoint: {
+      STARK_ASSIGN_OR_RETURN(uint32_t n, reader->U32());
+      std::vector<Coordinate> coords;
+      coords.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        // Each member is a full WKB point geometry.
+        STARK_ASSIGN_OR_RETURN(uint32_t member_type, reader->Header());
+        if (member_type != kWkbPoint) {
+          return Status::ParseError("WKB: MULTIPOINT member is not a point");
+        }
+        STARK_ASSIGN_OR_RETURN(Coordinate c, reader->Coord());
+        coords.push_back(c);
+      }
+      return Geometry::MakeMultiPoint(std::move(coords));
+    }
+    case kWkbMultiPolygon: {
+      STARK_ASSIGN_OR_RETURN(uint32_t n, reader->U32());
+      std::vector<PolygonData> polys;
+      polys.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        STARK_ASSIGN_OR_RETURN(uint32_t member_type, reader->Header());
+        if (member_type != kWkbPolygon) {
+          return Status::ParseError(
+              "WKB: MULTIPOLYGON member is not a polygon");
+        }
+        STARK_ASSIGN_OR_RETURN(PolygonData poly, reader->PolygonBody());
+        polys.push_back(std::move(poly));
+      }
+      return Geometry::MakeMultiPolygon(std::move(polys));
+    }
+    default:
+      return Status::ParseError("WKB: unsupported geometry type code " +
+                                std::to_string(type));
+  }
+}
+
+}  // namespace
+
+std::vector<char> WriteWkb(const Geometry& geometry) {
+  WkbWriter writer;
+  switch (geometry.type()) {
+    case GeometryType::kPoint:
+      writer.Header(kWkbPoint);
+      writer.Coord(geometry.AsPoint());
+      break;
+    case GeometryType::kLineString:
+      writer.Header(kWkbLineString);
+      writer.CoordSeq(geometry.coordinates());
+      break;
+    case GeometryType::kPolygon:
+      writer.Header(kWkbPolygon);
+      writer.PolygonBody(geometry.polygons()[0]);
+      break;
+    case GeometryType::kMultiPoint: {
+      writer.Header(kWkbMultiPoint);
+      const auto& coords = geometry.coordinates();
+      writer.U32(static_cast<uint32_t>(coords.size()));
+      for (const auto& c : coords) {
+        writer.Header(kWkbPoint);
+        writer.Coord(c);
+      }
+      break;
+    }
+    case GeometryType::kMultiPolygon: {
+      writer.Header(kWkbMultiPolygon);
+      const auto& polys = geometry.polygons();
+      writer.U32(static_cast<uint32_t>(polys.size()));
+      for (const auto& poly : polys) {
+        writer.Header(kWkbPolygon);
+        writer.PolygonBody(poly);
+      }
+      break;
+    }
+  }
+  return writer.Take();
+}
+
+Result<Geometry> ParseWkb(const char* data, size_t size) {
+  WkbReader reader(data, size);
+  STARK_ASSIGN_OR_RETURN(Geometry geo, ReadGeometryBody(&reader));
+  if (!reader.AtEnd()) {
+    return Status::ParseError("WKB: trailing bytes after geometry");
+  }
+  return geo;
+}
+
+std::string WriteWkbHex(const Geometry& geometry) {
+  static const char* kHex = "0123456789ABCDEF";
+  const std::vector<char> wkb = WriteWkb(geometry);
+  std::string hex;
+  hex.reserve(wkb.size() * 2);
+  for (char byte : wkb) {
+    const auto b = static_cast<unsigned char>(byte);
+    hex.push_back(kHex[b >> 4]);
+    hex.push_back(kHex[b & 0xF]);
+  }
+  return hex;
+}
+
+Result<Geometry> ParseWkbHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::ParseError("WKB hex: odd-length string");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::vector<char> bytes;
+  bytes.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::ParseError("WKB hex: invalid character");
+    }
+    bytes.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return ParseWkb(bytes);
+}
+
+}  // namespace stark

@@ -1,0 +1,35 @@
+/// \file wkb.h
+/// Well-Known Binary reader and writer (OGC SFA 1.2.1, 2-D). JTS — the
+/// geometry library STARK builds on — offers WKB alongside WKT; binary
+/// event feeds and compact persistent storage use it here.
+#ifndef STARK_GEOMETRY_WKB_H_
+#define STARK_GEOMETRY_WKB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/geometry.h"
+
+namespace stark {
+
+/// Serializes \p geometry as little-endian WKB.
+std::vector<char> WriteWkb(const Geometry& geometry);
+
+/// Parses one WKB geometry (either byte order). Supported types: Point,
+/// LineString, Polygon, MultiPoint, MultiPolygon.
+Result<Geometry> ParseWkb(const char* data, size_t size);
+inline Result<Geometry> ParseWkb(const std::vector<char>& buf) {
+  return ParseWkb(buf.data(), buf.size());
+}
+
+/// Hex encoding of WriteWkb (the common textual transport of WKB, e.g. in
+/// CSV columns: "0101000000...").
+std::string WriteWkbHex(const Geometry& geometry);
+
+/// Parses a hex-encoded WKB string.
+Result<Geometry> ParseWkbHex(std::string_view hex);
+
+}  // namespace stark
+
+#endif  // STARK_GEOMETRY_WKB_H_

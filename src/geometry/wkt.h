@@ -1,0 +1,25 @@
+/// \file wkt.h
+/// Well-Known Text reader and writer. STARK programs construct STObjects
+/// from WKT strings (the paper's event schema carries a `wkt` column).
+#ifndef STARK_GEOMETRY_WKT_H_
+#define STARK_GEOMETRY_WKT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "geometry/geometry.h"
+
+namespace stark {
+
+/// Parses one WKT geometry. Supported: POINT, MULTIPOINT (both nesting
+/// styles), LINESTRING, POLYGON, MULTIPOLYGON, and EMPTY variants are
+/// rejected with ParseError (STARK has no empty-geometry semantics).
+Result<Geometry> ParseWkt(std::string_view text);
+
+/// Serializes \p geometry to canonical WKT.
+std::string WriteWkt(const Geometry& geometry);
+
+}  // namespace stark
+
+#endif  // STARK_GEOMETRY_WKT_H_

@@ -1,0 +1,406 @@
+/// \file rtree.h
+/// R-tree index over (Envelope, T) entries, mirroring the JTS STRtree that
+/// STARK uses for partition-local indexing (§2.2). Supports incremental
+/// insertion (live indexing), Sort-Tile-Recursive bulk loading (persistent
+/// indexing / baselines), envelope queries and branch-and-bound kNN.
+#ifndef STARK_INDEX_RTREE_H_
+#define STARK_INDEX_RTREE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/macros.h"
+#include "geometry/envelope.h"
+
+namespace stark {
+
+/// \brief R-tree with a configurable order (maximum children per node),
+/// matching the `order` parameter of STARK's liveIndex/index calls.
+///
+/// Queries return *candidates* whose bounding boxes match; callers must
+/// refine candidates with the exact predicate (the paper's candidate
+/// pruning step).
+template <typename T>
+class RTree {
+ public:
+  /// Creates an empty tree. \p order must be >= 2; it is the maximum number
+  /// of entries/children per node (JTS STRtree node capacity).
+  explicit RTree(size_t order = 10) : order_(std::max<size_t>(order, 2)) {
+    root_ = std::make_unique<Node>(/*leaf=*/true);
+  }
+
+  RTree(RTree&&) noexcept = default;
+  RTree& operator=(RTree&&) noexcept = default;
+  STARK_DISALLOW_COPY_AND_ASSIGN(RTree);
+
+  /// Number of indexed entries.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t order() const { return order_; }
+
+  /// Bounding box of everything in the tree.
+  const Envelope& bounds() const { return root_->env; }
+
+  /// Inserts one entry (classic R-tree insert with quadratic split).
+  void Insert(const Envelope& env, T value) {
+    Node* leaf = ChooseLeaf(root_.get(), env);
+    leaf->entries.push_back(Entry{env, std::move(value)});
+    leaf->env.ExpandToInclude(env);
+    ++size_;
+    HandleOverflow(leaf);
+    // Re-tighten envelopes along the root path cheaply: root envelope.
+    AdjustUpward(leaf, env);
+  }
+
+  /// Bulk-loads entries with the Sort-Tile-Recursive algorithm. Replaces
+  /// the current contents.
+  void BulkLoad(std::vector<std::pair<Envelope, T>> entries) {
+    size_ = entries.size();
+    if (entries.empty()) {
+      root_ = std::make_unique<Node>(/*leaf=*/true);
+      return;
+    }
+    // Build leaves over x-sorted vertical slices, each y-sorted.
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.Center().x < b.first.Center().x;
+              });
+    const size_t leaf_count =
+        (entries.size() + order_ - 1) / order_;
+    const size_t slice_count = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(leaf_count))));
+    const size_t slice_size =
+        (entries.size() + slice_count - 1) / slice_count;
+
+    std::vector<std::unique_ptr<Node>> level;
+    for (size_t s = 0; s < entries.size(); s += slice_size) {
+      const size_t s_end = std::min(s + slice_size, entries.size());
+      std::sort(entries.begin() + s, entries.begin() + s_end,
+                [](const auto& a, const auto& b) {
+                  return a.first.Center().y < b.first.Center().y;
+                });
+      for (size_t i = s; i < s_end; i += order_) {
+        const size_t i_end = std::min(i + order_, s_end);
+        auto leaf = std::make_unique<Node>(/*leaf=*/true);
+        for (size_t j = i; j < i_end; ++j) {
+          leaf->env.ExpandToInclude(entries[j].first);
+          leaf->entries.push_back(
+              Entry{entries[j].first, std::move(entries[j].second)});
+        }
+        level.push_back(std::move(leaf));
+      }
+    }
+    // Pack upper levels until a single root remains.
+    while (level.size() > 1) {
+      std::vector<std::unique_ptr<Node>> next;
+      std::sort(level.begin(), level.end(), [](const auto& a, const auto& b) {
+        return a->env.Center().x < b->env.Center().x;
+      });
+      for (size_t i = 0; i < level.size(); i += order_) {
+        const size_t i_end = std::min(i + order_, level.size());
+        auto parent = std::make_unique<Node>(/*leaf=*/false);
+        for (size_t j = i; j < i_end; ++j) {
+          parent->env.ExpandToInclude(level[j]->env);
+          level[j]->parent = parent.get();
+          parent->children.push_back(std::move(level[j]));
+        }
+        next.push_back(std::move(parent));
+      }
+      level = std::move(next);
+    }
+    root_ = std::move(level.front());
+    root_->parent = nullptr;
+  }
+
+  /// Invokes \p fn for every entry whose envelope intersects \p query.
+  void Query(const Envelope& query,
+             const std::function<void(const Envelope&, const T&)>& fn) const {
+    QueryNode(root_.get(), query, fn);
+  }
+
+  /// Collects pointers to all candidate values for \p query.
+  std::vector<const T*> QueryCandidates(const Envelope& query) const {
+    std::vector<const T*> out;
+    QueryNode(root_.get(), query,
+              [&out](const Envelope&, const T& v) { out.push_back(&v); });
+    return out;
+  }
+
+  /// Invokes \p fn on every entry (tree-order traversal).
+  void ForEach(const std::function<void(const Envelope&, const T&)>& fn) const {
+    ForEachNode(root_.get(), fn);
+  }
+
+  /// \brief Exact k-nearest-neighbor search (branch and bound).
+  ///
+  /// \p exact_distance computes the true distance from the query to an
+  /// entry's value; envelope distance is used as the lower bound for
+  /// pruning, so exact_distance must never be smaller than the distance to
+  /// the entry's envelope.
+  std::vector<std::pair<double, const T*>> Knn(
+      const Coordinate& query, size_t k,
+      const std::function<double(const T&)>& exact_distance) const {
+    std::vector<std::pair<double, const T*>> result;
+    if (k == 0 || size_ == 0) return result;
+
+    struct QueueItem {
+      double dist;
+      const Node* node;    // nullptr when this is an entry
+      const Entry* entry;  // nullptr when this is a node
+      bool operator>(const QueueItem& o) const { return dist > o.dist; }
+    };
+    std::priority_queue<QueueItem, std::vector<QueueItem>,
+                        std::greater<QueueItem>>
+        pq;
+    pq.push({root_->env.Distance(query), root_.get(), nullptr});
+
+    while (!pq.empty() && result.size() < k) {
+      const QueueItem item = pq.top();
+      pq.pop();
+      if (item.entry != nullptr) {
+        // Entries are enqueued with their exact distance, so popping one
+        // means no unexplored node/entry can be closer.
+        result.emplace_back(item.dist, &item.entry->value);
+        continue;
+      }
+      const Node* node = item.node;
+      if (node->leaf) {
+        for (const Entry& e : node->entries) {
+          pq.push({exact_distance(e.value), nullptr, &e});
+        }
+      } else {
+        for (const auto& child : node->children) {
+          pq.push({child->env.Distance(query), child.get(), nullptr});
+        }
+      }
+    }
+    return result;
+  }
+
+  /// Depth of the tree (1 for a root-only tree); exposed for tests.
+  size_t Depth() const {
+    size_t d = 1;
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      ++d;
+      n = n->children.front().get();
+    }
+    return d;
+  }
+
+ private:
+  struct Node;
+
+  struct Entry {
+    Envelope env;
+    T value;
+  };
+
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    Envelope env;
+    bool leaf;
+    Node* parent = nullptr;
+    std::vector<std::unique_ptr<Node>> children;  // when !leaf
+    std::vector<Entry> entries;                   // when leaf
+    size_t FanOut() const { return leaf ? entries.size() : children.size(); }
+  };
+
+  Node* ChooseLeaf(Node* node, const Envelope& env) const {
+    while (!node->leaf) {
+      Node* best = nullptr;
+      double best_enlargement = 0.0;
+      double best_area = 0.0;
+      for (const auto& child : node->children) {
+        Envelope grown = child->env;
+        grown.ExpandToInclude(env);
+        const double enlargement = grown.Area() - child->env.Area();
+        if (best == nullptr || enlargement < best_enlargement ||
+            (enlargement == best_enlargement &&
+             child->env.Area() < best_area)) {
+          best = child.get();
+          best_enlargement = enlargement;
+          best_area = child->env.Area();
+        }
+      }
+      node = best;
+    }
+    return node;
+  }
+
+  void AdjustUpward(Node* node, const Envelope& env) {
+    for (Node* n = node; n != nullptr; n = n->parent) {
+      n->env.ExpandToInclude(env);
+    }
+  }
+
+  void HandleOverflow(Node* node) {
+    while (node != nullptr && node->FanOut() > order_) {
+      Node* parent = node->parent;
+      std::unique_ptr<Node> sibling = SplitNode(node);
+      if (parent == nullptr) {
+        // Grow a new root above the split node.
+        auto new_root = std::make_unique<Node>(/*leaf=*/false);
+        new_root->env = root_->env;
+        sibling->parent = new_root.get();
+        root_->parent = new_root.get();
+        new_root->children.push_back(std::move(root_));
+        new_root->children.push_back(std::move(sibling));
+        root_ = std::move(new_root);
+        RecomputeEnvelope(root_.get());
+        return;
+      }
+      sibling->parent = parent;
+      parent->children.push_back(std::move(sibling));
+      RecomputeEnvelope(parent);
+      node = parent;
+    }
+  }
+
+  /// Quadratic split: moves roughly half of \p node's load into a returned
+  /// sibling, choosing seeds that waste the most area together.
+  std::unique_ptr<Node> SplitNode(Node* node) {
+    auto sibling = std::make_unique<Node>(node->leaf);
+    if (node->leaf) {
+      SplitItems(&node->entries, &sibling->entries,
+                 [](const Entry& e) -> const Envelope& { return e.env; });
+    } else {
+      SplitItems(&node->children, &sibling->children,
+                 [](const std::unique_ptr<Node>& n) -> const Envelope& {
+                   return n->env;
+                 });
+      for (auto& child : sibling->children) child->parent = sibling.get();
+    }
+    RecomputeEnvelope(node);
+    RecomputeEnvelope(sibling.get());
+    return sibling;
+  }
+
+  template <typename Item, typename EnvOf>
+  void SplitItems(std::vector<Item>* left, std::vector<Item>* right,
+                  EnvOf env_of) {
+    std::vector<Item> all = std::move(*left);
+    left->clear();
+    // Pick the two seeds with the largest combined dead area.
+    size_t seed_a = 0;
+    size_t seed_b = 1;
+    double worst = -1.0;
+    for (size_t i = 0; i < all.size(); ++i) {
+      for (size_t j = i + 1; j < all.size(); ++j) {
+        Envelope combined = env_of(all[i]);
+        combined.ExpandToInclude(env_of(all[j]));
+        const double dead =
+            combined.Area() - env_of(all[i]).Area() - env_of(all[j]).Area();
+        if (dead > worst) {
+          worst = dead;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    Envelope env_l = env_of(all[seed_a]);
+    Envelope env_r = env_of(all[seed_b]);
+    const size_t min_fill = (order_ + 1) / 2;
+    std::vector<char> taken(all.size(), 0);
+    taken[seed_a] = taken[seed_b] = 1;
+    left->push_back(std::move(all[seed_a]));
+    right->push_back(std::move(all[seed_b]));
+    size_t remaining = all.size() - 2;
+
+    while (remaining > 0) {
+      // Honor the minimum fill requirement.
+      if (left->size() + remaining == min_fill) {
+        for (size_t i = 0; i < all.size(); ++i) {
+          if (!taken[i]) {
+            left->push_back(std::move(all[i]));
+            taken[i] = 1;
+          }
+        }
+        break;
+      }
+      if (right->size() + remaining == min_fill) {
+        for (size_t i = 0; i < all.size(); ++i) {
+          if (!taken[i]) {
+            right->push_back(std::move(all[i]));
+            taken[i] = 1;
+          }
+        }
+        break;
+      }
+      // Assign the next item to the side needing less enlargement.
+      size_t pick = 0;
+      bool found = false;
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (!taken[i]) {
+          pick = i;
+          found = true;
+          break;
+        }
+      }
+      STARK_DCHECK(found);
+      (void)found;
+      Envelope grow_l = env_l;
+      grow_l.ExpandToInclude(env_of(all[pick]));
+      Envelope grow_r = env_r;
+      grow_r.ExpandToInclude(env_of(all[pick]));
+      const double cost_l = grow_l.Area() - env_l.Area();
+      const double cost_r = grow_r.Area() - env_r.Area();
+      if (cost_l <= cost_r) {
+        left->push_back(std::move(all[pick]));
+        env_l = grow_l;
+      } else {
+        right->push_back(std::move(all[pick]));
+        env_r = grow_r;
+      }
+      taken[pick] = 1;
+      --remaining;
+    }
+  }
+
+  void RecomputeEnvelope(Node* node) {
+    node->env = Envelope();
+    if (node->leaf) {
+      for (const Entry& e : node->entries) node->env.ExpandToInclude(e.env);
+    } else {
+      for (const auto& c : node->children) node->env.ExpandToInclude(c->env);
+    }
+  }
+
+  void QueryNode(const Node* node, const Envelope& query,
+                 const std::function<void(const Envelope&, const T&)>& fn)
+      const {
+    if (!node->env.Intersects(query)) return;
+    if (node->leaf) {
+      for (const Entry& e : node->entries) {
+        if (e.env.Intersects(query)) fn(e.env, e.value);
+      }
+      return;
+    }
+    for (const auto& child : node->children) {
+      QueryNode(child.get(), query, fn);
+    }
+  }
+
+  void ForEachNode(const Node* node,
+                   const std::function<void(const Envelope&, const T&)>& fn)
+      const {
+    if (node->leaf) {
+      for (const Entry& e : node->entries) fn(e.env, e.value);
+      return;
+    }
+    for (const auto& child : node->children) ForEachNode(child.get(), fn);
+  }
+
+  size_t order_;
+  size_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace stark
+
+#endif  // STARK_INDEX_RTREE_H_

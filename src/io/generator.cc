@@ -1,0 +1,140 @@
+#include "io/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace stark {
+
+namespace {
+
+/// Draws cluster centers and returns one skewed coordinate per call.
+class SkewedSampler {
+ public:
+  SkewedSampler(Rng* rng, const Envelope& universe, size_t clusters,
+                double cluster_spread, double noise_fraction)
+      : rng_(rng), universe_(universe), noise_fraction_(noise_fraction),
+        stddev_(cluster_spread * universe.Width()) {
+    centers_.reserve(clusters);
+    for (size_t i = 0; i < clusters; ++i) {
+      centers_.push_back({rng_->Uniform(universe.min_x(), universe.max_x()),
+                          rng_->Uniform(universe.min_y(), universe.max_y())});
+    }
+  }
+
+  Coordinate Next() {
+    if (centers_.empty() || rng_->Bernoulli(noise_fraction_)) {
+      return {rng_->Uniform(universe_.min_x(), universe_.max_x()),
+              rng_->Uniform(universe_.min_y(), universe_.max_y())};
+    }
+    const size_t c = static_cast<size_t>(
+        rng_->UniformInt(0, static_cast<int64_t>(centers_.size()) - 1));
+    Coordinate p{rng_->Normal(centers_[c].x, stddev_),
+                 rng_->Normal(centers_[c].y, stddev_)};
+    p.x = std::clamp(p.x, universe_.min_x(), universe_.max_x());
+    p.y = std::clamp(p.y, universe_.min_y(), universe_.max_y());
+    return p;
+  }
+
+ private:
+  Rng* rng_;
+  Envelope universe_;
+  double noise_fraction_;
+  double stddev_;
+  std::vector<Coordinate> centers_;
+};
+
+}  // namespace
+
+std::vector<STObject> GenerateSkewedPoints(
+    const SkewedPointsOptions& options) {
+  Rng rng(options.seed);
+  SkewedSampler sampler(&rng, options.universe, options.clusters,
+                        options.cluster_spread, options.noise_fraction);
+  std::vector<STObject> out;
+  out.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    const Coordinate c = sampler.Next();
+    out.emplace_back(Geometry::MakePoint(c.x, c.y));
+  }
+  return out;
+}
+
+std::vector<STObject> GenerateUniformPoints(size_t count, uint64_t seed,
+                                            const Envelope& universe) {
+  Rng rng(seed);
+  std::vector<STObject> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.emplace_back(
+        Geometry::MakePoint(rng.Uniform(universe.min_x(), universe.max_x()),
+                            rng.Uniform(universe.min_y(), universe.max_y())));
+  }
+  return out;
+}
+
+std::vector<STObject> GenerateRandomPolygons(const PolygonsOptions& options) {
+  Rng rng(options.seed);
+  std::vector<STObject> out;
+  out.reserve(options.count);
+  constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+  for (size_t i = 0; i < options.count; ++i) {
+    const Coordinate center{
+        rng.Uniform(options.universe.min_x(), options.universe.max_x()),
+        rng.Uniform(options.universe.min_y(), options.universe.max_y())};
+    const double radius =
+        rng.Uniform(options.min_radius, options.max_radius);
+    const size_t vertices = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(options.min_vertices),
+        static_cast<int64_t>(options.max_vertices)));
+    // Sorted random angles around the center yield a simple (star-convex)
+    // polygon without self-intersections.
+    std::vector<double> angles(vertices);
+    for (auto& a : angles) a = rng.Uniform(0.0, kTwoPi);
+    std::sort(angles.begin(), angles.end());
+    Ring shell;
+    shell.reserve(vertices + 1);
+    for (double a : angles) {
+      const double r = radius * rng.Uniform(0.6, 1.0);
+      shell.push_back(
+          {center.x + r * std::cos(a), center.y + r * std::sin(a)});
+    }
+    auto poly = Geometry::MakePolygon(std::move(shell));
+    if (poly.ok()) {
+      out.emplace_back(std::move(poly).ValueOrDie());
+    } else {
+      // Degenerate draw (collinear vertices); retry with a triangle.
+      Ring tri{{center.x - radius, center.y - radius},
+               {center.x + radius, center.y - radius},
+               {center.x, center.y + radius}};
+      out.emplace_back(Geometry::MakePolygon(std::move(tri)).ValueOrDie());
+    }
+  }
+  return out;
+}
+
+std::vector<EventRecord> GenerateEvents(const EventsOptions& options) {
+  Rng rng(options.seed);
+  SkewedSampler sampler(&rng, options.universe, options.clusters,
+                        options.cluster_spread, options.noise_fraction);
+  std::vector<EventRecord> out;
+  out.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    const Coordinate c = sampler.Next();
+    EventRecord rec;
+    rec.id = static_cast<int64_t>(i);
+    rec.category = options.categories.empty()
+                       ? "event"
+                       : options.categories[static_cast<size_t>(rng.UniformInt(
+                             0,
+                             static_cast<int64_t>(options.categories.size()) -
+                                 1))];
+    rec.time = rng.UniformInt(options.time_min, options.time_max);
+    rec.wkt = Geometry::MakePoint(c.x, c.y).ToWkt();
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace stark

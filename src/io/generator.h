@@ -1,0 +1,75 @@
+/// \file generator.h
+/// Synthetic spatio-temporal workload generators. Real event data sets
+/// (Wikipedia events etc.) are not redistributable; these generators
+/// reproduce their relevant statistical properties — above all the skew the
+/// paper motivates ("events only occur on land, but not on sea") that makes
+/// the fixed grid unbalanced and the BSP partitioner shine.
+#ifndef STARK_IO_GENERATOR_H_
+#define STARK_IO_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stobject.h"
+#include "io/csv.h"
+
+namespace stark {
+
+/// Parameters of the clustered ("land-mass") point generator.
+struct SkewedPointsOptions {
+  size_t count = 10'000;
+  uint64_t seed = 42;
+  Envelope universe = Envelope(-180.0, -90.0, 180.0, 90.0);
+  /// Number of dense clusters (population centers).
+  size_t clusters = 12;
+  /// Standard deviation of each cluster, as a fraction of universe width.
+  double cluster_spread = 0.02;
+  /// Fraction of points drawn uniformly over the universe instead.
+  double noise_fraction = 0.05;
+};
+
+/// Skewed point cloud: a mixture of Gaussian clusters plus uniform noise.
+std::vector<STObject> GenerateSkewedPoints(const SkewedPointsOptions& options);
+
+/// Uniform point cloud over \p universe.
+std::vector<STObject> GenerateUniformPoints(size_t count, uint64_t seed,
+                                            const Envelope& universe);
+
+/// Parameters of the polygon generator.
+struct PolygonsOptions {
+  size_t count = 1'000;
+  uint64_t seed = 43;
+  Envelope universe = Envelope(-180.0, -90.0, 180.0, 90.0);
+  /// Radius range of the generated convex polygons.
+  double min_radius = 0.1;
+  double max_radius = 2.0;
+  /// Vertex count range.
+  size_t min_vertices = 4;
+  size_t max_vertices = 12;
+};
+
+/// Random convex polygons (region shapes) scattered over the universe.
+std::vector<STObject> GenerateRandomPolygons(const PolygonsOptions& options);
+
+/// Parameters of the full event-record generator.
+struct EventsOptions {
+  size_t count = 10'000;
+  uint64_t seed = 44;
+  Envelope universe = Envelope(-180.0, -90.0, 180.0, 90.0);
+  size_t clusters = 12;
+  double cluster_spread = 0.02;
+  double noise_fraction = 0.05;
+  int64_t time_min = 0;
+  int64_t time_max = 1'000'000;
+  std::vector<std::string> categories = {"politics", "sports", "culture",
+                                         "disaster", "science"};
+};
+
+/// Full event records with the paper's schema (id, category, time, wkt),
+/// spatially skewed and timestamped; suitable for WriteEventsCsv.
+std::vector<EventRecord> GenerateEvents(const EventsOptions& options);
+
+}  // namespace stark
+
+#endif  // STARK_IO_GENERATOR_H_

@@ -1,0 +1,94 @@
+#include "partition/bsp_partitioner.h"
+
+#include <algorithm>
+
+namespace stark {
+
+BSPartitioner::BSPartitioner(const Envelope& universe,
+                             const std::vector<Coordinate>& centroids,
+                             const Options& options)
+    : options_(options) {
+  STARK_CHECK(!universe.IsEmpty());
+  STARK_CHECK(options.max_cost >= 1);
+  std::vector<Coordinate> items = centroids;
+  root_ = Build(universe, &items);
+  InitExtents();
+}
+
+std::unique_ptr<BSPartitioner::Node> BSPartitioner::Build(
+    const Envelope& box, std::vector<Coordinate>* items) {
+  auto node = std::make_unique<Node>();
+  node->box = box;
+
+  const double longer_side = std::max(box.Width(), box.Height());
+  const bool splittable =
+      items->size() > options_.max_cost &&
+      longer_side > 2.0 * options_.min_side_length;
+  if (!splittable) {
+    node->leaf_id = leaves_.size();
+    leaves_.push_back(box);
+    return node;
+  }
+
+  // Split perpendicular to the longer side at the cost median, so the two
+  // halves carry (approximately) equal cost.
+  const int dim = box.Width() >= box.Height() ? 0 : 1;
+  const size_t mid = items->size() / 2;
+  std::nth_element(items->begin(), items->begin() + mid, items->end(),
+                   [dim](const Coordinate& a, const Coordinate& b) {
+                     return dim == 0 ? a.x < b.x : a.y < b.y;
+                   });
+  double at = dim == 0 ? (*items)[mid].x : (*items)[mid].y;
+  // Keep the split strictly inside the box and honor the granularity
+  // threshold on both sides.
+  const double lo_edge =
+      (dim == 0 ? box.min_x() : box.min_y()) + options_.min_side_length;
+  const double hi_edge =
+      (dim == 0 ? box.max_x() : box.max_y()) - options_.min_side_length;
+  at = std::clamp(at, lo_edge, hi_edge);
+
+  std::vector<Coordinate> lo_items;
+  std::vector<Coordinate> hi_items;
+  lo_items.reserve(mid + 1);
+  hi_items.reserve(items->size() - mid);
+  for (const Coordinate& c : *items) {
+    const double v = dim == 0 ? c.x : c.y;
+    (v < at ? lo_items : hi_items).push_back(c);
+  }
+  items->clear();
+  items->shrink_to_fit();
+
+  // A degenerate split (all items on one side, e.g. identical coordinates)
+  // cannot make progress; stop and emit a leaf.
+  if (lo_items.empty() || hi_items.empty()) {
+    node->leaf_id = leaves_.size();
+    leaves_.push_back(box);
+    return node;
+  }
+
+  node->dim = dim;
+  node->at = at;
+  Envelope lo_box;
+  Envelope hi_box;
+  if (dim == 0) {
+    lo_box = Envelope(box.min_x(), box.min_y(), at, box.max_y());
+    hi_box = Envelope(at, box.min_y(), box.max_x(), box.max_y());
+  } else {
+    lo_box = Envelope(box.min_x(), box.min_y(), box.max_x(), at);
+    hi_box = Envelope(box.min_x(), at, box.max_x(), box.max_y());
+  }
+  node->lo = Build(lo_box, &lo_items);
+  node->hi = Build(hi_box, &hi_items);
+  return node;
+}
+
+size_t BSPartitioner::PartitionFor(const Coordinate& c) const {
+  const Node* node = root_.get();
+  while (!node->IsLeaf()) {
+    const double v = node->dim == 0 ? c.x : c.y;
+    node = v < node->at ? node->lo.get() : node->hi.get();
+  }
+  return node->leaf_id;
+}
+
+}  // namespace stark

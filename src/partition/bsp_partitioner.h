@@ -1,0 +1,73 @@
+/// \file bsp_partitioner.h
+/// Cost-based binary space partitioner (§2.1, after MR-DBSCAN [1]): the
+/// space is recursively split into two halves of (approximately) equal cost
+/// — the number of contained items — until a partition's cost drops below a
+/// threshold or its side length reaches a granularity minimum. Dense
+/// regions therefore end up with many small partitions while sparse regions
+/// stay coarse, fixing the skew problem of the fixed grid.
+#ifndef STARK_PARTITION_BSP_PARTITIONER_H_
+#define STARK_PARTITION_BSP_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace stark {
+
+/// \brief Cost-based binary space partitioning over a set of sample
+/// centroids.
+class BSPartitioner final : public SpatialPartitioner {
+ public:
+  /// Tuning parameters for the recursive split.
+  struct Options {
+    /// Split a region whenever it holds more than this many items.
+    size_t max_cost = 10'000;
+    /// Never split a region whose longer side is <= 2 * min_side_length
+    /// (so each half keeps at least the minimum side length).
+    double min_side_length = 1e-6;
+  };
+
+  /// Builds the partitioner from item centroids (a sample is fine) over the
+  /// given universe. \p universe must cover all centroids ever passed to
+  /// PartitionFor for balanced results (others are routed to the nearest
+  /// leaf).
+  BSPartitioner(const Envelope& universe,
+                const std::vector<Coordinate>& centroids,
+                const Options& options);
+
+  size_t NumPartitions() const override { return leaves_.size(); }
+  size_t PartitionFor(const Coordinate& c) const override;
+  const Envelope& PartitionBounds(size_t i) const override {
+    STARK_DCHECK(i < leaves_.size());
+    return leaves_[i];
+  }
+  std::string Name() const override { return "bsp"; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Node {
+    Envelope box;
+    // Interior node: split along `dim` (0 = x, 1 = y) at `at`.
+    int dim = -1;
+    double at = 0.0;
+    std::unique_ptr<Node> lo;
+    std::unique_ptr<Node> hi;
+    // Leaf: index into leaves_.
+    size_t leaf_id = 0;
+    bool IsLeaf() const { return dim < 0; }
+  };
+
+  std::unique_ptr<Node> Build(const Envelope& box,
+                              std::vector<Coordinate>* items);
+
+  Options options_;
+  std::unique_ptr<Node> root_;
+  std::vector<Envelope> leaves_;
+};
+
+}  // namespace stark
+
+#endif  // STARK_PARTITION_BSP_PARTITIONER_H_

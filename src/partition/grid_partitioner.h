@@ -1,0 +1,54 @@
+/// \file grid_partitioner.h
+/// Fixed grid partitioner (§2.1): the data space is divided into a number
+/// of intervals per dimension, yielding rectangular cells of equal size.
+#ifndef STARK_PARTITION_GRID_PARTITIONER_H_
+#define STARK_PARTITION_GRID_PARTITIONER_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace stark {
+
+/// \brief Equal-size grid over a universe envelope.
+class GridPartitioner final : public SpatialPartitioner {
+ public:
+  /// Divides \p universe into \p cells_x by \p cells_y cells. The universe
+  /// must be non-empty and both cell counts >= 1.
+  GridPartitioner(const Envelope& universe, size_t cells_x, size_t cells_y);
+
+  /// Square grid convenience: \p cells_per_dim intervals per dimension.
+  GridPartitioner(const Envelope& universe, size_t cells_per_dim)
+      : GridPartitioner(universe, cells_per_dim, cells_per_dim) {}
+
+  size_t NumPartitions() const override { return cells_x_ * cells_y_; }
+  size_t PartitionFor(const Coordinate& c) const override;
+  const Envelope& PartitionBounds(size_t i) const override {
+    STARK_DCHECK(i < bounds_.size());
+    return bounds_[i];
+  }
+  std::string Name() const override { return "grid"; }
+
+  size_t cells_x() const { return cells_x_; }
+  size_t cells_y() const { return cells_y_; }
+  const Envelope& universe() const { return universe_; }
+
+  /// Grid cell coordinates of partition \p i.
+  std::pair<size_t, size_t> CellOf(size_t i) const {
+    return {i % cells_x_, i / cells_x_};
+  }
+
+ private:
+  Envelope universe_;
+  size_t cells_x_;
+  size_t cells_y_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<Envelope> bounds_;
+};
+
+}  // namespace stark
+
+#endif  // STARK_PARTITION_GRID_PARTITIONER_H_

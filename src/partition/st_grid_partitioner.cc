@@ -1,0 +1,38 @@
+#include "partition/st_grid_partitioner.h"
+
+namespace stark {
+
+SpatioTemporalGridPartitioner::SpatioTemporalGridPartitioner(
+    const Envelope& universe, size_t cells_per_dim, Instant time_min,
+    Instant time_max, size_t time_buckets)
+    : spatial_(universe, cells_per_dim), time_buckets_(time_buckets),
+      time_min_(time_min), time_max_(time_max) {
+  STARK_CHECK(time_buckets >= 1);
+  STARK_CHECK(time_min <= time_max);
+  bucket_bounds_.reserve(time_buckets_);
+  const int64_t span = time_max_ - time_min_;
+  for (size_t b = 0; b < time_buckets_; ++b) {
+    const Instant lo =
+        time_min_ + span * static_cast<int64_t>(b) /
+                        static_cast<int64_t>(time_buckets_);
+    const Instant hi =
+        b + 1 == time_buckets_
+            ? time_max_
+            : time_min_ + span * static_cast<int64_t>(b + 1) /
+                              static_cast<int64_t>(time_buckets_);
+    bucket_bounds_.emplace_back(lo, hi);
+  }
+  InitExtents();
+}
+
+size_t SpatioTemporalGridPartitioner::BucketOf(Instant t) const {
+  if (t <= time_min_) return 0;
+  if (t >= time_max_) return time_buckets_ - 1;
+  const int64_t span = time_max_ - time_min_;
+  if (span == 0) return 0;
+  const size_t bucket = static_cast<size_t>(
+      static_cast<int64_t>(time_buckets_) * (t - time_min_) / span);
+  return std::min(bucket, time_buckets_ - 1);
+}
+
+}  // namespace stark

@@ -1,0 +1,71 @@
+/// \file st_grid_partitioner.h
+/// Spatio-temporal grid partitioner: the extension the paper leaves as
+/// future work ("in its current version, STARK only considers the spatial
+/// component for partitioning"). Partitions are a spatial grid crossed with
+/// equal-width time buckets, so a query with a temporal window prunes both
+/// by extent and by time.
+#ifndef STARK_PARTITION_ST_GRID_PARTITIONER_H_
+#define STARK_PARTITION_ST_GRID_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "partition/grid_partitioner.h"
+
+namespace stark {
+
+/// \brief Grid over space x time. Partition ids are laid out as
+/// spatial_cell * time_buckets + time_bucket. Objects without a temporal
+/// component land in bucket 0 of their spatial cell (they can never match
+/// a temporally-qualified query, so time pruning remains exact).
+class SpatioTemporalGridPartitioner final : public SpatialPartitioner {
+ public:
+  /// \p universe and \p cells_per_dim define the spatial grid; the time
+  /// axis [time_min, time_max] is split into \p time_buckets equal buckets.
+  SpatioTemporalGridPartitioner(const Envelope& universe, size_t cells_per_dim,
+                                Instant time_min, Instant time_max,
+                                size_t time_buckets);
+
+  size_t NumPartitions() const override {
+    return spatial_.NumPartitions() * time_buckets_;
+  }
+
+  /// Spatial-only assignment: bucket 0 of the spatial cell.
+  size_t PartitionFor(const Coordinate& c) const override {
+    return spatial_.PartitionFor(c) * time_buckets_;
+  }
+
+  size_t PartitionForST(
+      const Coordinate& c,
+      const std::optional<TemporalInterval>& time) const override {
+    const size_t bucket = time.has_value() ? BucketOf(time->Center()) : 0;
+    return spatial_.PartitionFor(c) * time_buckets_ + bucket;
+  }
+
+  const Envelope& PartitionBounds(size_t i) const override {
+    return spatial_.PartitionBounds(i / time_buckets_);
+  }
+
+  std::optional<TemporalInterval> PartitionTimeBounds(size_t i) const override {
+    const size_t bucket = i % time_buckets_;
+    return bucket_bounds_[bucket];
+  }
+
+  std::string Name() const override { return "st-grid"; }
+
+  size_t time_buckets() const { return time_buckets_; }
+
+  /// Time bucket index for an instant (clamped into range).
+  size_t BucketOf(Instant t) const;
+
+ private:
+  GridPartitioner spatial_;
+  size_t time_buckets_;
+  Instant time_min_;
+  Instant time_max_;
+  std::vector<TemporalInterval> bucket_bounds_;
+};
+
+}  // namespace stark
+
+#endif  // STARK_PARTITION_ST_GRID_PARTITIONER_H_

@@ -1,0 +1,139 @@
+#include "piglet/explain.h"
+
+#include <cstdio>
+
+namespace stark {
+namespace piglet {
+
+namespace {
+
+std::string FormatNumber(double v) {
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+std::string FormatLiteral(const PigValue& v) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return std::to_string(std::get<int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) {
+    return FormatNumber(std::get<double>(v));
+  }
+  return "'" + std::get<std::string>(v) + "'";
+}
+
+std::string PredicateKeyword(PredicateType pred) {
+  switch (pred) {
+    case PredicateType::kIntersects: return "INTERSECTS";
+    case PredicateType::kContains: return "CONTAINS";
+    case PredicateType::kContainedBy: return "CONTAINEDBY";
+    case PredicateType::kWithinDistance: return "WITHINDISTANCE";
+  }
+  return "?";
+}
+
+std::string FormatSpatialPred(const Expr& e) {
+  std::string out = PredicateKeyword(e.pred);
+  out += "('" + e.query->geo().ToWkt() + "'";
+  if (e.pred == PredicateType::kWithinDistance) {
+    out += ", " + FormatNumber(e.max_distance);
+  }
+  if (e.query->HasTime()) {
+    out += ", " + std::to_string(e.query->time()->start()) + ", " +
+           std::to_string(e.query->time()->end());
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string FormatExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kCompare:
+      return expr.column + " " + expr.op + " " + FormatLiteral(expr.literal);
+    case Expr::Kind::kAnd:
+      return "(" + FormatExpr(*expr.lhs) + " AND " + FormatExpr(*expr.rhs) +
+             ")";
+    case Expr::Kind::kOr:
+      return "(" + FormatExpr(*expr.lhs) + " OR " + FormatExpr(*expr.rhs) +
+             ")";
+    case Expr::Kind::kNot:
+      return "NOT " + FormatExpr(*expr.lhs);
+    case Expr::Kind::kSpatialPred:
+      return FormatSpatialPred(expr);
+  }
+  return "?";
+}
+
+std::string FormatStatement(const Statement& s) {
+  switch (s.kind) {
+    case Statement::Kind::kLoad:
+      return s.target + " = LOAD '" + s.path + "';";
+    case Statement::Kind::kSpatialize:
+      return s.target + " = SPATIALIZE " + s.input + ";";
+    case Statement::Kind::kFilter:
+      return s.target + " = FILTER " + s.input + " BY " +
+             FormatExpr(*s.filter) + ";";
+    case Statement::Kind::kPartition: {
+      std::string out = s.target + " = PARTITION " + s.input + " BY " +
+                        (s.partitioner == PartitionerKind::kGrid ? "GRID"
+                                                                 : "BSP") +
+                        "(" + FormatNumber(s.partitioner_param) + ")";
+      if (s.time_buckets > 0) {
+        out += " TIME(" + std::to_string(s.time_buckets) + ")";
+      }
+      return out + ";";
+    }
+    case Statement::Kind::kIndex:
+      return s.target + " = INDEX " + s.input + " ORDER " +
+             std::to_string(s.index_order) + ";";
+    case Statement::Kind::kJoin: {
+      std::string out = s.target + " = JOIN " + s.input + ", " + s.input2 +
+                        " ON " + PredicateKeyword(s.join_pred);
+      if (s.join_pred == PredicateType::kWithinDistance) {
+        out += "(" + FormatNumber(s.join_distance) + ")";
+      }
+      return out + ";";
+    }
+    case Statement::Kind::kKnn:
+      return s.target + " = KNN " + s.input + " QUERY '" +
+             s.knn_query->geo().ToWkt() + "' K " + std::to_string(s.knn_k) +
+             ";";
+    case Statement::Kind::kCluster:
+      return s.target + " = CLUSTER " + s.input + " USING DBSCAN(" +
+             FormatNumber(s.dbscan_eps) + ", " +
+             std::to_string(s.dbscan_min_pts) + ") GRID " +
+             std::to_string(s.cluster_grid) + ";";
+    case Statement::Kind::kAggregate:
+      return s.target + " = AGGREGATE " + s.input + " BY " +
+             s.aggregate_column + " COUNT;";
+    case Statement::Kind::kLimit:
+      return s.target + " = LIMIT " + s.input + " " +
+             std::to_string(s.limit) + ";";
+    case Statement::Kind::kDump:
+      return "DUMP " + s.input + ";";
+    case Statement::Kind::kStore:
+      return "STORE " + s.input + " INTO '" + s.path + "';";
+    case Statement::Kind::kDescribe:
+      return "DESCRIBE " + s.input + ";";
+  }
+  return "?;";
+}
+
+std::string FormatProgram(const Program& program) {
+  std::string out;
+  for (const Statement& s : program.statements) {
+    out += FormatStatement(s);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace piglet
+}  // namespace stark

@@ -1,0 +1,27 @@
+/// \file explain.h
+/// Pretty-printer for Piglet programs — the EXPLAIN facility: renders a
+/// parsed (or optimized) program back to canonical statement text so users
+/// and tests can inspect what the optimizer did.
+#ifndef STARK_PIGLET_EXPLAIN_H_
+#define STARK_PIGLET_EXPLAIN_H_
+
+#include <string>
+
+#include "piglet/ast.h"
+
+namespace stark {
+namespace piglet {
+
+/// Canonical one-line rendering of an expression.
+std::string FormatExpr(const Expr& expr);
+
+/// Canonical one-line rendering of a statement (with trailing ';').
+std::string FormatStatement(const Statement& stmt);
+
+/// Renders the whole program, one statement per line.
+std::string FormatProgram(const Program& program);
+
+}  // namespace piglet
+}  // namespace stark
+
+#endif  // STARK_PIGLET_EXPLAIN_H_

@@ -1,0 +1,605 @@
+#include "piglet/interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <set>
+
+#include "clustering/distributed_dbscan.h"
+#include "engine/pair_rdd.h"
+#include "io/csv.h"
+#include "partition/bsp_partitioner.h"
+#include "partition/grid_partitioner.h"
+#include "partition/st_grid_partitioner.h"
+#include "piglet/parser.h"
+#include "spatial_rdd/join.h"
+#include "spatial_rdd/spatial_rdd.h"
+
+namespace stark {
+namespace piglet {
+
+namespace {
+
+/// Evaluates a comparison between a field value and a literal. Numeric
+/// types compare numerically; strings compare lexically; a string/number
+/// mismatch never matches.
+bool CompareValues(const PigValue& field, const std::string& op,
+                   const PigValue& literal) {
+  const bool field_str = std::holds_alternative<std::string>(field);
+  const bool lit_str = std::holds_alternative<std::string>(literal);
+  if (field_str != lit_str) return false;
+  int cmp;
+  if (field_str) {
+    cmp = std::get<std::string>(field).compare(std::get<std::string>(literal));
+  } else {
+    auto as_double = [](const PigValue& v) {
+      return std::holds_alternative<int64_t>(v)
+                 ? static_cast<double>(std::get<int64_t>(v))
+                 : std::get<double>(v);
+    };
+    const double a = as_double(field);
+    const double b = as_double(literal);
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (op == "==") return cmp == 0;
+  if (op == "!=") return cmp != 0;
+  if (op == "<") return cmp < 0;
+  if (op == "<=") return cmp <= 0;
+  if (op == ">") return cmp > 0;
+  return cmp >= 0;  // ">="
+}
+
+/// Finds a column index in a schema.
+Result<size_t> ColumnIndex(const std::vector<std::string>& schema,
+                           const std::string& name) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == name) return i;
+  }
+  return Status::KeyError("piglet: unknown column '" + name + "'");
+}
+
+/// Validates that every column referenced by \p expr exists in \p schema
+/// and that spatial predicates are only used on spatialized relations.
+Status ValidateExpr(const Expr& expr, const std::vector<std::string>& schema,
+                    bool spatialized) {
+  switch (expr.kind) {
+    case Expr::Kind::kCompare:
+      return ColumnIndex(schema, expr.column).status();
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      STARK_RETURN_NOT_OK(ValidateExpr(*expr.lhs, schema, spatialized));
+      return ValidateExpr(*expr.rhs, schema, spatialized);
+    case Expr::Kind::kNot:
+      return ValidateExpr(*expr.lhs, schema, spatialized);
+    case Expr::Kind::kSpatialPred:
+      if (!spatialized) {
+        return Status::InvalidArgument(
+            "piglet: spatial predicate on a relation without STObject key; "
+            "apply SPATIALIZE first");
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+/// Row-level expression evaluation (all names resolved beforehand).
+bool EvalExpr(const Expr& expr, const PigRow& row,
+              const std::vector<std::string>& schema) {
+  switch (expr.kind) {
+    case Expr::Kind::kCompare: {
+      auto idx = ColumnIndex(schema, expr.column);
+      if (!idx.ok()) return false;
+      return CompareValues(row.fields[idx.ValueOrDie()], expr.op,
+                           expr.literal);
+    }
+    case Expr::Kind::kAnd:
+      return EvalExpr(*expr.lhs, row, schema) &&
+             EvalExpr(*expr.rhs, row, schema);
+    case Expr::Kind::kOr:
+      return EvalExpr(*expr.lhs, row, schema) ||
+             EvalExpr(*expr.rhs, row, schema);
+    case Expr::Kind::kNot:
+      return !EvalExpr(*expr.lhs, row, schema);
+    case Expr::Kind::kSpatialPred: {
+      if (!row.st.has_value()) return false;
+      JoinPredicate pred;
+      pred.type = expr.pred;
+      pred.max_distance = expr.max_distance;
+      return pred.Eval(*row.st, *expr.query);
+    }
+  }
+  return false;
+}
+
+/// Universe envelope of a spatialized relation.
+Envelope UniverseOf(const RDD<PigRow>& rdd) {
+  // Envelope is a monoid under ExpandToInclude, so map + fold suffices.
+  return rdd
+      .Map([](PigRow& row) {
+        return row.st.has_value() ? row.st->envelope() : Envelope();
+      })
+      .Fold(Envelope(), [](Envelope acc, const Envelope& env) {
+        acc.ExpandToInclude(env);
+        return acc;
+      });
+}
+
+std::string FormatRow(const PigRow& row) {
+  std::string line;
+  for (size_t i = 0; i < row.fields.size(); ++i) {
+    if (i > 0) line += ", ";
+    line += FormatPigValue(row.fields[i]);
+  }
+  if (row.st.has_value()) {
+    line += " | " + row.st->ToString();
+  }
+  return line;
+}
+
+}  // namespace
+
+std::string FormatPigValue(const PigValue& value) {
+  if (std::holds_alternative<int64_t>(value)) {
+    return std::to_string(std::get<int64_t>(value));
+  }
+  if (std::holds_alternative<double>(value)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", std::get<double>(value));
+    return buf;
+  }
+  return std::get<std::string>(value);
+}
+
+Interpreter::Interpreter(Context* ctx, std::ostream* out)
+    : ctx_(ctx), out_(out) {}
+
+Status Interpreter::RunScript(const std::string& source) {
+  STARK_ASSIGN_OR_RETURN(Program program, Parse(source));
+  return Run(program);
+}
+
+Status Interpreter::RunScriptOptimized(const std::string& source,
+                                       OptimizerReport* report) {
+  STARK_ASSIGN_OR_RETURN(Program program, Parse(source));
+  return Run(Optimize(program, report));
+}
+
+Status Interpreter::Run(const Program& program) {
+  for (const Statement& stmt : program.statements) {
+    STARK_RETURN_NOT_OK(Execute(stmt));
+  }
+  return Status::OK();
+}
+
+Result<const PigRelation*> Interpreter::relation(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::KeyError("piglet: unknown relation '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<const PigRelation*> Interpreter::Input(const Statement& stmt) const {
+  return relation(stmt.input);
+}
+
+Status Interpreter::Execute(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kLoad: {
+      STARK_ASSIGN_OR_RETURN(PigRelation rel, ExecLoad(stmt));
+      relations_[stmt.target] = std::move(rel);
+      return Status::OK();
+    }
+    case Statement::Kind::kSpatialize: {
+      STARK_ASSIGN_OR_RETURN(PigRelation rel, ExecSpatialize(stmt));
+      relations_[stmt.target] = std::move(rel);
+      return Status::OK();
+    }
+    case Statement::Kind::kFilter: {
+      STARK_ASSIGN_OR_RETURN(PigRelation rel, ExecFilter(stmt));
+      relations_[stmt.target] = std::move(rel);
+      return Status::OK();
+    }
+    case Statement::Kind::kPartition: {
+      STARK_ASSIGN_OR_RETURN(PigRelation rel, ExecPartition(stmt));
+      relations_[stmt.target] = std::move(rel);
+      return Status::OK();
+    }
+    case Statement::Kind::kIndex: {
+      STARK_ASSIGN_OR_RETURN(const PigRelation* in, Input(stmt));
+      if (!in->spatialized) {
+        return Status::InvalidArgument(
+            "piglet: INDEX requires a spatialized relation");
+      }
+      PigRelation rel = *in;
+      rel.index_order = stmt.index_order;
+      relations_[stmt.target] = std::move(rel);
+      return Status::OK();
+    }
+    case Statement::Kind::kJoin: {
+      STARK_ASSIGN_OR_RETURN(PigRelation rel, ExecJoin(stmt));
+      relations_[stmt.target] = std::move(rel);
+      return Status::OK();
+    }
+    case Statement::Kind::kKnn: {
+      STARK_ASSIGN_OR_RETURN(PigRelation rel, ExecKnn(stmt));
+      relations_[stmt.target] = std::move(rel);
+      return Status::OK();
+    }
+    case Statement::Kind::kCluster: {
+      STARK_ASSIGN_OR_RETURN(PigRelation rel, ExecCluster(stmt));
+      relations_[stmt.target] = std::move(rel);
+      return Status::OK();
+    }
+    case Statement::Kind::kAggregate: {
+      STARK_ASSIGN_OR_RETURN(PigRelation rel, ExecAggregate(stmt));
+      relations_[stmt.target] = std::move(rel);
+      return Status::OK();
+    }
+    case Statement::Kind::kLimit: {
+      STARK_ASSIGN_OR_RETURN(const PigRelation* in, Input(stmt));
+      PigRelation rel = *in;
+      std::vector<PigRow> rows = in->rdd.Take(stmt.limit);
+      rel.rdd = MakeRDD(ctx_, std::move(rows), 1);
+      rel.partitioner = nullptr;
+      relations_[stmt.target] = std::move(rel);
+      return Status::OK();
+    }
+    case Statement::Kind::kDump:
+      return ExecDump(stmt);
+    case Statement::Kind::kStore:
+      return ExecStore(stmt);
+    case Statement::Kind::kDescribe:
+      return ExecDescribe(stmt);
+  }
+  return Status::UnknownError("piglet: unhandled statement");
+}
+
+Result<PigRelation> Interpreter::ExecLoad(const Statement& stmt) {
+  STARK_ASSIGN_OR_RETURN(std::vector<EventRecord> records,
+                         ReadEventsCsv(stmt.path));
+  std::vector<PigRow> rows;
+  rows.reserve(records.size());
+  for (EventRecord& rec : records) {
+    PigRow row;
+    row.fields = {rec.id, std::move(rec.category), rec.time,
+                  std::move(rec.wkt)};
+    rows.push_back(std::move(row));
+  }
+  PigRelation rel;
+  rel.schema = {"id", "category", "time", "wkt"};
+  rel.rdd = MakeRDD(ctx_, std::move(rows));
+  return rel;
+}
+
+Result<PigRelation> Interpreter::ExecSpatialize(const Statement& stmt) {
+  STARK_ASSIGN_OR_RETURN(const PigRelation* in, Input(stmt));
+  STARK_ASSIGN_OR_RETURN(size_t wkt_idx, ColumnIndex(in->schema, "wkt"));
+  STARK_ASSIGN_OR_RETURN(size_t time_idx, ColumnIndex(in->schema, "time"));
+
+  // Eagerly spatialize so WKT errors surface here, not inside a later
+  // lazy evaluation.
+  std::vector<PigRow> rows = in->rdd.Collect();
+  for (PigRow& row : rows) {
+    if (!std::holds_alternative<std::string>(row.fields[wkt_idx])) {
+      return Status::InvalidArgument("piglet: wkt column is not a string");
+    }
+    if (!std::holds_alternative<int64_t>(row.fields[time_idx])) {
+      return Status::InvalidArgument("piglet: time column is not an integer");
+    }
+    STARK_ASSIGN_OR_RETURN(
+        STObject obj,
+        STObject::FromWkt(std::get<std::string>(row.fields[wkt_idx]),
+                          std::get<int64_t>(row.fields[time_idx])));
+    row.st = std::move(obj);
+  }
+  PigRelation rel;
+  rel.schema = in->schema;
+  rel.rdd = MakeRDD(ctx_, std::move(rows));
+  rel.spatialized = true;
+  return rel;
+}
+
+Result<PigRelation> Interpreter::ExecFilter(const Statement& stmt) {
+  STARK_ASSIGN_OR_RETURN(const PigRelation* in, Input(stmt));
+  STARK_RETURN_NOT_OK(
+      ValidateExpr(*stmt.filter, in->schema, in->spatialized));
+
+  PigRelation rel = *in;
+
+  // A pure spatial predicate goes through the SpatialRDD operator so that
+  // partition pruning and live indexing apply (§2.2, §2.3).
+  if (stmt.filter->kind == Expr::Kind::kSpatialPred) {
+    const Expr& e = *stmt.filter;
+    JoinPredicate pred;
+    pred.type = e.pred;
+    pred.max_distance = e.max_distance;
+
+    RDD<std::pair<STObject, PigRow>> pairs =
+        in->rdd.Map([](PigRow& row) {
+          STObject key = *row.st;
+          return std::make_pair(std::move(key), std::move(row));
+        });
+    SpatialRDD<PigRow> spatial(std::move(pairs), in->partitioner);
+    RDD<std::pair<STObject, PigRow>> filtered =
+        in->index_order > 0
+            ? spatial.LiveIndex(in->index_order).Filter(*e.query, pred)
+            : spatial.Filter(*e.query, pred);
+    rel.rdd = filtered.Map([](std::pair<STObject, PigRow>& p) {
+      PigRow row = std::move(p.second);
+      row.st = std::move(p.first);
+      return row;
+    });
+    return rel;
+  }
+
+  // General expression: per-row evaluation (schema captured by value).
+  const Expr* expr = stmt.filter.get();
+  const std::vector<std::string> schema = in->schema;
+  // The Expr lives in the Program owned by the caller; relations built from
+  // it are materialized before Run() returns, so evaluate eagerly to avoid
+  // dangling references in the lazy lineage.
+  std::vector<PigRow> rows = in->rdd.Collect();
+  std::vector<PigRow> kept;
+  for (PigRow& row : rows) {
+    if (EvalExpr(*expr, row, schema)) kept.push_back(std::move(row));
+  }
+  rel.rdd = MakeRDD(ctx_, std::move(kept));
+  rel.partitioner = nullptr;
+  return rel;
+}
+
+Result<PigRelation> Interpreter::ExecPartition(const Statement& stmt) {
+  STARK_ASSIGN_OR_RETURN(const PigRelation* in, Input(stmt));
+  if (!in->spatialized) {
+    return Status::InvalidArgument(
+        "piglet: PARTITION requires a spatialized relation");
+  }
+  RDD<std::pair<STObject, PigRow>> pairs = in->rdd.Map([](PigRow& row) {
+    STObject key = *row.st;
+    return std::make_pair(std::move(key), std::move(row));
+  });
+  SpatialRDD<PigRow> spatial(pairs.Cache());
+
+  const Envelope universe = UniverseOf(in->rdd);
+  if (universe.IsEmpty()) {
+    return Status::InvalidArgument("piglet: cannot partition empty relation");
+  }
+  std::shared_ptr<SpatialPartitioner> partitioner;
+  if (stmt.partitioner == PartitionerKind::kGrid) {
+    const size_t cells =
+        std::max<size_t>(1, static_cast<size_t>(stmt.partitioner_param));
+    const Envelope grown = universe.Expanded(universe.Width() * 1e-9 + 1e-9);
+    if (stmt.time_buckets > 0) {
+      // Spatio-temporal grid over the data's observed time range.
+      Instant t_min = std::numeric_limits<Instant>::max();
+      Instant t_max = std::numeric_limits<Instant>::min();
+      for (const auto& [st, row] : spatial.rdd().Collect()) {
+        if (st.HasTime()) {
+          t_min = std::min(t_min, st.time()->start());
+          t_max = std::max(t_max, st.time()->end());
+        }
+      }
+      if (t_min > t_max) {
+        return Status::InvalidArgument(
+            "piglet: TIME partitioning needs temporal data");
+      }
+      partitioner = std::make_shared<SpatioTemporalGridPartitioner>(
+          grown, cells, t_min, t_max, stmt.time_buckets);
+    } else {
+      partitioner = std::make_shared<GridPartitioner>(grown, cells);
+    }
+  } else {
+    std::vector<Coordinate> centroids;
+    for (const auto& [st, row] : spatial.rdd().Collect()) {
+      centroids.push_back(st.Centroid());
+    }
+    BSPartitioner::Options options;
+    options.max_cost =
+        std::max<size_t>(1, static_cast<size_t>(stmt.partitioner_param));
+    partitioner = std::make_shared<BSPartitioner>(
+        universe.Expanded(universe.Width() * 1e-9 + 1e-9), centroids,
+        options);
+  }
+  SpatialRDD<PigRow> parted = spatial.PartitionBy(partitioner);
+
+  PigRelation rel;
+  rel.schema = in->schema;
+  rel.spatialized = true;
+  rel.index_order = in->index_order;
+  rel.partitioner = partitioner;
+  rel.rdd = parted.rdd().Map([](std::pair<STObject, PigRow>& p) {
+    PigRow row = std::move(p.second);
+    row.st = std::move(p.first);
+    return row;
+  }).Cache();
+  // Force materialization now so the shuffle happens once.
+  rel.rdd.Count();
+  return rel;
+}
+
+Result<PigRelation> Interpreter::ExecJoin(const Statement& stmt) {
+  STARK_ASSIGN_OR_RETURN(const PigRelation* left, relation(stmt.input));
+  STARK_ASSIGN_OR_RETURN(const PigRelation* right, relation(stmt.input2));
+  if (!left->spatialized || !right->spatialized) {
+    return Status::InvalidArgument(
+        "piglet: JOIN requires spatialized relations on both sides");
+  }
+  auto lift = [](const PigRelation& r) {
+    return SpatialRDD<PigRow>(r.rdd.Map([](PigRow& row) {
+      STObject key = *row.st;
+      return std::make_pair(std::move(key), std::move(row));
+    }),
+                              r.partitioner);
+  };
+  JoinPredicate pred;
+  pred.type = stmt.join_pred;
+  pred.max_distance = stmt.join_distance;
+
+  auto joined = SpatialJoin(lift(*left), lift(*right), pred);
+
+  PigRelation rel;
+  rel.spatialized = true;
+  rel.schema = left->schema;
+  for (const std::string& name : right->schema) {
+    rel.schema.push_back("right_" + name);
+  }
+  rel.rdd = joined.Map(
+      [](std::pair<std::pair<STObject, PigRow>,
+                   std::pair<STObject, PigRow>>& p) {
+        PigRow row = std::move(p.first.second);
+        row.st = std::move(p.first.first);
+        for (PigValue& v : p.second.second.fields) {
+          row.fields.push_back(std::move(v));
+        }
+        return row;
+      });
+  return rel;
+}
+
+Result<PigRelation> Interpreter::ExecKnn(const Statement& stmt) {
+  STARK_ASSIGN_OR_RETURN(const PigRelation* in, Input(stmt));
+  if (!in->spatialized) {
+    return Status::InvalidArgument(
+        "piglet: KNN requires a spatialized relation");
+  }
+  SpatialRDD<PigRow> spatial(in->rdd.Map([](PigRow& row) {
+    STObject key = *row.st;
+    return std::make_pair(std::move(key), std::move(row));
+  }),
+                             in->partitioner);
+  auto hits = spatial.Knn(*stmt.knn_query, stmt.knn_k);
+
+  std::vector<PigRow> rows;
+  rows.reserve(hits.size());
+  for (auto& [dist, elem] : hits) {
+    PigRow row = std::move(elem.second);
+    row.st = std::move(elem.first);
+    row.fields.push_back(dist);
+    rows.push_back(std::move(row));
+  }
+  PigRelation rel;
+  rel.spatialized = true;
+  rel.schema = in->schema;
+  rel.schema.push_back("knn_distance");
+  rel.rdd = MakeRDD(ctx_, std::move(rows), 1);
+  return rel;
+}
+
+Result<PigRelation> Interpreter::ExecCluster(const Statement& stmt) {
+  STARK_ASSIGN_OR_RETURN(const PigRelation* in, Input(stmt));
+  if (!in->spatialized) {
+    return Status::InvalidArgument(
+        "piglet: CLUSTER requires a spatialized relation");
+  }
+  const Envelope universe = UniverseOf(in->rdd);
+  if (universe.IsEmpty()) {
+    return Status::InvalidArgument("piglet: cannot cluster empty relation");
+  }
+  auto grid = std::make_shared<GridPartitioner>(
+      universe.Expanded(universe.Width() * 1e-9 + 1e-9), stmt.cluster_grid);
+  SpatialRDD<PigRow> spatial(in->rdd.Map([](PigRow& row) {
+    STObject key = *row.st;
+    return std::make_pair(std::move(key), std::move(row));
+  }));
+  DbscanParams params{stmt.dbscan_eps, stmt.dbscan_min_pts};
+  auto clustered = DistributedDbscan(spatial, params, grid);
+
+  PigRelation rel;
+  rel.spatialized = true;
+  rel.schema = in->schema;
+  rel.schema.push_back("cluster");
+  rel.partitioner = grid;
+  rel.rdd = clustered.Map(
+      [](std::pair<std::pair<STObject, PigRow>, int64_t>& p) {
+        PigRow row = std::move(p.first.second);
+        row.st = std::move(p.first.first);
+        row.fields.push_back(p.second);
+        return row;
+      });
+  return rel;
+}
+
+Result<PigRelation> Interpreter::ExecAggregate(const Statement& stmt) {
+  STARK_ASSIGN_OR_RETURN(const PigRelation* in, Input(stmt));
+  STARK_ASSIGN_OR_RETURN(size_t col,
+                         ColumnIndex(in->schema, stmt.aggregate_column));
+  // GROUP BY column + COUNT as a distributed reduceByKey (with map-side
+  // combining), then sorted by key for deterministic output.
+  RDD<std::pair<std::string, int64_t>> keyed =
+      in->rdd.Map([col](PigRow& row) {
+        return std::pair<std::string, int64_t>(
+            FormatPigValue(row.fields[col]), 1);
+      });
+  auto counts = ReduceByKey(keyed, [](int64_t a, int64_t b) { return a + b; })
+                    .Collect();
+  std::sort(counts.begin(), counts.end());
+  std::vector<PigRow> rows;
+  rows.reserve(counts.size());
+  for (auto& [key, count] : counts) {
+    PigRow row;
+    row.fields = {key, count};
+    rows.push_back(std::move(row));
+  }
+  PigRelation rel;
+  rel.schema = {stmt.aggregate_column, "count"};
+  rel.rdd = MakeRDD(ctx_, std::move(rows), 1);
+  return rel;
+}
+
+Status Interpreter::ExecDump(const Statement& stmt) {
+  STARK_ASSIGN_OR_RETURN(const PigRelation* in, Input(stmt));
+  for (const PigRow& row : in->rdd.Collect()) {
+    (*out_) << "(" << FormatRow(row) << ")\n";
+  }
+  return Status::OK();
+}
+
+Status Interpreter::ExecStore(const Statement& stmt) {
+  STARK_ASSIGN_OR_RETURN(const PigRelation* in, Input(stmt));
+  std::string text;
+  for (const PigRow& row : in->rdd.Collect()) {
+    for (size_t i = 0; i < row.fields.size(); ++i) {
+      if (i > 0) text += ',';
+      std::string field = FormatPigValue(row.fields[i]);
+      if (field.find_first_of(",\"\n") != std::string::npos) {
+        std::string quoted = "\"";
+        for (char c : field) {
+          if (c == '"') quoted += '"';
+          quoted += c;
+        }
+        quoted += '"';
+        field = std::move(quoted);
+      }
+      text += field;
+    }
+    text += '\n';
+  }
+  return WriteFileBytes(stmt.path,
+                        std::vector<char>(text.begin(), text.end()));
+}
+
+Status Interpreter::ExecDescribe(const Statement& stmt) {
+  STARK_ASSIGN_OR_RETURN(const PigRelation* in, Input(stmt));
+  (*out_) << stmt.input << ": (";
+  for (size_t i = 0; i < in->schema.size(); ++i) {
+    if (i > 0) (*out_) << ", ";
+    (*out_) << in->schema[i];
+  }
+  (*out_) << ")";
+  if (in->spatialized) (*out_) << " spatialized";
+  if (in->partitioner) {
+    (*out_) << " partitioned=" << in->partitioner->Name() << "("
+            << in->partitioner->NumPartitions() << ")";
+  }
+  if (in->index_order > 0) (*out_) << " index_order=" << in->index_order;
+  (*out_) << "\n";
+  return Status::OK();
+}
+
+}  // namespace piglet
+}  // namespace stark

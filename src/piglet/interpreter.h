@@ -1,0 +1,89 @@
+/// \file interpreter.h
+/// Executes Piglet programs over the sparklet engine and the STARK spatial
+/// operators — the C++ counterpart of the Piglet engine demoed in §4.
+#ifndef STARK_PIGLET_INTERPRETER_H_
+#define STARK_PIGLET_INTERPRETER_H_
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/rdd.h"
+#include "partition/partitioner.h"
+#include "piglet/ast.h"
+#include "piglet/optimizer.h"
+
+namespace stark {
+namespace piglet {
+
+/// One tuple flowing through a Piglet pipeline: dynamic fields plus the
+/// optional spatio-temporal key created by SPATIALIZE.
+struct PigRow {
+  std::vector<PigValue> fields;
+  std::optional<STObject> st;
+};
+
+/// A named relation: schema, data, and spatial execution metadata.
+struct PigRelation {
+  std::vector<std::string> schema;
+  RDD<PigRow> rdd;
+  std::shared_ptr<SpatialPartitioner> partitioner;
+  /// Live-index order for spatial filters; 0 = no indexing (§2.2).
+  size_t index_order = 0;
+  bool spatialized = false;
+};
+
+/// Renders one field value ("42", "3.5", "text").
+std::string FormatPigValue(const PigValue& value);
+
+/// \brief Interprets Piglet statements against a Context.
+///
+/// DUMP/DESCRIBE output goes to the stream passed at construction, so tests
+/// and the web-frontend substitute (the CLI example) can capture it.
+class Interpreter {
+ public:
+  Interpreter(Context* ctx, std::ostream* out);
+
+  /// Parses and runs a full script.
+  Status RunScript(const std::string& source);
+
+  /// Parses, optimizes (see piglet/optimizer.h) and runs a script. Note
+  /// that dead-code elimination removes assignments without a DUMP/STORE/
+  /// DESCRIBE consumer, so scripts run this way should end in a sink.
+  Status RunScriptOptimized(const std::string& source,
+                            OptimizerReport* report = nullptr);
+
+  /// Runs an already-parsed program.
+  Status Run(const Program& program);
+
+  /// Looks up a relation produced by a previous statement (for embedding).
+  Result<const PigRelation*> relation(const std::string& name) const;
+
+ private:
+  Status Execute(const Statement& stmt);
+  Result<PigRelation> ExecLoad(const Statement& stmt);
+  Result<PigRelation> ExecSpatialize(const Statement& stmt);
+  Result<PigRelation> ExecFilter(const Statement& stmt);
+  Result<PigRelation> ExecPartition(const Statement& stmt);
+  Result<PigRelation> ExecJoin(const Statement& stmt);
+  Result<PigRelation> ExecKnn(const Statement& stmt);
+  Result<PigRelation> ExecCluster(const Statement& stmt);
+  Result<PigRelation> ExecAggregate(const Statement& stmt);
+  Status ExecDump(const Statement& stmt);
+  Status ExecStore(const Statement& stmt);
+  Status ExecDescribe(const Statement& stmt);
+
+  Result<const PigRelation*> Input(const Statement& stmt) const;
+
+  Context* ctx_;
+  std::ostream* out_;
+  std::map<std::string, PigRelation> relations_;
+};
+
+}  // namespace piglet
+}  // namespace stark
+
+#endif  // STARK_PIGLET_INTERPRETER_H_

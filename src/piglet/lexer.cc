@@ -1,0 +1,134 @@
+#include "piglet/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace stark {
+namespace piglet {
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError("piglet:" + std::to_string(line) + ": " + msg);
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenType::kIdent, source.substr(start, i - start), 0, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '.' || source[i] == 'e' ||
+                       source[i] == 'E' ||
+                       ((source[i] == '+' || source[i] == '-') &&
+                        (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+        ++i;
+      }
+      const std::string text = source.substr(start, i - start);
+      double value = 0;
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), value);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return error("bad number literal '" + text + "'");
+      }
+      tokens.push_back({TokenType::kNumber, text, value, line});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n && source[i] != '\'') {
+        if (source[i] == '\n') ++line;
+        text.push_back(source[i]);
+        ++i;
+      }
+      if (i >= n) return error("unterminated string literal");
+      ++i;  // closing quote
+      tokens.push_back({TokenType::kString, std::move(text), 0, line});
+      continue;
+    }
+    switch (c) {
+      case '=':
+        if (i + 1 < n && source[i + 1] == '=') {
+          tokens.push_back({TokenType::kCompare, "==", 0, line});
+          i += 2;
+        } else {
+          tokens.push_back({TokenType::kEquals, "=", 0, line});
+          ++i;
+        }
+        continue;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') {
+          tokens.push_back({TokenType::kCompare, "!=", 0, line});
+          i += 2;
+          continue;
+        }
+        return error("unexpected '!'");
+      case '<':
+      case '>': {
+        std::string op(1, c);
+        if (i + 1 < n && source[i + 1] == '=') {
+          op.push_back('=');
+          i += 2;
+        } else {
+          ++i;
+        }
+        tokens.push_back({TokenType::kCompare, op, 0, line});
+        continue;
+      }
+      case ',':
+        tokens.push_back({TokenType::kComma, ",", 0, line});
+        ++i;
+        continue;
+      case '(':
+        tokens.push_back({TokenType::kLParen, "(", 0, line});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back({TokenType::kRParen, ")", 0, line});
+        ++i;
+        continue;
+      case ';':
+        tokens.push_back({TokenType::kSemi, ";", 0, line});
+        ++i;
+        continue;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", 0, line});
+  return tokens;
+}
+
+}  // namespace piglet
+}  // namespace stark

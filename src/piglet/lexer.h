@@ -1,0 +1,43 @@
+/// \file lexer.h
+/// Tokenizer for the Piglet language — STARK's Pig Latin dialect [4] with
+/// the spatio-temporal extensions described in the paper (§4).
+#ifndef STARK_PIGLET_LEXER_H_
+#define STARK_PIGLET_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace stark {
+namespace piglet {
+
+/// Token categories of the Piglet grammar.
+enum class TokenType {
+  kIdent,    // relation / column names and keywords (case-insensitive)
+  kNumber,   // integer or floating literal
+  kString,   // '...' single-quoted literal
+  kEquals,   // =
+  kComma,    // ,
+  kLParen,   // (
+  kRParen,   // )
+  kSemi,     // ;
+  kCompare,  // == != < <= > >=
+  kEnd,      // end of input
+};
+
+/// One lexed token with its source position for error messages.
+struct Token {
+  TokenType type;
+  std::string text;    // raw text (identifiers upper-cased separately)
+  double number = 0;   // valid when type == kNumber
+  size_t line = 1;
+};
+
+/// Splits \p source into tokens. `--` starts a comment until end of line.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace piglet
+}  // namespace stark
+
+#endif  // STARK_PIGLET_LEXER_H_

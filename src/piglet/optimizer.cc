@@ -1,0 +1,208 @@
+#include "piglet/optimizer.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace stark {
+namespace piglet {
+
+namespace {
+
+/// Deep copy of a statement (Statement owns a unique_ptr<Expr>).
+Statement CloneStatement(const Statement& s) {
+  Statement out;
+  out.kind = s.kind;
+  out.line = s.line;
+  out.target = s.target;
+  out.input = s.input;
+  out.input2 = s.input2;
+  out.path = s.path;
+  out.filter = s.filter ? CloneExpr(*s.filter) : nullptr;
+  out.partitioner = s.partitioner;
+  out.partitioner_param = s.partitioner_param;
+  out.time_buckets = s.time_buckets;
+  out.index_order = s.index_order;
+  out.join_pred = s.join_pred;
+  out.join_distance = s.join_distance;
+  out.knn_query = s.knn_query;
+  out.knn_k = s.knn_k;
+  out.dbscan_eps = s.dbscan_eps;
+  out.dbscan_min_pts = s.dbscan_min_pts;
+  out.cluster_grid = s.cluster_grid;
+  out.aggregate_column = s.aggregate_column;
+  out.limit = s.limit;
+  return out;
+}
+
+Program CloneProgram(const Program& p) {
+  Program out;
+  out.statements.reserve(p.statements.size());
+  for (const Statement& s : p.statements) {
+    out.statements.push_back(CloneStatement(s));
+  }
+  return out;
+}
+
+bool IsAssignment(const Statement& s) {
+  return s.kind != Statement::Kind::kDump &&
+         s.kind != Statement::Kind::kStore &&
+         s.kind != Statement::Kind::kDescribe;
+}
+
+/// Statement indices that consume each relation name.
+std::map<std::string, std::vector<size_t>> ConsumersOf(const Program& p) {
+  std::map<std::string, std::vector<size_t>> consumers;
+  for (size_t i = 0; i < p.statements.size(); ++i) {
+    const Statement& s = p.statements[i];
+    if (!s.input.empty()) consumers[s.input].push_back(i);
+    if (!s.input2.empty()) consumers[s.input2].push_back(i);
+  }
+  return consumers;
+}
+
+/// True iff every relation name is assigned at most once.
+bool IsSingleAssignment(const Program& p) {
+  std::set<std::string> seen;
+  for (const Statement& s : p.statements) {
+    if (!IsAssignment(s)) continue;
+    if (!seen.insert(s.target).second) return false;
+  }
+  return true;
+}
+
+/// R3: removes pure statements whose target is never consumed.
+bool RemoveDeadCode(Program* p, OptimizerReport* report) {
+  const auto consumers = ConsumersOf(*p);
+  std::vector<Statement> kept;
+  bool changed = false;
+  for (Statement& s : p->statements) {
+    const bool dead = IsAssignment(s) && consumers.find(s.target) ==
+                                             consumers.end();
+    if (dead) {
+      changed = true;
+      if (report) ++report->removed_statements;
+    } else {
+      kept.push_back(std::move(s));
+    }
+  }
+  p->statements = std::move(kept);
+  return changed;
+}
+
+/// R1: merges FILTER-of-FILTER chains when the inner result is otherwise
+/// unused. Returns true when a rewrite happened.
+bool MergeFilters(Program* p, OptimizerReport* report) {
+  const auto consumers = ConsumersOf(*p);
+  for (size_t i = 0; i < p->statements.size(); ++i) {
+    Statement& outer = p->statements[i];
+    if (outer.kind != Statement::Kind::kFilter) continue;
+    // Find the statement defining outer.input.
+    for (size_t j = 0; j < p->statements.size(); ++j) {
+      Statement& inner = p->statements[j];
+      if (!IsAssignment(inner) || inner.target != outer.input) continue;
+      if (inner.kind != Statement::Kind::kFilter) break;
+      const auto it = consumers.find(inner.target);
+      if (it == consumers.end() || it->second.size() != 1) break;
+      // outer = FILTER inner BY e2, inner = FILTER x BY e1
+      // ==> outer = FILTER x BY (e1 AND e2); inner becomes dead (R3).
+      auto combined = std::make_unique<Expr>();
+      combined->kind = Expr::Kind::kAnd;
+      combined->lhs = CloneExpr(*inner.filter);
+      combined->rhs = std::move(outer.filter);
+      outer.filter = std::move(combined);
+      outer.input = inner.input;
+      if (report) ++report->merged_filters;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// R2: swaps PARTITION below an attribute-only FILTER when the partitioned
+/// relation feeds only that filter. Returns true when a rewrite happened.
+bool PushFilterBelowPartition(Program* p, OptimizerReport* report) {
+  const auto consumers = ConsumersOf(*p);
+  for (size_t i = 0; i < p->statements.size(); ++i) {
+    Statement& filter = p->statements[i];
+    if (filter.kind != Statement::Kind::kFilter) continue;
+    if (!filter.filter || !IsAttributeOnly(*filter.filter)) continue;
+    for (size_t j = 0; j < p->statements.size(); ++j) {
+      Statement& partition = p->statements[j];
+      if (!IsAssignment(partition) || partition.target != filter.input) {
+        continue;
+      }
+      if (partition.kind != Statement::Kind::kPartition) break;
+      const auto it = consumers.find(partition.target);
+      if (it == consumers.end() || it->second.size() != 1) break;
+      // partition = PARTITION s BY ...; filter = FILTER partition BY e
+      // ==> fresh = FILTER s BY e; filter(target) = PARTITION fresh BY ...
+      const std::string fresh =
+          "__opt_" + filter.target + "_" + std::to_string(i);
+      Statement pushed = CloneStatement(filter);
+      pushed.target = fresh;
+      pushed.input = partition.input;
+
+      Statement repartition = CloneStatement(partition);
+      repartition.target = filter.target;
+      repartition.input = fresh;
+
+      // Replace in order: pushed filter where the PARTITION was, the
+      // repartition where the FILTER was; the old partition statement
+      // disappears.
+      p->statements[j] = std::move(pushed);
+      p->statements[i] = std::move(repartition);
+      if (report) ++report->pushed_filters;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::unique_ptr<Expr> CloneExpr(const Expr& expr) {
+  auto out = std::make_unique<Expr>();
+  out->kind = expr.kind;
+  out->column = expr.column;
+  out->op = expr.op;
+  out->literal = expr.literal;
+  out->lhs = expr.lhs ? CloneExpr(*expr.lhs) : nullptr;
+  out->rhs = expr.rhs ? CloneExpr(*expr.rhs) : nullptr;
+  out->pred = expr.pred;
+  out->query = expr.query;
+  out->max_distance = expr.max_distance;
+  return out;
+}
+
+bool IsAttributeOnly(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kCompare:
+      return true;
+    case Expr::Kind::kSpatialPred:
+      return false;
+    case Expr::Kind::kNot:
+      return IsAttributeOnly(*expr.lhs);
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      return IsAttributeOnly(*expr.lhs) && IsAttributeOnly(*expr.rhs);
+  }
+  return false;
+}
+
+Program Optimize(const Program& program, OptimizerReport* report) {
+  Program out = CloneProgram(program);
+  if (!IsSingleAssignment(out)) return out;  // conservative bail-out
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    changed |= MergeFilters(&out, report);
+    changed |= PushFilterBelowPartition(&out, report);
+    changed |= RemoveDeadCode(&out, report);
+  }
+  return out;
+}
+
+}  // namespace piglet
+}  // namespace stark

@@ -1,0 +1,51 @@
+/// \file optimizer.h
+/// Logical plan rewriting for Piglet programs. The Piglet engine [4] is a
+/// platform-transparent analytics layer, and rewriting the statement graph
+/// before execution is its core job; this pass implements three classic
+/// rules over the spatio-temporal dialect:
+///
+///  R1 (filter merge)     f1 = FILTER x BY e1; f2 = FILTER f1 BY e2
+///                        ==> f2 = FILTER x BY (e1 AND e2)   [f1 unused]
+///  R2 (filter pushdown)  p = PARTITION s ...; f = FILTER p BY <attr-only>
+///                        ==> f' = FILTER s ...; f = PARTITION f' ...
+///                        (attribute filters shrink the shuffle; spatial
+///                        filters stay above PARTITION to keep pruning)
+///  R3 (dead code)        pure statements whose result is never consumed
+///                        are removed.
+#ifndef STARK_PIGLET_OPTIMIZER_H_
+#define STARK_PIGLET_OPTIMIZER_H_
+
+#include "common/result.h"
+#include "piglet/ast.h"
+
+namespace stark {
+namespace piglet {
+
+/// Counts of applied rewrites, for tests and EXPLAIN-style output.
+struct OptimizerReport {
+  size_t merged_filters = 0;
+  size_t pushed_filters = 0;
+  size_t removed_statements = 0;
+
+  size_t Total() const {
+    return merged_filters + pushed_filters + removed_statements;
+  }
+};
+
+/// Deep copy of an expression tree.
+std::unique_ptr<Expr> CloneExpr(const Expr& expr);
+
+/// True iff \p expr references only tuple attributes (no spatial
+/// predicates) — the pushdown-safety condition of rule R2.
+bool IsAttributeOnly(const Expr& expr);
+
+/// Rewrites \p program to fixpoint. Returns the optimized program; the
+/// original is left untouched. Programs that reassign a relation name are
+/// returned unchanged (the rules assume single assignment). \p report, if
+/// non-null, receives the rewrite counts.
+Program Optimize(const Program& program, OptimizerReport* report = nullptr);
+
+}  // namespace piglet
+}  // namespace stark
+
+#endif  // STARK_PIGLET_OPTIMIZER_H_

@@ -1,0 +1,22 @@
+/// \file parser.h
+/// Recursive-descent parser for Piglet programs.
+#ifndef STARK_PIGLET_PARSER_H_
+#define STARK_PIGLET_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "piglet/ast.h"
+
+namespace stark {
+namespace piglet {
+
+/// Parses a full Piglet program. Spatial query literals (WKT) are validated
+/// during parsing, so a returned Program is executable without further
+/// checks on its constants.
+Result<Program> Parse(const std::string& source);
+
+}  // namespace piglet
+}  // namespace stark
+
+#endif  // STARK_PIGLET_PARSER_H_

@@ -1,0 +1,159 @@
+/// \file join.h
+/// Spatio-temporal join (§2.3). STARK assigns each element to exactly one
+/// partition (centroid assignment) and keeps overlapping partition extents,
+/// so the join enumerates partition *pairs* whose extents can satisfy the
+/// predicate, builds a live R-tree over each participating left partition,
+/// and probes it with the right partitions — no replication, no result
+/// deduplication (contrast with the GeoSpark-style baseline).
+#ifndef STARK_SPATIAL_RDD_JOIN_H_
+#define STARK_SPATIAL_RDD_JOIN_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "spatial_rdd/spatial_rdd.h"
+
+namespace stark {
+
+/// Tuning knobs for SpatialJoin.
+struct JoinOptions {
+  /// Order of the live R-tree built over each left partition; 0 disables
+  /// indexing and uses a nested-loop per partition pair ("No Indexing").
+  size_t index_order = 10;
+};
+
+/// \brief Joins two spatial RDDs on \p pred and emits project(l, r) for
+/// every matching pair — the projection runs inside the join tasks, so
+/// callers that only need payloads (or ids) avoid materializing full
+/// geometry pairs.
+///
+/// The result is materialized with one output partition per surviving
+/// partition pair. Correctness does not require spatial partitioning; with
+/// it, extent pruning skips partition pairs that cannot match.
+template <typename V, typename W, typename Project>
+auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
+                        const JoinPredicate& pred, const JoinOptions& options,
+                        Project project)
+    -> RDD<std::invoke_result_t<Project, const std::pair<STObject, V>&,
+                                const std::pair<STObject, W>&>> {
+  using L = std::pair<STObject, V>;
+  using R = std::pair<STObject, W>;
+  using Out = std::invoke_result_t<Project, const L&, const R&>;
+
+  Context* ctx = left.ctx();
+  const size_t nl = left.NumPartitions();
+  const size_t nr = right.NumPartitions();
+  const double margin = pred.EnvelopeMargin();
+
+  // Enumerate candidate partition pairs, pruned by extents when available.
+  const auto& lp = left.partitioner();
+  const auto& rp = right.partitioner();
+  const bool can_prune = pred.Prunable() && lp != nullptr && rp != nullptr;
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(can_prune ? nl + nr : nl * nr);
+  for (size_t i = 0; i < nl; ++i) {
+    for (size_t j = 0; j < nr; ++j) {
+      if (can_prune) {
+        const Envelope le = lp->PartitionExtent(i).Expanded(margin);
+        if (!le.Intersects(rp->PartitionExtent(j))) continue;
+      }
+      pairs.emplace_back(i, j);
+    }
+  }
+
+  // Materialize both sides once.
+  std::vector<std::vector<L>> left_parts = left.rdd().CollectPartitions();
+  std::vector<std::vector<R>> right_parts = right.rdd().CollectPartitions();
+
+  // Build a live index over each participating left partition (once, not
+  // once per pair).
+  std::vector<char> left_used(nl, 0);
+  for (const auto& [i, j] : pairs) {
+    (void)j;
+    left_used[i] = 1;
+  }
+  std::vector<std::unique_ptr<RTree<size_t>>> left_trees(nl);
+  if (options.index_order > 0) {
+    ctx->pool().ParallelFor(nl, [&](size_t i) {
+      if (!left_used[i]) return;
+      auto tree = std::make_unique<RTree<size_t>>(options.index_order);
+      std::vector<std::pair<Envelope, size_t>> entries;
+      entries.reserve(left_parts[i].size());
+      for (size_t e = 0; e < left_parts[i].size(); ++e) {
+        entries.emplace_back(left_parts[i][e].first.envelope(), e);
+      }
+      tree->BulkLoad(std::move(entries));
+      left_trees[i] = std::move(tree);
+    });
+  }
+
+  // Probe: one task per partition pair.
+  std::vector<std::vector<Out>> out(pairs.size());
+  ctx->pool().ParallelFor(pairs.size(), [&](size_t t) {
+    const auto [i, j] = pairs[t];
+    const std::vector<L>& lv = left_parts[i];
+    const std::vector<R>& rv = right_parts[j];
+    std::vector<Out>& sink = out[t];
+    if (options.index_order > 0 && pred.Prunable()) {
+      const RTree<size_t>& tree = *left_trees[i];
+      for (const R& r : rv) {
+        const Envelope probe = r.first.envelope().Expanded(margin);
+        tree.Query(probe, [&](const Envelope&, const size_t& e) {
+          if (pred.Eval(lv[e].first, r.first)) {
+            sink.push_back(project(lv[e], r));
+          }
+        });
+      }
+    } else {
+      for (const L& l : lv) {
+        for (const R& r : rv) {
+          if (pred.Eval(l.first, r.first)) sink.push_back(project(l, r));
+        }
+      }
+    }
+  });
+
+  return MakeRDDFromPartitions(ctx, std::move(out));
+}
+
+/// Joins two spatial RDDs on \p pred; emits every full pair (l, r) with
+/// pred.Eval(l.first, r.first) == true.
+template <typename V, typename W>
+RDD<std::pair<std::pair<STObject, V>, std::pair<STObject, W>>> SpatialJoin(
+    const SpatialRDD<V>& left, const SpatialRDD<W>& right,
+    const JoinPredicate& pred, const JoinOptions& options = {}) {
+  using L = std::pair<STObject, V>;
+  using R = std::pair<STObject, W>;
+  return SpatialJoinProject(left, right, pred, options,
+                            [](const L& l, const R& r) {
+                              return std::pair<L, R>(l, r);
+                            });
+}
+
+/// \brief Self join that excludes the trivial identity matches: each
+/// element is tagged with a unique id and pairs (x, x) are dropped; both
+/// orderings of a matching pair are emitted (standard join semantics).
+template <typename V>
+RDD<std::pair<std::pair<STObject, std::pair<V, size_t>>,
+              std::pair<STObject, std::pair<V, size_t>>>>
+SelfSpatialJoin(const SpatialRDD<V>& data, const JoinPredicate& pred,
+                const JoinOptions& options = {}) {
+  using Tagged = std::pair<STObject, std::pair<V, size_t>>;
+  RDD<Tagged> tagged =
+      data.rdd().ZipWithIndex().Map([](std::pair<std::pair<STObject, V>,
+                                                 size_t>& e) {
+        return Tagged{std::move(e.first.first),
+                      {std::move(e.first.second), e.second}};
+      });
+  SpatialRDD<std::pair<V, size_t>> wrapped(tagged.Cache(),
+                                           data.partitioner());
+  auto joined = SpatialJoin(wrapped, wrapped, pred, options);
+  return joined.Filter([](const std::pair<Tagged, Tagged>& pair) {
+    return pair.first.second.second != pair.second.second.second;
+  });
+}
+
+}  // namespace stark
+
+#endif  // STARK_SPATIAL_RDD_JOIN_H_

@@ -1,0 +1,122 @@
+/// \file knn_join.h
+/// k-nearest-neighbor join: for every left element, find its k nearest
+/// right elements. The demo paper ships a kNN *search* operator; the full
+/// STARK framework also provides the join form — implemented here with
+/// per-partition R-trees and extent-distance pruning, so only right
+/// partitions that can still improve the current k-th distance are probed.
+#ifndef STARK_SPATIAL_RDD_KNN_JOIN_H_
+#define STARK_SPATIAL_RDD_KNN_JOIN_H_
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "spatial_rdd/spatial_rdd.h"
+
+namespace stark {
+
+/// One kNN-join match: distance plus the right-side element.
+template <typename W>
+using KnnMatch = std::pair<double, std::pair<STObject, W>>;
+
+/// \brief For each element l of \p left, emits (l, matches) where matches
+/// are the up-to-k nearest elements of \p right by Euclidean geometry
+/// distance, sorted ascending.
+///
+/// Distance ties are broken arbitrarily (matching the paper's kNN search
+/// operator). Right partitions are probed in order of increasing extent
+/// distance and skipped once they cannot beat the current k-th distance.
+template <typename V, typename W>
+RDD<std::pair<std::pair<STObject, V>, std::vector<KnnMatch<W>>>> KnnJoin(
+    const SpatialRDD<V>& left, const SpatialRDD<W>& right, size_t k,
+    size_t index_order = 16) {
+  using L = std::pair<STObject, V>;
+  using R = std::pair<STObject, W>;
+  using Out = std::pair<L, std::vector<KnnMatch<W>>>;
+
+  Context* ctx = left.ctx();
+  const size_t nl = left.NumPartitions();
+  const size_t nr = right.NumPartitions();
+
+  // Materialize and index the right side once.
+  std::vector<std::vector<R>> right_parts = right.rdd().CollectPartitions();
+  std::vector<std::unique_ptr<RTree<size_t>>> right_trees(nr);
+  ctx->pool().ParallelFor(nr, [&](size_t j) {
+    auto tree = std::make_unique<RTree<size_t>>(index_order);
+    std::vector<std::pair<Envelope, size_t>> entries;
+    entries.reserve(right_parts[j].size());
+    for (size_t e = 0; e < right_parts[j].size(); ++e) {
+      entries.emplace_back(right_parts[j][e].first.envelope(), e);
+    }
+    tree->BulkLoad(std::move(entries));
+    right_trees[j] = std::move(tree);
+  });
+
+  // Right-partition extents for pruning (fall back to tree bounds when the
+  // right side is not spatially partitioned).
+  std::vector<Envelope> right_extents(nr);
+  for (size_t j = 0; j < nr; ++j) {
+    right_extents[j] = right.partitioner() != nullptr
+                           ? right.partitioner()->PartitionExtent(j)
+                           : right_trees[j]->bounds();
+  }
+
+  std::vector<std::vector<L>> left_parts = left.rdd().CollectPartitions();
+  std::vector<std::vector<Out>> out(nl);
+  ctx->pool().ParallelFor(nl, [&](size_t i) {
+    out[i].reserve(left_parts[i].size());
+    for (L& l : left_parts[i]) {
+      // Branch-and-bound admissibility: geometry distance is always >= the
+      // distance between the geometries' envelopes, so envelope-based
+      // bounds never over-prune. The in-tree bound is anchored at the left
+      // centroid, which is only a valid lower bound for point geometries;
+      // non-point left geometries scan the partition instead.
+      const Envelope& lenv = l.first.envelope();
+      const bool left_is_point = l.first.geo().IsPoint();
+      const Coordinate c = l.first.Centroid();
+
+      // Probe order: nearest right partition first.
+      std::vector<std::pair<double, size_t>> order;
+      order.reserve(nr);
+      for (size_t j = 0; j < nr; ++j) {
+        if (right_parts[j].empty()) continue;
+        order.emplace_back(right_extents[j].Distance(lenv), j);
+      }
+      std::sort(order.begin(), order.end());
+
+      std::vector<KnnMatch<W>> best;
+      auto merge = [&](double dist, const R& r) {
+        best.emplace_back(dist, r);
+      };
+      for (const auto& [extent_dist, j] : order) {
+        if (best.size() >= k && extent_dist > best.back().first) {
+          break;  // no remaining partition can improve the k-th distance
+        }
+        if (left_is_point) {
+          auto hits = right_trees[j]->Knn(c, k, [&](const size_t& e) {
+            return Distance(right_parts[j][e].first.geo(), l.first.geo());
+          });
+          for (auto& [dist, e] : hits) merge(dist, right_parts[j][*e]);
+        } else {
+          for (const R& r : right_parts[j]) {
+            merge(Distance(r.first.geo(), l.first.geo()), r);
+          }
+        }
+        std::sort(best.begin(), best.end(),
+                  [](const KnnMatch<W>& a, const KnnMatch<W>& b) {
+                    return a.first < b.first;
+                  });
+        if (best.size() > k) {
+          best.erase(best.begin() + static_cast<ptrdiff_t>(k), best.end());
+        }
+      }
+      out[i].emplace_back(std::move(l), std::move(best));
+    }
+  });
+  return MakeRDDFromPartitions(ctx, std::move(out));
+}
+
+}  // namespace stark
+
+#endif  // STARK_SPATIAL_RDD_KNN_JOIN_H_

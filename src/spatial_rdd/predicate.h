@@ -1,0 +1,95 @@
+/// \file predicate.h
+/// Spatio-temporal predicate selector shared by filters and joins.
+#ifndef STARK_SPATIAL_RDD_PREDICATE_H_
+#define STARK_SPATIAL_RDD_PREDICATE_H_
+
+#include <string>
+
+#include "core/distance.h"
+#include "core/stobject.h"
+
+namespace stark {
+
+/// The predicates STARK supports on RDDs (§2.3): intersects, contains,
+/// containedBy, and withinDistance.
+enum class PredicateType {
+  kIntersects,
+  kContains,
+  kContainedBy,
+  kWithinDistance,
+};
+
+/// Returns the lower-case API name of \p pred (as used in the DSL).
+inline const char* PredicateName(PredicateType pred) {
+  switch (pred) {
+    case PredicateType::kIntersects: return "intersects";
+    case PredicateType::kContains: return "contains";
+    case PredicateType::kContainedBy: return "containedBy";
+    case PredicateType::kWithinDistance: return "withinDistance";
+  }
+  return "?";
+}
+
+/// \brief Bundles a predicate type with the extra withinDistance parameters.
+///
+/// The distance function defaults to the minimum Euclidean distance between
+/// the spatial components; users may pass their own (paper §2.3). Envelope
+/// pruning (partition extents, R-tree candidates) is only sound for
+/// functions that are lower-bounded by the Euclidean envelope distance, so
+/// custom functions disable pruning unless the caller promises otherwise
+/// via euclidean_compatible.
+struct JoinPredicate {
+  PredicateType type = PredicateType::kIntersects;
+  double max_distance = 0.0;
+  DistanceFunction distance = nullptr;
+  bool euclidean_compatible = true;
+
+  static JoinPredicate Intersects() { return {PredicateType::kIntersects}; }
+  static JoinPredicate Contains() { return {PredicateType::kContains}; }
+  static JoinPredicate ContainedBy() {
+    return {PredicateType::kContainedBy};
+  }
+  static JoinPredicate WithinDistance(double max_distance,
+                                      DistanceFunction fn = nullptr,
+                                      bool euclidean_compatible_fn = false) {
+    JoinPredicate p;
+    p.type = PredicateType::kWithinDistance;
+    p.max_distance = max_distance;
+    p.euclidean_compatible = fn == nullptr || euclidean_compatible_fn;
+    p.distance = std::move(fn);
+    return p;
+  }
+
+  /// Exact predicate evaluation: left op right, including the paper's
+  /// combined temporal semantics for the relational predicates.
+  bool Eval(const STObject& left, const STObject& right) const {
+    switch (type) {
+      case PredicateType::kIntersects:
+        return left.Intersects(right);
+      case PredicateType::kContains:
+        return left.Contains(right);
+      case PredicateType::kContainedBy:
+        return left.ContainedBy(right);
+      case PredicateType::kWithinDistance: {
+        if (distance) return distance(left, right) <= max_distance;
+        return EuclideanDistance(left, right) <= max_distance;
+      }
+    }
+    return false;
+  }
+
+  /// Margin to add around envelopes for candidate generation; sound because
+  /// geometries within distance d have envelopes within distance d.
+  double EnvelopeMargin() const {
+    return type == PredicateType::kWithinDistance ? max_distance : 0.0;
+  }
+
+  /// Whether envelope-based pruning may be applied at all.
+  bool Prunable() const {
+    return type != PredicateType::kWithinDistance || euclidean_compatible;
+  }
+};
+
+}  // namespace stark
+
+#endif  // STARK_SPATIAL_RDD_PREDICATE_H_

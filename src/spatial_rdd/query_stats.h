@@ -1,0 +1,38 @@
+/// \file query_stats.h
+/// Execution statistics for spatial filters: how many partitions the §2.1
+/// extent/time pruning skipped and how many elements the exact predicate
+/// actually touched. Pass an instance to SpatialRDD::Filter /
+/// IndexedSpatialRDD::Filter to observe a query; counters are atomic since
+/// partitions evaluate in parallel (and lazily — read them after an action).
+#ifndef STARK_SPATIAL_RDD_QUERY_STATS_H_
+#define STARK_SPATIAL_RDD_QUERY_STATS_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace stark {
+
+/// Counters filled during filter evaluation.
+struct QueryStats {
+  /// Partitions whose extent (or time bounds) could not contribute and
+  /// were skipped without being computed.
+  std::atomic<size_t> partitions_pruned{0};
+  /// Partitions actually evaluated.
+  std::atomic<size_t> partitions_scanned{0};
+  /// Elements tested with the exact predicate (for indexed filters these
+  /// are the R-tree candidates after the bounding-box match).
+  std::atomic<size_t> candidates{0};
+  /// Elements that satisfied the predicate.
+  std::atomic<size_t> results{0};
+
+  void Reset() {
+    partitions_pruned = 0;
+    partitions_scanned = 0;
+    candidates = 0;
+    results = 0;
+  }
+};
+
+}  // namespace stark
+
+#endif  // STARK_SPATIAL_RDD_QUERY_STATS_H_

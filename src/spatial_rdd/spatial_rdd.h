@@ -1,0 +1,455 @@
+/// \file spatial_rdd.h
+/// SpatialRDDFunctions — the paper's seamless RDD integration (§2.3). In
+/// Scala, an implicit conversion wraps any RDD[(STObject, V)]; in C++ the
+/// equivalent is the explicit, zero-copy wrapper SpatialRDD<V> (see
+/// Spatial() below), which adds the spatio-temporal filter, join, kNN and
+/// indexing operators to a plain engine RDD.
+#ifndef STARK_SPATIAL_RDD_SPATIAL_RDD_H_
+#define STARK_SPATIAL_RDD_SPATIAL_RDD_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/st_serde.h"
+#include "core/stobject.h"
+#include "engine/rdd.h"
+#include "index/rtree.h"
+#include "partition/partitioner.h"
+#include "spatial_rdd/predicate.h"
+#include "spatial_rdd/query_stats.h"
+#include "spatial_rdd/value_serde.h"
+
+namespace stark {
+
+template <typename V>
+class SpatialRDD;
+
+/// \brief An RDD whose partitions are R-trees over (STObject, V) pairs —
+/// the result of liveIndex()/index() (§2.2).
+///
+/// Live indexing keeps the tree construction inside the lazy lineage, so
+/// the index is rebuilt whenever a partition is processed; persistent
+/// indexing caches the trees and can save them to disk and load them back
+/// in another program run.
+template <typename V>
+class IndexedSpatialRDD {
+ public:
+  using Element = std::pair<STObject, V>;
+  using TreePtr = std::shared_ptr<const RTree<Element>>;
+
+  IndexedSpatialRDD(RDD<TreePtr> trees,
+                    std::shared_ptr<std::vector<Envelope>> extents,
+                    size_t order)
+      : trees_(std::move(trees)), extents_(std::move(extents)),
+        order_(order) {}
+
+  const RDD<TreePtr>& trees() const { return trees_; }
+  size_t order() const { return order_; }
+  size_t NumPartitions() const { return trees_.NumPartitions(); }
+
+  /// Generic filter against \p query: R-tree candidate lookup plus exact
+  /// refinement with the full spatio-temporal predicate (candidate pruning
+  /// step of §2.2, including the temporal predicate). \p stats, when
+  /// non-null, must outlive the returned RDD's evaluation.
+  RDD<Element> Filter(const STObject& query, const JoinPredicate& pred,
+                      QueryStats* stats = nullptr) const {
+    const Envelope probe = query.envelope().Expanded(pred.EnvelopeMargin());
+    auto extents = extents_;
+    const bool prunable = pred.Prunable();
+    // Partition extents that cannot contribute are pruned before the trees
+    // are even computed (§2.1) — with live indexing this skips building the
+    // R-tree for pruned partitions entirely.
+    RDD<TreePtr> source = trees_;
+    if (prunable && extents) {
+      source = source.PrunePartitions([extents, probe, stats](size_t idx) {
+        const bool keep =
+            idx >= extents->size() || (*extents)[idx].Intersects(probe);
+        if (!keep && stats) ++stats->partitions_pruned;
+        return keep;
+      });
+    }
+    return source.MapPartitionsWithIndex(
+        [query, pred, probe, prunable, stats](size_t,
+                                              std::vector<TreePtr> trees) {
+          std::vector<Element> out;
+          if (stats && !trees.empty()) ++stats->partitions_scanned;
+          auto refine = [&](const Element& e) {
+            if (stats) ++stats->candidates;
+            if (pred.Eval(e.first, query)) {
+              if (stats) ++stats->results;
+              out.push_back(e);
+            }
+          };
+          for (const TreePtr& tree : trees) {
+            if (prunable) {
+              tree->Query(probe, [&](const Envelope&, const Element& e) {
+                refine(e);
+              });
+            } else {
+              tree->ForEach([&](const Envelope&, const Element& e) {
+                refine(e);
+              });
+            }
+          }
+          return out;
+        });
+  }
+
+  RDD<Element> Intersects(const STObject& query) const {
+    return Filter(query, JoinPredicate::Intersects());
+  }
+  RDD<Element> Contains(const STObject& query) const {
+    return Filter(query, JoinPredicate::Contains());
+  }
+  RDD<Element> ContainedBy(const STObject& query) const {
+    return Filter(query, JoinPredicate::ContainedBy());
+  }
+  RDD<Element> WithinDistance(const STObject& query, double max_distance,
+                              DistanceFunction fn = nullptr) const {
+    return Filter(query, JoinPredicate::WithinDistance(max_distance,
+                                                       std::move(fn)));
+  }
+
+  /// Exact k nearest neighbors of \p query by Euclidean geometry distance;
+  /// results are (distance, element) sorted ascending.
+  std::vector<std::pair<double, Element>> Knn(const STObject& query,
+                                              size_t k) const {
+    const Coordinate qc = query.Centroid();
+    RDD<std::pair<double, Element>> locals =
+        trees_.MapPartitionsWithIndex([query, qc, k](size_t,
+                                                     std::vector<TreePtr> ts) {
+          std::vector<std::pair<double, Element>> out;
+          for (const TreePtr& tree : ts) {
+            auto hits = tree->Knn(qc, k, [&query](const Element& e) {
+              return Distance(e.first.geo(), query.geo());
+            });
+            for (auto& [dist, elem] : hits) out.emplace_back(dist, *elem);
+          }
+          return out;
+        });
+    std::vector<std::pair<double, Element>> all = locals.Collect();
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (all.size() > k) all.erase(all.begin() + static_cast<ptrdiff_t>(k), all.end());
+    return all;
+  }
+
+  /// Flattens the indexed partitions back to a plain element RDD.
+  RDD<Element> ToElements() const {
+    return trees_.MapPartitionsWithIndex(
+        [](size_t, std::vector<TreePtr> ts) {
+          std::vector<Element> out;
+          for (const TreePtr& tree : ts) {
+            tree->ForEach([&](const Envelope&, const Element& e) {
+              out.push_back(e);
+            });
+          }
+          return out;
+        });
+  }
+
+  /// \brief Persists the index to \p directory (one binary file per
+  /// partition plus a meta file) — the paper's persistent index mode with
+  /// HDFS substituted by the local filesystem.
+  Status Save(const std::string& directory) const {
+    std::vector<std::vector<TreePtr>> parts = trees_.CollectPartitions();
+    BinaryWriter meta;
+    meta.WriteU32(kMetaMagic);
+    meta.WriteU64(parts.size());
+    meta.WriteU64(order_);
+    for (size_t p = 0; p < parts.size(); ++p) {
+      const Envelope extent = extents_ && p < extents_->size()
+                                  ? (*extents_)[p]
+                                  : Envelope();
+      WriteEnvelope(&meta, extent);
+    }
+    STARK_RETURN_NOT_OK(
+        WriteFileBytes(directory + "/index.meta", meta.buffer()));
+    for (size_t p = 0; p < parts.size(); ++p) {
+      BinaryWriter w;
+      w.WriteU32(kPartMagic);
+      size_t count = 0;
+      for (const TreePtr& tree : parts[p]) count += tree->size();
+      w.WriteU64(count);
+      for (const TreePtr& tree : parts[p]) {
+        tree->ForEach([&w](const Envelope&, const Element& e) {
+          WriteSTObject(&w, e.first);
+          Serde<V>::Write(&w, e.second);
+        });
+      }
+      STARK_RETURN_NOT_OK(
+          WriteFileBytes(directory + "/part-" + std::to_string(p) + ".idx",
+                         w.buffer()));
+    }
+    return Status::OK();
+  }
+
+  /// Loads an index previously written with Save. Trees are re-packed with
+  /// STR bulk loading, which is at least as good as the saved layout.
+  static Result<IndexedSpatialRDD<V>> Load(Context* ctx,
+                                           const std::string& directory) {
+    STARK_ASSIGN_OR_RETURN(std::vector<char> meta_buf,
+                           ReadFileBytes(directory + "/index.meta"));
+    BinaryReader meta(meta_buf);
+    STARK_ASSIGN_OR_RETURN(uint32_t magic, meta.ReadU32());
+    if (magic != kMetaMagic) return Status::IOError("bad index meta magic");
+    STARK_ASSIGN_OR_RETURN(uint64_t num_parts, meta.ReadU64());
+    STARK_ASSIGN_OR_RETURN(uint64_t order, meta.ReadU64());
+    auto extents = std::make_shared<std::vector<Envelope>>();
+    for (uint64_t p = 0; p < num_parts; ++p) {
+      STARK_ASSIGN_OR_RETURN(Envelope e, ReadEnvelope(&meta));
+      extents->push_back(e);
+    }
+    std::vector<std::vector<TreePtr>> parts(num_parts);
+    for (uint64_t p = 0; p < num_parts; ++p) {
+      STARK_ASSIGN_OR_RETURN(
+          std::vector<char> buf,
+          ReadFileBytes(directory + "/part-" + std::to_string(p) + ".idx"));
+      BinaryReader r(buf);
+      STARK_ASSIGN_OR_RETURN(uint32_t part_magic, r.ReadU32());
+      if (part_magic != kPartMagic) {
+        return Status::IOError("bad index part magic");
+      }
+      STARK_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+      std::vector<std::pair<Envelope, Element>> entries;
+      entries.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        STARK_ASSIGN_OR_RETURN(STObject obj, ReadSTObject(&r));
+        STARK_ASSIGN_OR_RETURN(V value, Serde<V>::Read(&r));
+        Envelope env = obj.envelope();
+        entries.emplace_back(env,
+                             Element{std::move(obj), std::move(value)});
+      }
+      auto tree = std::make_shared<RTree<Element>>(order);
+      tree->BulkLoad(std::move(entries));
+      parts[p].push_back(std::move(tree));
+    }
+    RDD<TreePtr> trees = MakeRDDFromPartitions(ctx, std::move(parts));
+    return IndexedSpatialRDD<V>(trees.Cache(), std::move(extents), order);
+  }
+
+ private:
+  static constexpr uint32_t kMetaMagic = 0x53544958;  // "STIX"
+  static constexpr uint32_t kPartMagic = 0x53544950;  // "STIP"
+
+  RDD<TreePtr> trees_;
+  std::shared_ptr<std::vector<Envelope>> extents_;  // may be null
+  size_t order_;
+};
+
+/// \brief The paper's SpatialRDDFunctions: spatio-temporal operators over
+/// an RDD of (STObject, V) pairs.
+template <typename V>
+class SpatialRDD {
+ public:
+  using Element = std::pair<STObject, V>;
+
+  /// Wraps an existing engine RDD (no data movement).
+  explicit SpatialRDD(RDD<Element> rdd,
+                      std::shared_ptr<SpatialPartitioner> partitioner = nullptr)
+      : rdd_(std::move(rdd)), partitioner_(std::move(partitioner)) {}
+
+  /// Parallelizes a vector of pairs (quickstart path).
+  static SpatialRDD FromVector(Context* ctx, std::vector<Element> data,
+                               size_t num_partitions = 0) {
+    return SpatialRDD(MakeRDD(ctx, std::move(data), num_partitions));
+  }
+
+  const RDD<Element>& rdd() const { return rdd_; }
+  Context* ctx() const { return rdd_.ctx(); }
+  size_t NumPartitions() const { return rdd_.NumPartitions(); }
+  const std::shared_ptr<SpatialPartitioner>& partitioner() const {
+    return partitioner_;
+  }
+
+  /// Spatially repartitions the data with \p partitioner: every element is
+  /// assigned by the centroid of its spatial component, and the partition
+  /// extents are grown by the element envelopes (§2.1). Materializes the
+  /// shuffle (a Spark stage boundary).
+  SpatialRDD PartitionBy(std::shared_ptr<SpatialPartitioner> partitioner) const {
+    auto p = partitioner;
+    RDD<Element> shuffled = rdd_.PartitionBy(
+        p->NumPartitions(), [p](const Element& e) {
+          const size_t target =
+              p->PartitionForST(e.first.Centroid(), e.first.time());
+          p->GrowExtent(target, e.first.envelope());
+          return target;
+        });
+    return SpatialRDD(std::move(shuffled), std::move(p));
+  }
+
+  /// Caches the underlying RDD.
+  SpatialRDD Cache() const { return SpatialRDD(rdd_.Cache(), partitioner_); }
+
+  // ---- Filter operators (unindexed scan + extent pruning) ---------------
+
+  /// Generic filter: keeps elements e with pred.Eval(e, query) == true.
+  /// When the data is spatially partitioned, partitions whose extent cannot
+  /// contribute are skipped without touching their elements. \p stats, when
+  /// non-null, must outlive the returned RDD's evaluation.
+  RDD<Element> Filter(const STObject& query, const JoinPredicate& pred,
+                      QueryStats* stats = nullptr) const {
+    const Envelope probe = query.envelope().Expanded(pred.EnvelopeMargin());
+    // Prune before computing: partitions whose extent misses the query are
+    // never materialized (§2.1 — "decrease the number of data items to
+    // process significantly").
+    RDD<Element> source = rdd_;
+    if (pred.Prunable() && partitioner_ != nullptr) {
+      auto part = partitioner_;
+      const std::optional<TemporalInterval> query_time = query.time();
+      source = source.PrunePartitions(
+          [part, probe, query_time, stats](size_t idx) {
+            const bool keep = [&] {
+              if (!part->PartitionExtent(idx).Intersects(probe)) return false;
+              // Temporal pruning (spatio-temporal partitioners only): a
+              // timed query can skip partitions whose time bounds miss its
+              // interval — untimed objects in them could never match it
+              // anyway.
+              if (query_time.has_value()) {
+                const auto bounds = part->PartitionTimeBounds(idx);
+                if (bounds.has_value() &&
+                    !bounds->Intersects(*query_time)) {
+                  return false;
+                }
+              }
+              return true;
+            }();
+            if (!keep && stats) ++stats->partitions_pruned;
+            return keep;
+          });
+    }
+    return source.MapPartitionsWithIndex(
+        [query, pred, stats](size_t, std::vector<Element> items) {
+          std::vector<Element> out;
+          if (stats && !items.empty()) ++stats->partitions_scanned;
+          if (stats) stats->candidates += items.size();
+          for (auto& e : items) {
+            if (pred.Eval(e.first, query)) {
+              if (stats) ++stats->results;
+              out.push_back(std::move(e));
+            }
+          }
+          return out;
+        });
+  }
+
+  /// Elements whose spatio-temporal component intersects \p query.
+  RDD<Element> Intersects(const STObject& query) const {
+    return Filter(query, JoinPredicate::Intersects());
+  }
+  /// Elements that completely contain \p query.
+  RDD<Element> Contains(const STObject& query) const {
+    return Filter(query, JoinPredicate::Contains());
+  }
+  /// Elements completely contained by \p query.
+  RDD<Element> ContainedBy(const STObject& query) const {
+    return Filter(query, JoinPredicate::ContainedBy());
+  }
+  /// Elements within \p max_distance of \p query under \p fn (Euclidean
+  /// geometry distance when \p fn is null).
+  RDD<Element> WithinDistance(const STObject& query, double max_distance,
+                              DistanceFunction fn = nullptr) const {
+    return Filter(query,
+                  JoinPredicate::WithinDistance(max_distance, std::move(fn)));
+  }
+
+  /// Exact k nearest neighbors. The distance defaults to the minimum
+  /// Euclidean geometry distance; pass \p fn to rank by a custom distance
+  /// function (e.g. HaversineDistanceKm or a spatio-temporal combination),
+  /// mirroring the paper's user-suppliable distance functions.
+  std::vector<std::pair<double, Element>> Knn(const STObject& query, size_t k,
+                                              DistanceFunction fn = nullptr)
+      const {
+    RDD<std::pair<double, Element>> locals = rdd_.MapPartitionsWithIndex(
+        [query, k, fn](size_t, std::vector<Element> items) {
+          std::vector<std::pair<double, Element>> local;
+          local.reserve(items.size());
+          for (auto& e : items) {
+            const double dist = fn ? fn(e.first, query)
+                                   : Distance(e.first.geo(), query.geo());
+            local.emplace_back(dist, std::move(e));
+          }
+          const size_t keep = std::min(k, local.size());
+          std::partial_sort(
+              local.begin(), local.begin() + keep, local.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+          local.erase(local.begin() + static_cast<ptrdiff_t>(keep), local.end());
+          return local;
+        });
+    std::vector<std::pair<double, Element>> all = locals.Collect();
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (all.size() > k) all.erase(all.begin() + static_cast<ptrdiff_t>(k), all.end());
+    return all;
+  }
+
+  // ---- Indexing modes (§2.2) ---------------------------------------------
+
+  /// Live indexing: the R-tree is built when a partition is processed —
+  /// i.e. construction stays inside the lazy lineage and happens on every
+  /// evaluation. Optionally repartitions first.
+  IndexedSpatialRDD<V> LiveIndex(
+      size_t order = 10,
+      std::shared_ptr<SpatialPartitioner> partitioner = nullptr) const {
+    const SpatialRDD source =
+        partitioner ? PartitionBy(std::move(partitioner)) : *this;
+    return IndexedSpatialRDD<V>(BuildTrees(source, order),
+                                ExtentsOf(source), order);
+  }
+
+  /// Persistent-capable indexing: trees are built once (cached) and can be
+  /// written to disk with IndexedSpatialRDD::Save and reused by Load.
+  IndexedSpatialRDD<V> Index(
+      size_t order = 10,
+      std::shared_ptr<SpatialPartitioner> partitioner = nullptr) const {
+    const SpatialRDD source =
+        partitioner ? PartitionBy(std::move(partitioner)) : *this;
+    return IndexedSpatialRDD<V>(BuildTrees(source, order).Cache(),
+                                ExtentsOf(source), order);
+  }
+
+ private:
+  using TreePtr = typename IndexedSpatialRDD<V>::TreePtr;
+
+  static RDD<TreePtr> BuildTrees(const SpatialRDD& source, size_t order) {
+    return source.rdd_.MapPartitionsWithIndex(
+        [order](size_t, std::vector<Element> items) {
+          std::vector<std::pair<Envelope, Element>> entries;
+          entries.reserve(items.size());
+          for (auto& e : items) {
+            Envelope env = e.first.envelope();
+            entries.emplace_back(env, std::move(e));
+          }
+          auto tree = std::make_shared<RTree<Element>>(order);
+          tree->BulkLoad(std::move(entries));
+          return std::vector<TreePtr>{std::move(tree)};
+        });
+  }
+
+  static std::shared_ptr<std::vector<Envelope>> ExtentsOf(
+      const SpatialRDD& source) {
+    if (!source.partitioner_) return nullptr;
+    auto extents = std::make_shared<std::vector<Envelope>>();
+    for (size_t i = 0; i < source.partitioner_->NumPartitions(); ++i) {
+      extents->push_back(source.partitioner_->PartitionExtent(i));
+    }
+    return extents;
+  }
+
+  RDD<Element> rdd_;
+  std::shared_ptr<SpatialPartitioner> partitioner_;
+};
+
+/// Mirrors STARK's implicit Scala conversion: lifts a plain engine RDD of
+/// (STObject, V) pairs into the spatial API.
+template <typename V>
+SpatialRDD<V> Spatial(RDD<std::pair<STObject, V>> rdd) {
+  return SpatialRDD<V>(std::move(rdd));
+}
+
+}  // namespace stark
+
+#endif  // STARK_SPATIAL_RDD_SPATIAL_RDD_H_

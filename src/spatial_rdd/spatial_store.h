@@ -1,0 +1,82 @@
+/// \file spatial_store.h
+/// Persists a spatially partitioned RDD — data, partition bounds and
+/// extents — and loads it back with the partition metadata intact, so
+/// partition pruning keeps working across program runs. This is the paper's
+/// Figure-2 workflow: "spatial partitioning -> store to HDFS" and later
+/// "load from HDFS -> query execution" (HDFS substituted by local files).
+#ifndef STARK_SPATIAL_RDD_SPATIAL_STORE_H_
+#define STARK_SPATIAL_RDD_SPATIAL_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/st_serde.h"
+#include "engine/checkpoint.h"
+#include "partition/explicit_partitioner.h"
+#include "spatial_rdd/spatial_rdd.h"
+#include "spatial_rdd/value_serde.h"
+
+namespace stark {
+
+/// Writes \p rdd to \p directory: checkpointed partitions plus a
+/// `_spatial_meta` file with the partitioner's bounds and extents (when the
+/// RDD is spatially partitioned).
+template <typename V>
+Status SaveSpatial(const SpatialRDD<V>& rdd, const std::string& directory) {
+  STARK_RETURN_NOT_OK(Checkpoint(rdd.rdd(), directory));
+  BinaryWriter meta;
+  meta.WriteU32(0x5354534dU);  // "STSM"
+  const auto& partitioner = rdd.partitioner();
+  meta.WriteBool(partitioner != nullptr);
+  if (partitioner != nullptr) {
+    meta.WriteU64(partitioner->NumPartitions());
+    for (size_t i = 0; i < partitioner->NumPartitions(); ++i) {
+      WriteEnvelope(&meta, partitioner->PartitionBounds(i));
+      WriteEnvelope(&meta, partitioner->PartitionExtent(i));
+    }
+  }
+  return WriteFileBytes(directory + "/_spatial_meta", meta.buffer());
+}
+
+/// Loads a spatial RDD written by SaveSpatial. If the data was partitioned,
+/// the returned RDD carries an ExplicitPartitioner with the stored bounds
+/// and extents, so extent pruning applies immediately.
+template <typename V>
+Result<SpatialRDD<V>> LoadSpatial(Context* ctx,
+                                  const std::string& directory) {
+  using Element = std::pair<STObject, V>;
+  STARK_ASSIGN_OR_RETURN(RDD<Element> rdd,
+                         LoadCheckpoint<Element>(ctx, directory));
+  STARK_ASSIGN_OR_RETURN(std::vector<char> meta_buf,
+                         ReadFileBytes(directory + "/_spatial_meta"));
+  BinaryReader meta(meta_buf);
+  STARK_ASSIGN_OR_RETURN(uint32_t magic, meta.ReadU32());
+  if (magic != 0x5354534dU) {
+    return Status::IOError("bad spatial-store magic in " + directory);
+  }
+  STARK_ASSIGN_OR_RETURN(bool partitioned, meta.ReadBool());
+  if (!partitioned) return SpatialRDD<V>(std::move(rdd));
+
+  STARK_ASSIGN_OR_RETURN(uint64_t num_parts, meta.ReadU64());
+  if (num_parts != rdd.NumPartitions()) {
+    return Status::IOError("spatial-store metadata/partition count mismatch");
+  }
+  std::vector<Envelope> bounds;
+  std::vector<Envelope> extents;
+  bounds.reserve(num_parts);
+  extents.reserve(num_parts);
+  for (uint64_t i = 0; i < num_parts; ++i) {
+    STARK_ASSIGN_OR_RETURN(Envelope b, ReadEnvelope(&meta));
+    STARK_ASSIGN_OR_RETURN(Envelope e, ReadEnvelope(&meta));
+    bounds.push_back(b);
+    extents.push_back(e);
+  }
+  auto partitioner = std::make_shared<ExplicitPartitioner>(std::move(bounds),
+                                                           extents);
+  return SpatialRDD<V>(std::move(rdd), std::move(partitioner));
+}
+
+}  // namespace stark
+
+#endif  // STARK_SPATIAL_RDD_SPATIAL_STORE_H_

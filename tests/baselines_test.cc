@@ -1,0 +1,122 @@
+// Tests for the Figure-4 baseline strategies: all three systems must
+// produce exactly the same self-join result count (the paper notes that
+// GeoSpark produced *different* counts per run — a bug we must not have).
+#include <gtest/gtest.h>
+
+#include "baselines/geospark_like.h"
+#include "baselines/spatialspark_like.h"
+#include "baselines/stark_selfjoin.h"
+#include "io/generator.h"
+
+namespace stark {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() {
+    SkewedPointsOptions gen;
+    gen.count = 1500;
+    gen.universe = Envelope(0, 0, 100, 100);
+    gen.clusters = 5;
+    gen.seed = 81;
+    data_ = GenerateSkewedPoints(gen);
+  }
+
+  size_t BruteForcePairs(double dist) const {
+    size_t count = 0;
+    for (size_t i = 0; i < data_.size(); ++i) {
+      for (size_t j = 0; j < data_.size(); ++j) {
+        if (i != j &&
+            data_[i].Centroid().DistanceTo(data_[j].Centroid()) <= dist) {
+          ++count;
+        }
+      }
+    }
+    return count;
+  }
+
+  Context ctx_{4};
+  std::vector<STObject> data_;
+};
+
+constexpr double kDist = 1.0;
+
+TEST_F(BaselinesTest, GeoSparkLikeUnpartitionedCorrect) {
+  const size_t expect = BruteForcePairs(kDist);
+  GeoSparkLikeOptions opt;
+  auto stats = GeoSparkLikeSelfJoin(&ctx_, data_, kDist, opt);
+  EXPECT_EQ(stats.result_pairs, expect);
+  EXPECT_EQ(stats.system, "GeoSpark-like");
+  EXPECT_EQ(stats.config, "none");
+  EXPECT_EQ(stats.replicated, 0u);
+}
+
+TEST_F(BaselinesTest, GeoSparkLikeVoronoiCorrectAndReplicates) {
+  const size_t expect = BruteForcePairs(kDist);
+  GeoSparkLikeOptions opt;
+  opt.voronoi_seeds = 12;
+  auto stats = GeoSparkLikeSelfJoin(&ctx_, data_, kDist, opt);
+  EXPECT_EQ(stats.result_pairs, expect);
+  EXPECT_EQ(stats.config, "voronoi");
+  EXPECT_GT(stats.replicated, 0u);  // replication is the strategy's cost
+}
+
+TEST_F(BaselinesTest, SpatialSparkLikeUnpartitionedCorrect) {
+  const size_t expect = BruteForcePairs(kDist);
+  auto stats = SpatialSparkLikeSelfJoin(&ctx_, data_, kDist, {});
+  EXPECT_EQ(stats.result_pairs, expect);
+  EXPECT_EQ(stats.config, "none");
+}
+
+TEST_F(BaselinesTest, SpatialSparkLikeTiledCorrect) {
+  const size_t expect = BruteForcePairs(kDist);
+  SpatialSparkLikeOptions opt;
+  opt.tiles = 8;
+  auto stats = SpatialSparkLikeSelfJoin(&ctx_, data_, kDist, opt);
+  EXPECT_EQ(stats.result_pairs, expect);
+  EXPECT_EQ(stats.config, "tile");
+}
+
+TEST_F(BaselinesTest, StarkAllPartitionersCorrect) {
+  const size_t expect = BruteForcePairs(kDist);
+  for (auto choice : {StarkPartitionerChoice::kNone,
+                      StarkPartitionerChoice::kGrid,
+                      StarkPartitionerChoice::kBsp}) {
+    StarkSelfJoinOptions opt;
+    opt.partitioner = choice;
+    opt.bsp_max_cost = 200;
+    opt.grid_cells_per_dim = 4;
+    auto stats = StarkSelfJoin(&ctx_, data_, kDist, opt);
+    EXPECT_EQ(stats.result_pairs, expect)
+        << "partitioner config " << stats.config;
+    EXPECT_EQ(stats.replicated, 0u);  // STARK never replicates (§2.1)
+  }
+}
+
+TEST_F(BaselinesTest, AllSystemsAgreeOnLargerDistance) {
+  const double dist = 3.5;
+  const size_t expect = BruteForcePairs(dist);
+  GeoSparkLikeOptions geo;
+  geo.voronoi_seeds = 8;
+  SpatialSparkLikeOptions ss;
+  ss.tiles = 6;
+  StarkSelfJoinOptions st;
+  st.partitioner = StarkPartitionerChoice::kBsp;
+  st.bsp_max_cost = 300;
+  EXPECT_EQ(GeoSparkLikeSelfJoin(&ctx_, data_, dist, geo).result_pairs,
+            expect);
+  EXPECT_EQ(SpatialSparkLikeSelfJoin(&ctx_, data_, dist, ss).result_pairs,
+            expect);
+  EXPECT_EQ(StarkSelfJoin(&ctx_, data_, dist, st).result_pairs, expect);
+}
+
+TEST_F(BaselinesTest, EmptyInputYieldsZeroPairs) {
+  std::vector<STObject> empty;
+  EXPECT_EQ(GeoSparkLikeSelfJoin(&ctx_, empty, kDist, {}).result_pairs, 0u);
+  EXPECT_EQ(SpatialSparkLikeSelfJoin(&ctx_, empty, kDist, {}).result_pairs,
+            0u);
+  EXPECT_EQ(StarkSelfJoin(&ctx_, empty, kDist, {}).result_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace stark

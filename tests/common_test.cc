@@ -1,0 +1,210 @@
+// Tests for the common substrate: Status/Result, binary serde streams,
+// the worker thread pool and the deterministic RNG.
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace stark {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad ring");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad ring");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad ring");
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::IOError("disk gone");
+  Status b = a;
+  EXPECT_EQ(b.ToString(), a.ToString());
+  Status c;
+  c = b;
+  EXPECT_EQ(c.code(), StatusCode::kIOError);
+  // Self-assignment must be safe.
+  c = *&c;
+  EXPECT_EQ(c.code(), StatusCode::kIOError);
+}
+
+TEST(StatusTest, EachFactoryProducesItsCode) {
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::KeyError("x").code(), StatusCode::kKeyError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::UnknownError("x").code(), StatusCode::kUnknownError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOrDie(), 7);
+  EXPECT_EQ(r.ValueOr(3), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::KeyError("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kKeyError);
+  EXPECT_EQ(r.ValueOr(3), 3);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterEven(int x) {
+  STARK_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  STARK_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(QuarterEven(8).ValueOrDie(), 2);
+  EXPECT_FALSE(QuarterEven(6).ok());   // 6/2 = 3 is odd
+  EXPECT_FALSE(QuarterEven(5).ok());
+}
+
+TEST(SerdeTest, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(200);
+  w.WriteU32(123456u);
+  w.WriteU64(99);
+  w.WriteI64(-42);
+  w.WriteDouble(3.25);
+  w.WriteBool(true);
+  w.WriteBool(false);
+  w.WriteString("hello, stark");
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadU8().ValueOrDie(), 200);
+  EXPECT_EQ(r.ReadU32().ValueOrDie(), 123456u);
+  EXPECT_EQ(r.ReadU64().ValueOrDie(), 99u);
+  EXPECT_EQ(r.ReadI64().ValueOrDie(), -42);
+  EXPECT_EQ(r.ReadDouble().ValueOrDie(), 3.25);
+  EXPECT_TRUE(r.ReadBool().ValueOrDie());
+  EXPECT_FALSE(r.ReadBool().ValueOrDie());
+  EXPECT_EQ(r.ReadString().ValueOrDie(), "hello, stark");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, TruncatedStreamIsIOError) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(r.ReadU64().status().code() == StatusCode::kIOError);
+}
+
+TEST(SerdeTest, TruncatedStringIsIOError) {
+  BinaryWriter w;
+  w.WriteU64(1'000'000);  // length prefix far beyond the buffer
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kIOError);
+}
+
+TEST(SerdeTest, FileRoundTrip) {
+  const std::string path = test::UniqueTempPath("stark_serde_file");
+  std::vector<char> payload{'a', 'b', 'c', '\0', 'd'};
+  ASSERT_TRUE(WriteFileBytes(path, payload).ok());
+  auto read = ReadFileBytes(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.ValueOrDie(), payload);
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, MissingFileIsIOError) {
+  auto read = ReadFileBytes("/nonexistent/stark/file");
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(3);
+  auto f1 = pool.Submit([] { return 1 + 1; });
+  auto f2 = pool.Submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 2);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i]++; });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(8,
+                       [&](size_t i) {
+                         if (i == 3) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroAndOneShortcut) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+  int calls = 0;
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1'000'000), b.UniformInt(0, 1'000'000));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace stark

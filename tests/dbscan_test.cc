@@ -1,0 +1,219 @@
+// Tests for DBSCAN: the sequential reference implementation and the
+// distributed MR-DBSCAN-style operator, including the equivalence property
+// distributed == sequential (as partitions of the point set).
+#include <map>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "clustering/distributed_dbscan.h"
+#include "clustering/union_find.h"
+#include "common/rng.h"
+#include "io/generator.h"
+#include "partition/bsp_partitioner.h"
+#include "partition/grid_partitioner.h"
+
+namespace stark {
+namespace {
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(6);
+  EXPECT_FALSE(uf.Connected(0, 1));
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(1, 2));
+  uf.Union(1, 3);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 5));
+  EXPECT_EQ(uf.Find(0), uf.Find(3));
+}
+
+TEST(DbscanLocalTest, EmptyInput) {
+  auto result = DbscanLocal({}, {1.0, 3});
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.num_clusters, 0u);
+}
+
+TEST(DbscanLocalTest, TwoClustersAndNoise) {
+  // Two tight groups of 4 points each, plus one far-away noise point.
+  std::vector<Coordinate> pts = {
+      {0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1},          // cluster A
+      {10, 10}, {10.1, 10}, {10, 10.1}, {10.1, 10.1},  // cluster B
+      {50, 50},                                        // noise
+  };
+  auto result = DbscanLocal(pts, {0.5, 3});
+  EXPECT_EQ(result.num_clusters, 2u);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[0], result.labels[3]);
+  EXPECT_EQ(result.labels[4], result.labels[7]);
+  EXPECT_NE(result.labels[0], result.labels[4]);
+  EXPECT_EQ(result.labels[8], kNoise);
+  EXPECT_FALSE(result.core[8]);
+  EXPECT_TRUE(result.core[0]);
+}
+
+TEST(DbscanLocalTest, MinPtsCountsSelf) {
+  // Two points within eps: with min_pts = 2 they form a cluster; with 3
+  // they are noise.
+  std::vector<Coordinate> pts = {{0, 0}, {0.1, 0}};
+  EXPECT_EQ(DbscanLocal(pts, {0.5, 2}).num_clusters, 1u);
+  EXPECT_EQ(DbscanLocal(pts, {0.5, 3}).num_clusters, 0u);
+}
+
+TEST(DbscanLocalTest, ChainOfCorePointsFormsOneCluster) {
+  // Points spaced 0.9 apart with eps 1.0: density-connected chain.
+  std::vector<Coordinate> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back({0.9 * i, 0.0});
+  auto result = DbscanLocal(pts, {1.0, 2});
+  EXPECT_EQ(result.num_clusters, 1u);
+  for (int64_t label : result.labels) EXPECT_EQ(label, 0);
+}
+
+TEST(DbscanLocalTest, BorderPointJoinsFirstCluster) {
+  // A border point (not core) adjacent to a dense cluster is labeled.
+  std::vector<Coordinate> pts = {{0, 0}, {0.1, 0}, {0, 0.1},
+                                 {0.1, 0.1}, {0.55, 0}};
+  auto result = DbscanLocal(pts, {0.5, 4});
+  EXPECT_EQ(result.num_clusters, 1u);
+  EXPECT_EQ(result.labels[4], 0);
+  EXPECT_FALSE(result.core[4]);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed DBSCAN
+// ---------------------------------------------------------------------------
+
+/// Canonical form of a clustering: set of clusters, each a set of ids.
+template <typename GetLabel>
+std::set<std::set<int64_t>> CanonicalClusters(size_t n, GetLabel get) {
+  std::map<int64_t, std::set<int64_t>> by_label;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t label = get(i);
+    if (label != kNoise) by_label[label].insert(static_cast<int64_t>(i));
+  }
+  std::set<std::set<int64_t>> out;
+  for (auto& [label, members] : by_label) out.insert(std::move(members));
+  return out;
+}
+
+class DistributedDbscanTest : public ::testing::Test {
+ protected:
+  Context ctx_{4};
+
+  /// Runs distributed DBSCAN with the given partitioner and compares the
+  /// resulting partition of points into clusters with sequential DBSCAN.
+  void ExpectMatchesSequential(
+      const std::vector<STObject>& points, const DbscanParams& params,
+      const std::shared_ptr<SpatialPartitioner>& partitioner) {
+    std::vector<std::pair<STObject, int64_t>> data;
+    std::vector<Coordinate> coords;
+    for (size_t i = 0; i < points.size(); ++i) {
+      data.emplace_back(points[i], static_cast<int64_t>(i));
+      coords.push_back(points[i].Centroid());
+    }
+    const DbscanResult seq = DbscanLocal(coords, params);
+
+    auto rdd = SpatialRDD<int64_t>::FromVector(&ctx_, data, 4);
+    auto clustered = DistributedDbscan(rdd, params, partitioner).Collect();
+    ASSERT_EQ(clustered.size(), points.size());
+
+    std::map<int64_t, int64_t> dist_labels;  // point id -> cluster
+    for (const auto& [elem, label] : clustered) {
+      dist_labels[elem.second] = label;
+    }
+    const auto seq_clusters = CanonicalClusters(
+        points.size(), [&](size_t i) { return seq.labels[i]; });
+    const auto dist_clusters = CanonicalClusters(
+        points.size(),
+        [&](size_t i) { return dist_labels[static_cast<int64_t>(i)]; });
+    EXPECT_EQ(dist_clusters, seq_clusters);
+    // Noise sets match implicitly: same clusters over the same points.
+  }
+};
+
+TEST_F(DistributedDbscanTest, MatchesSequentialOnSkewedData) {
+  SkewedPointsOptions gen;
+  gen.count = 1500;
+  gen.universe = Envelope(0, 0, 100, 100);
+  gen.clusters = 6;
+  gen.cluster_spread = 0.015;
+  gen.seed = 71;
+  const auto points = GenerateSkewedPoints(gen);
+  auto grid = std::make_shared<GridPartitioner>(gen.universe, 4);
+  ExpectMatchesSequential(points, {1.5, 5}, grid);
+}
+
+TEST_F(DistributedDbscanTest, MatchesSequentialWithBsp) {
+  SkewedPointsOptions gen;
+  gen.count = 1200;
+  gen.universe = Envelope(0, 0, 100, 100);
+  gen.clusters = 4;
+  gen.seed = 72;
+  const auto points = GenerateSkewedPoints(gen);
+  std::vector<Coordinate> centroids;
+  for (const auto& p : points) centroids.push_back(p.Centroid());
+  BSPartitioner::Options opt;
+  opt.max_cost = 150;
+  auto bsp =
+      std::make_shared<BSPartitioner>(gen.universe, centroids, opt);
+  ExpectMatchesSequential(points, {2.0, 4}, bsp);
+}
+
+TEST_F(DistributedDbscanTest, ClusterStraddlingPartitionBorderIsMerged) {
+  // A single dense chain crossing the border between grid cells: the merge
+  // step must unify the two local clusters.
+  std::vector<STObject> points;
+  for (int i = 0; i < 40; ++i) {
+    points.emplace_back(Geometry::MakePoint(30 + i, 50.0));
+  }
+  auto grid = std::make_shared<GridPartitioner>(Envelope(0, 0, 100, 100), 2);
+  std::vector<std::pair<STObject, int64_t>> data;
+  for (size_t i = 0; i < points.size(); ++i) {
+    data.emplace_back(points[i], static_cast<int64_t>(i));
+  }
+  auto rdd = SpatialRDD<int64_t>::FromVector(&ctx_, data, 4);
+  auto clustered = DistributedDbscan(rdd, {1.5, 2}, grid).Collect();
+  std::set<int64_t> labels;
+  for (const auto& [elem, label] : clustered) {
+    EXPECT_NE(label, kNoise);
+    labels.insert(label);
+  }
+  EXPECT_EQ(labels.size(), 1u);  // one global cluster, not two halves
+}
+
+TEST_F(DistributedDbscanTest, RandomizedEquivalenceSweep) {
+  // Property sweep over random parameters: distributed must equal
+  // sequential for any eps/min_pts/partitioner granularity.
+  Rng rng(73);
+  for (int trial = 0; trial < 5; ++trial) {
+    SkewedPointsOptions gen;
+    gen.count = 600;
+    gen.universe = Envelope(0, 0, 50, 50);
+    gen.clusters = static_cast<size_t>(rng.UniformInt(2, 6));
+    gen.seed = 100 + static_cast<uint64_t>(trial);
+    const auto points = GenerateSkewedPoints(gen);
+    const DbscanParams params{rng.Uniform(0.5, 2.5),
+                              static_cast<size_t>(rng.UniformInt(2, 8))};
+    auto grid = std::make_shared<GridPartitioner>(
+        gen.universe, static_cast<size_t>(rng.UniformInt(2, 5)));
+    ExpectMatchesSequential(points, params, grid);
+  }
+}
+
+TEST_F(DistributedDbscanTest, AllNoiseWhenEpsTiny) {
+  const auto points =
+      GenerateUniformPoints(200, 74, Envelope(0, 0, 1000, 1000));
+  std::vector<std::pair<STObject, int64_t>> data;
+  for (size_t i = 0; i < points.size(); ++i) {
+    data.emplace_back(points[i], static_cast<int64_t>(i));
+  }
+  auto rdd = SpatialRDD<int64_t>::FromVector(&ctx_, data, 4);
+  auto grid = std::make_shared<GridPartitioner>(Envelope(0, 0, 1000, 1000), 3);
+  auto clustered = DistributedDbscan(rdd, {0.001, 3}, grid).Collect();
+  for (const auto& [elem, label] : clustered) EXPECT_EQ(label, kNoise);
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,113 @@
+// Concurrency and stress tests for the sparklet engine: cache thread
+// safety, deep lineage chains, wide shuffles, and pruning interaction.
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "engine/pair_rdd.h"
+#include "engine/rdd.h"
+
+namespace stark {
+namespace {
+
+TEST(EngineStressTest, CacheIsComputedOnceUnderConcurrentActions) {
+  Context ctx(4);
+  std::atomic<int> computations{0};
+  std::vector<int> data(1000);
+  std::iota(data.begin(), data.end(), 0);
+  auto cached = MakeRDD(&ctx, data, 8)
+                    .Map([&computations](int& x) {
+                      ++computations;
+                      return x;
+                    })
+                    .Cache();
+  // Hammer the cached RDD from several driver threads at once.
+  std::vector<std::thread> drivers;
+  std::atomic<size_t> total{0};
+  for (int t = 0; t < 4; ++t) {
+    drivers.emplace_back([&cached, &total] {
+      for (int i = 0; i < 10; ++i) total += cached.Count();
+    });
+  }
+  for (auto& d : drivers) d.join();
+  EXPECT_EQ(total.load(), 4u * 10u * 1000u);
+  EXPECT_EQ(computations.load(), 1000);  // each element computed exactly once
+}
+
+TEST(EngineStressTest, DeepLineageChain) {
+  Context ctx(2);
+  auto rdd = MakeRDD(&ctx, std::vector<int64_t>{1, 2, 3, 4, 5}, 2);
+  // 200 chained maps: the lazy lineage must neither overflow nor slow down
+  // catastrophically.
+  for (int i = 0; i < 200; ++i) {
+    rdd = rdd.Map([](int64_t& x) { return x + 1; });
+  }
+  auto out = rdd.Collect();
+  EXPECT_EQ(out, (std::vector<int64_t>{201, 202, 203, 204, 205}));
+}
+
+TEST(EngineStressTest, WideShuffle) {
+  Context ctx(4);
+  constexpr size_t kN = 200'000;
+  std::vector<int64_t> data(kN);
+  std::iota(data.begin(), data.end(), 0);
+  auto shuffled = MakeRDD(&ctx, std::move(data), 8)
+                      .PartitionBy(64, [](const int64_t& x) {
+                        return static_cast<size_t>(x) % 64;
+                      });
+  EXPECT_EQ(shuffled.NumPartitions(), 64u);
+  EXPECT_EQ(shuffled.Count(), kN);
+  const int64_t sum =
+      shuffled.Fold(int64_t{0}, [](int64_t a, int64_t b) { return a + b; });
+  EXPECT_EQ(sum, static_cast<int64_t>(kN) * (kN - 1) / 2);
+}
+
+TEST(EngineStressTest, PrunePartitionsComposesWithCache) {
+  Context ctx(2);
+  std::atomic<int> computations{0};
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  auto cached = MakeRDD(&ctx, data, 10)
+                    .Map([&computations](int& x) {
+                      ++computations;
+                      return x;
+                    })
+                    .Cache();
+  // Prune all but partition 0: only 10 elements may be computed.
+  auto pruned = cached.PrunePartitions([](size_t p) { return p == 0; });
+  EXPECT_EQ(pruned.Count(), 10u);
+  EXPECT_EQ(computations.load(), 10);
+  // The unpruned partitions are still reachable through the cache.
+  EXPECT_EQ(cached.Count(), 100u);
+  EXPECT_EQ(computations.load(), 100);
+}
+
+TEST(EngineStressTest, ReduceByKeyManyKeys) {
+  Context ctx(4);
+  constexpr int64_t kN = 100'000;
+  std::vector<std::pair<int64_t, int64_t>> data;
+  data.reserve(kN);
+  for (int64_t i = 0; i < kN; ++i) data.emplace_back(i % 1000, 1);
+  auto reduced = ReduceByKey(MakeRDD(&ctx, std::move(data), 16),
+                             [](int64_t a, int64_t b) { return a + b; });
+  auto out = reduced.Collect();
+  ASSERT_EQ(out.size(), 1000u);
+  for (const auto& [k, v] : out) EXPECT_EQ(v, kN / 1000);
+}
+
+TEST(EngineStressTest, UnionOfManyRdds) {
+  Context ctx(2);
+  RDD<int> acc = MakeRDD(&ctx, std::vector<int>{0}, 1);
+  for (int i = 1; i < 50; ++i) {
+    acc = acc.Union(MakeRDD(&ctx, std::vector<int>{i}, 1));
+  }
+  EXPECT_EQ(acc.NumPartitions(), 50u);
+  EXPECT_EQ(acc.Count(), 50u);
+  const int sum = acc.Fold(0, [](int a, int b) { return a + b; });
+  EXPECT_EQ(sum, 49 * 50 / 2);
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,138 @@
+// Tests for the Envelope (minimum bounding rectangle) type.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/envelope.h"
+
+namespace stark {
+namespace {
+
+TEST(EnvelopeTest, DefaultIsEmpty) {
+  Envelope e;
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_EQ(e.Width(), 0.0);
+  EXPECT_EQ(e.Height(), 0.0);
+  EXPECT_EQ(e.Area(), 0.0);
+  EXPECT_FALSE(e.Contains(Coordinate{0, 0}));
+  EXPECT_FALSE(e.Intersects(Envelope(0, 0, 1, 1)));
+}
+
+TEST(EnvelopeTest, ExpandToIncludeCoordinates) {
+  Envelope e;
+  e.ExpandToInclude(Coordinate{1, 2});
+  EXPECT_FALSE(e.IsEmpty());
+  EXPECT_EQ(e.Area(), 0.0);
+  e.ExpandToInclude(Coordinate{-1, 5});
+  EXPECT_EQ(e.min_x(), -1);
+  EXPECT_EQ(e.max_x(), 1);
+  EXPECT_EQ(e.min_y(), 2);
+  EXPECT_EQ(e.max_y(), 5);
+  EXPECT_EQ(e.Width(), 2);
+  EXPECT_EQ(e.Height(), 3);
+  EXPECT_EQ(e.Area(), 6);
+}
+
+TEST(EnvelopeTest, ExpandToIncludeEnvelope) {
+  Envelope a(0, 0, 1, 1);
+  a.ExpandToInclude(Envelope(2, -1, 3, 0.5));
+  EXPECT_EQ(a, Envelope(0, -1, 3, 1));
+  a.ExpandToInclude(Envelope());  // empty is a no-op
+  EXPECT_EQ(a, Envelope(0, -1, 3, 1));
+}
+
+TEST(EnvelopeTest, IntersectsAndTouches) {
+  Envelope a(0, 0, 2, 2);
+  EXPECT_TRUE(a.Intersects(Envelope(1, 1, 3, 3)));
+  EXPECT_TRUE(a.Intersects(Envelope(2, 2, 3, 3)));  // corner touch
+  EXPECT_TRUE(a.Intersects(Envelope(2, 0, 4, 2)));  // edge touch
+  EXPECT_FALSE(a.Intersects(Envelope(2.01, 0, 3, 1)));
+  EXPECT_FALSE(a.Intersects(Envelope(0, 2.01, 1, 3)));
+  EXPECT_TRUE(a.Intersects(a));
+}
+
+TEST(EnvelopeTest, ContainsCoordinateIncludesBoundary) {
+  Envelope a(0, 0, 2, 2);
+  EXPECT_TRUE(a.Contains(Coordinate{1, 1}));
+  EXPECT_TRUE(a.Contains(Coordinate{0, 0}));
+  EXPECT_TRUE(a.Contains(Coordinate{2, 2}));
+  EXPECT_FALSE(a.Contains(Coordinate{2.0001, 1}));
+}
+
+TEST(EnvelopeTest, ContainsEnvelope) {
+  Envelope a(0, 0, 4, 4);
+  EXPECT_TRUE(a.Contains(Envelope(1, 1, 2, 2)));
+  EXPECT_TRUE(a.Contains(a));
+  EXPECT_FALSE(a.Contains(Envelope(1, 1, 5, 2)));
+  EXPECT_FALSE(Envelope().Contains(a));
+  EXPECT_FALSE(a.Contains(Envelope()));
+}
+
+TEST(EnvelopeTest, DistanceToEnvelope) {
+  Envelope a(0, 0, 1, 1);
+  EXPECT_EQ(a.Distance(Envelope(0.5, 0.5, 2, 2)), 0.0);
+  EXPECT_DOUBLE_EQ(a.Distance(Envelope(3, 0, 4, 1)), 2.0);   // pure x gap
+  EXPECT_DOUBLE_EQ(a.Distance(Envelope(0, 4, 1, 5)), 3.0);   // pure y gap
+  EXPECT_DOUBLE_EQ(a.Distance(Envelope(4, 5, 6, 7)), 5.0);   // diagonal 3-4-5
+}
+
+TEST(EnvelopeTest, DistanceToCoordinate) {
+  Envelope a(0, 0, 2, 2);
+  EXPECT_EQ(a.Distance(Coordinate{1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(a.Distance(Coordinate{5, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(a.Distance(Coordinate{5, 6}), 5.0);
+}
+
+TEST(EnvelopeTest, Intersection) {
+  Envelope a(0, 0, 2, 2);
+  EXPECT_EQ(a.Intersection(Envelope(1, 1, 3, 3)), Envelope(1, 1, 2, 2));
+  EXPECT_TRUE(a.Intersection(Envelope(5, 5, 6, 6)).IsEmpty());
+}
+
+TEST(EnvelopeTest, ExpandedAddsMargin) {
+  Envelope a(0, 0, 1, 1);
+  EXPECT_EQ(a.Expanded(0.5), Envelope(-0.5, -0.5, 1.5, 1.5));
+  EXPECT_TRUE(Envelope().Expanded(1.0).IsEmpty());
+}
+
+TEST(EnvelopeTest, CenterOfBox) {
+  EXPECT_EQ(Envelope(0, 0, 2, 4).Center().x, 1.0);
+  EXPECT_EQ(Envelope(0, 0, 2, 4).Center().y, 2.0);
+}
+
+// Property: distance is symmetric and zero iff intersecting, over random
+// rectangles.
+TEST(EnvelopePropertyTest, DistanceSymmetryAndZeroIffIntersect) {
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto random_env = [&] {
+      const double x1 = rng.Uniform(-10, 10);
+      const double y1 = rng.Uniform(-10, 10);
+      const double x2 = x1 + rng.Uniform(0, 5);
+      const double y2 = y1 + rng.Uniform(0, 5);
+      return Envelope(x1, y1, x2, y2);
+    };
+    const Envelope a = random_env();
+    const Envelope b = random_env();
+    EXPECT_DOUBLE_EQ(a.Distance(b), b.Distance(a));
+    EXPECT_EQ(a.Distance(b) == 0.0, a.Intersects(b));
+    EXPECT_EQ(a.Intersects(b), b.Intersects(a));
+  }
+}
+
+// Property: containment implies intersection and distance zero.
+TEST(EnvelopePropertyTest, ContainmentImpliesIntersection) {
+  Rng rng(100);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double x1 = rng.Uniform(-10, 10);
+    const double y1 = rng.Uniform(-10, 10);
+    const Envelope outer(x1, y1, x1 + 6, y1 + 6);
+    const Envelope inner(x1 + 1, y1 + 1, x1 + rng.Uniform(1, 5),
+                         y1 + rng.Uniform(1, 5));
+    ASSERT_TRUE(outer.Contains(inner));
+    EXPECT_TRUE(outer.Intersects(inner));
+    EXPECT_EQ(outer.Distance(inner), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,97 @@
+// Tests for the Piglet plan pretty-printer: canonical formatting and the
+// parse -> format -> parse fixpoint property.
+#include <gtest/gtest.h>
+
+#include "piglet/explain.h"
+#include "piglet/optimizer.h"
+#include "piglet/parser.h"
+
+namespace stark {
+namespace piglet {
+namespace {
+
+TEST(ExplainTest, FormatsEveryStatementKind) {
+  const char* script = R"(
+    events = LOAD 'events.csv';
+    s = SPATIALIZE events;
+    p = PARTITION s BY GRID(4) TIME(3);
+    b = PARTITION s BY BSP(1000);
+    i = INDEX p ORDER 5;
+    f = FILTER i BY INTERSECTS('POINT(1 2)', 10, 20) AND category == 'x';
+    w = FILTER s BY WITHINDISTANCE('POINT(0 0)', 2.5);
+    j = JOIN s, p ON WITHINDISTANCE(1.5);
+    jc = JOIN s, p ON CONTAINS;
+    k = KNN s QUERY 'POINT(3 4)' K 7;
+    c = CLUSTER s USING DBSCAN(0.5, 4) GRID 8;
+    a = AGGREGATE events BY category COUNT;
+    t = LIMIT f 10;
+    DUMP t;
+    STORE w INTO 'out.csv';
+    DESCRIBE j;
+  )";
+  const Program program = Parse(script).ValueOrDie();
+  const std::string text = FormatProgram(program);
+  EXPECT_NE(text.find("events = LOAD 'events.csv';"), std::string::npos);
+  EXPECT_NE(text.find("p = PARTITION s BY GRID(4) TIME(3);"),
+            std::string::npos);
+  EXPECT_NE(text.find("b = PARTITION s BY BSP(1000);"), std::string::npos);
+  EXPECT_NE(text.find("i = INDEX p ORDER 5;"), std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "f = FILTER i BY (INTERSECTS('POINT (1 2)', 10, 20) AND "
+          "category == 'x');"),
+      std::string::npos);
+  EXPECT_NE(text.find("w = FILTER s BY WITHINDISTANCE('POINT (0 0)', 2.5);"),
+            std::string::npos);
+  EXPECT_NE(text.find("j = JOIN s, p ON WITHINDISTANCE(1.5);"),
+            std::string::npos);
+  EXPECT_NE(text.find("jc = JOIN s, p ON CONTAINS;"), std::string::npos);
+  EXPECT_NE(text.find("k = KNN s QUERY 'POINT (3 4)' K 7;"),
+            std::string::npos);
+  EXPECT_NE(text.find("c = CLUSTER s USING DBSCAN(0.5, 4) GRID 8;"),
+            std::string::npos);
+  EXPECT_NE(text.find("a = AGGREGATE events BY category COUNT;"),
+            std::string::npos);
+  EXPECT_NE(text.find("t = LIMIT f 10;"), std::string::npos);
+  EXPECT_NE(text.find("DUMP t;"), std::string::npos);
+  EXPECT_NE(text.find("STORE w INTO 'out.csv';"), std::string::npos);
+  EXPECT_NE(text.find("DESCRIBE j;"), std::string::npos);
+}
+
+// Property: formatting is a fixpoint — parse(format(p)) formats to the
+// same text, so the printed plan is valid, canonical Piglet.
+TEST(ExplainTest, FormatParseFormatFixpoint) {
+  const char* script = R"(
+    events = LOAD 'events.csv';
+    s = SPATIALIZE events;
+    f = FILTER s BY NOT (time > 100 OR category != 'a');
+    g = FILTER f BY CONTAINEDBY('POLYGON((0 0, 4 0, 4 4, 0 0))');
+    DUMP g;
+  )";
+  const Program first = Parse(script).ValueOrDie();
+  const std::string once = FormatProgram(first);
+  const Program second = Parse(once).ValueOrDie();
+  EXPECT_EQ(FormatProgram(second), once);
+}
+
+TEST(ExplainTest, ShowsOptimizerRewrites) {
+  const Program program = Parse(
+                              "a = LOAD 'f.csv';\n"
+                              "b = FILTER a BY id == 1;\n"
+                              "c = FILTER b BY time > 5;\n"
+                              "dead = LIMIT a 3;\n"
+                              "DUMP c;")
+                              .ValueOrDie();
+  OptimizerReport report;
+  const Program optimized = Optimize(program, &report);
+  const std::string text = FormatProgram(optimized);
+  EXPECT_NE(text.find("c = FILTER a BY (id == 1 AND time > 5);"),
+            std::string::npos);
+  EXPECT_EQ(text.find("dead"), std::string::npos);
+  // The optimized plan still parses.
+  EXPECT_TRUE(Parse(text).ok());
+}
+
+}  // namespace
+}  // namespace piglet
+}  // namespace stark

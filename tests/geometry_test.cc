@@ -1,0 +1,95 @@
+// Tests for the Geometry factories, envelopes and centroids.
+#include <gtest/gtest.h>
+
+#include "geometry/geometry.h"
+
+namespace stark {
+namespace {
+
+TEST(GeometryTest, PointBasics) {
+  Geometry g = Geometry::MakePoint(3, -4);
+  EXPECT_TRUE(g.IsPoint());
+  EXPECT_EQ(g.envelope(), Envelope(3, -4, 3, -4));
+  EXPECT_EQ(g.Centroid().x, 3);
+  EXPECT_EQ(g.Centroid().y, -4);
+  EXPECT_EQ(g.NumCoordinates(), 1u);
+}
+
+TEST(GeometryTest, LineStringEnvelopeAndCentroid) {
+  Geometry g =
+      Geometry::MakeLineString({{0, 0}, {4, 0}, {4, 2}}).ValueOrDie();
+  EXPECT_EQ(g.envelope(), Envelope(0, 0, 4, 2));
+  // Vertex-mean centroid.
+  EXPECT_DOUBLE_EQ(g.Centroid().x, 8.0 / 3.0);
+}
+
+TEST(GeometryTest, LineStringRequiresTwoPoints) {
+  EXPECT_FALSE(Geometry::MakeLineString({{0, 0}}).ok());
+  EXPECT_FALSE(Geometry::MakeLineString({}).ok());
+}
+
+TEST(GeometryTest, MultiPointRequiresOnePoint) {
+  EXPECT_FALSE(Geometry::MakeMultiPoint({}).ok());
+  EXPECT_TRUE(Geometry::MakeMultiPoint({{1, 1}}).ok());
+}
+
+TEST(GeometryTest, PolygonClosesAndValidates) {
+  Geometry g = Geometry::MakePolygon({{0, 0}, {2, 0}, {2, 2}}).ValueOrDie();
+  EXPECT_EQ(g.polygons()[0].shell.size(), 4u);
+  EXPECT_FALSE(Geometry::MakePolygon({{0, 0}, {1, 1}}).ok());
+  EXPECT_FALSE(Geometry::MakeMultiPolygon({}).ok());
+}
+
+TEST(GeometryTest, PolygonCentroidIsAreaWeighted) {
+  Geometry g = Geometry::MakePolygon(
+                   {{0, 0}, {6, 0}, {6, 6}, {0, 6}})
+                   .ValueOrDie();
+  EXPECT_DOUBLE_EQ(g.Centroid().x, 3.0);
+  EXPECT_DOUBLE_EQ(g.Centroid().y, 3.0);
+}
+
+TEST(GeometryTest, MultiPolygonCentroidWeightsByArea) {
+  // A big square (area 16, centroid (2,2)) and a far small one (area 1,
+  // centroid (10.5, 10.5)): the combined centroid leans heavily to the big.
+  std::vector<PolygonData> polys;
+  polys.push_back({{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}}, {}});
+  polys.push_back({{{10, 10}, {11, 10}, {11, 11}, {10, 11}, {10, 10}}, {}});
+  Geometry g = Geometry::MakeMultiPolygon(std::move(polys)).ValueOrDie();
+  const Coordinate c = g.Centroid();
+  EXPECT_NEAR(c.x, (2.0 * 16 + 10.5 * 1) / 17.0, 1e-9);
+  EXPECT_NEAR(c.y, c.x, 1e-9);
+}
+
+TEST(GeometryTest, MakeBoxIsClosedRectangle) {
+  Geometry g = Geometry::MakeBox(Envelope(1, 2, 3, 5));
+  EXPECT_EQ(g.type(), GeometryType::kPolygon);
+  EXPECT_EQ(g.envelope(), Envelope(1, 2, 3, 5));
+  EXPECT_EQ(g.polygons()[0].shell.size(), 5u);
+}
+
+TEST(GeometryTest, NumCoordinatesCountsAllRings) {
+  Geometry g =
+      Geometry::MakePolygon({{0, 0}, {9, 0}, {9, 9}, {0, 9}},
+                            {{{1, 1}, {2, 1}, {2, 2}, {1, 2}}})
+          .ValueOrDie();
+  EXPECT_EQ(g.NumCoordinates(), 10u);  // 5 shell + 5 hole (closed rings)
+}
+
+TEST(GeometryTest, EqualityIsStructural) {
+  Geometry a = Geometry::MakePoint(1, 2);
+  Geometry b = Geometry::MakePoint(1, 2);
+  Geometry c = Geometry::MakePoint(1, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  Geometry line = Geometry::MakeLineString({{1, 2}, {3, 4}}).ValueOrDie();
+  EXPECT_FALSE(a == line);
+}
+
+TEST(GeometryTest, TypeNames) {
+  EXPECT_STREQ(GeometryTypeName(GeometryType::kPoint), "POINT");
+  EXPECT_STREQ(GeometryTypeName(GeometryType::kMultiPolygon),
+               "MULTIPOLYGON");
+}
+
+}  // namespace
+}  // namespace stark

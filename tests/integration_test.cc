@@ -1,0 +1,196 @@
+// End-to-end integration tests: the full pipeline of the paper's Figure 2 —
+// raw data -> (load) -> spatial partitioning -> optional indexing ->
+// store/load index -> query execution — plus cross-operator consistency
+// checks (scan vs index vs reloaded index vs Piglet must all agree).
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include "clustering/distributed_dbscan.h"
+#include "io/csv.h"
+#include "io/generator.h"
+#include "partition/bsp_partitioner.h"
+#include "partition/grid_partitioner.h"
+#include "piglet/interpreter.h"
+#include "spatial_rdd/join.h"
+#include "spatial_rdd/spatial_rdd.h"
+
+namespace stark {
+namespace {
+
+using Payload = std::pair<int64_t, std::string>;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() {
+    EventsOptions gen;
+    gen.count = 3000;
+    gen.universe = Envelope(0, 0, 100, 100);
+    gen.clusters = 5;
+    gen.seed = 91;
+    gen.time_min = 0;
+    gen.time_max = 10'000;
+    records_ = GenerateEvents(gen);
+    csv_path_ = test::UniqueTempPath("stark_integration.csv");
+    STARK_CHECK(WriteEventsCsv(csv_path_, records_).ok());
+  }
+
+  ~IntegrationTest() override { std::remove(csv_path_.c_str()); }
+
+  static std::set<int64_t> Ids(
+      const std::vector<std::pair<STObject, Payload>>& elems) {
+    std::set<int64_t> ids;
+    for (const auto& [obj, payload] : elems) ids.insert(payload.first);
+    return ids;
+  }
+
+  Context ctx_{4};
+  std::vector<EventRecord> records_;
+  std::string csv_path_;
+};
+
+TEST_F(IntegrationTest, Figure2WorkflowEndToEnd) {
+  // Load from "HDFS" (local CSV), convert, and wrap — §2.3 preprocessing.
+  auto loaded = ReadEventsCsv(csv_path_).ValueOrDie();
+  ASSERT_EQ(loaded.size(), records_.size());
+  auto pairs = EventsToPairs(loaded).ValueOrDie();
+  auto events = SpatialRDD<Payload>::FromVector(&ctx_, std::move(pairs));
+
+  // Spatial partitioning (BSP over the data's centroids).
+  std::vector<Coordinate> centroids;
+  for (const auto& [obj, payload] : events.rdd().Collect()) {
+    centroids.push_back(obj.Centroid());
+  }
+  BSPartitioner::Options bsp_options;
+  bsp_options.max_cost = 300;
+  auto bsp = std::make_shared<BSPartitioner>(Envelope(0, 0, 100, 100),
+                                             centroids, bsp_options);
+  auto parted = events.PartitionBy(bsp);
+  ASSERT_EQ(parted.rdd().Count(), records_.size());
+
+  // Optional indexing, persisted to disk.
+  const std::string index_dir = test::UniqueTempPath("stark_integ_idx");
+  ASSERT_EQ(std::system(("mkdir -p " + index_dir).c_str()), 0);
+  auto indexed = parted.Index(8);
+  ASSERT_TRUE(indexed.Save(index_dir).ok());
+
+  // Query execution: the same spatio-temporal query through four paths.
+  const STObject qry(Geometry::MakeBox(Envelope(10, 10, 55, 60)), 2'000,
+                     8'000);
+  const auto scan_ids = Ids(events.Intersects(qry).Collect());
+  const auto pruned_ids = Ids(parted.Intersects(qry).Collect());
+  const auto live_ids = Ids(parted.LiveIndex(5).Intersects(qry).Collect());
+  auto reloaded = IndexedSpatialRDD<Payload>::Load(&ctx_, index_dir);
+  ASSERT_TRUE(reloaded.ok());
+  const auto disk_ids =
+      Ids(reloaded.ValueOrDie().Intersects(qry).Collect());
+
+  EXPECT_FALSE(scan_ids.empty());
+  EXPECT_EQ(scan_ids, pruned_ids);
+  EXPECT_EQ(scan_ids, live_ids);
+  EXPECT_EQ(scan_ids, disk_ids);
+}
+
+TEST_F(IntegrationTest, PigletAgreesWithNativeApi) {
+  // The same filter once through the Scala-style API and once as a Piglet
+  // script must select the same ids.
+  auto pairs = EventsToPairs(records_).ValueOrDie();
+  auto events = SpatialRDD<Payload>::FromVector(&ctx_, std::move(pairs));
+  const STObject qry(Geometry::MakeBox(Envelope(20, 20, 70, 70)), 1'000,
+                     9'000);
+  const auto native_ids = Ids(events.ContainedBy(qry).Collect());
+
+  std::ostringstream out;
+  piglet::Interpreter interp(&ctx_, &out);
+  const std::string script =
+      "events = LOAD '" + csv_path_ + "';\n" +
+      "s = SPATIALIZE events;\n" +
+      "hits = FILTER s BY CONTAINEDBY('POLYGON((20 20, 70 20, 70 70, "
+      "20 70, 20 20))', 1000, 9000);\n";
+  ASSERT_TRUE(interp.RunScript(script).ok());
+  std::set<int64_t> piglet_ids;
+  for (const auto& row :
+       interp.relation("hits").ValueOrDie()->rdd.Collect()) {
+    piglet_ids.insert(std::get<int64_t>(row.fields[0]));
+  }
+  EXPECT_EQ(piglet_ids, native_ids);
+  EXPECT_FALSE(native_ids.empty());
+}
+
+TEST_F(IntegrationTest, JoinThenClusterPipeline) {
+  // Join events against region polygons, then cluster the matching events —
+  // the kind of multi-operator pipeline the demo scenarios describe.
+  auto pairs = EventsToPairs(records_).ValueOrDie();
+  auto events =
+      SpatialRDD<Payload>::FromVector(&ctx_, std::move(pairs)).Cache();
+
+  PolygonsOptions pgen;
+  pgen.count = 12;
+  pgen.universe = Envelope(0, 0, 100, 100);
+  pgen.min_radius = 5;
+  pgen.max_radius = 15;
+  auto polys = GenerateRandomPolygons(pgen);
+  std::vector<std::pair<STObject, int64_t>> regions;
+  for (size_t i = 0; i < polys.size(); ++i) {
+    regions.emplace_back(polys[i], static_cast<int64_t>(i));
+  }
+  auto region_rdd = SpatialRDD<int64_t>::FromVector(&ctx_, regions);
+
+  // Spatial-only join: strip the events' time so formula (2) applies.
+  auto spatial_events = SpatialRDD<Payload>(
+      events.rdd().Map([](std::pair<STObject, Payload>& e) {
+        return std::make_pair(STObject(e.first.geo()), std::move(e.second));
+      }));
+  auto in_region = SpatialJoinProject(
+      spatial_events, region_rdd, JoinPredicate::ContainedBy(), {},
+      [](const std::pair<STObject, Payload>& l,
+         const std::pair<STObject, int64_t>& r) {
+        return std::make_pair(l.first, std::make_pair(l.second.first,
+                                                      r.second));
+      });
+  const size_t join_count = in_region.Count();
+  EXPECT_GT(join_count, 0u);
+
+  // Cluster the joined events.
+  auto grid = std::make_shared<GridPartitioner>(Envelope(0, 0, 100, 100), 4);
+  SpatialRDD<std::pair<int64_t, int64_t>> joined(in_region);
+  auto clustered = DistributedDbscan(joined, {2.0, 10}, grid);
+  EXPECT_EQ(clustered.Count(), join_count);
+
+  // Every cluster id is either noise or a dense group of >= min_pts? Not
+  // necessarily (border points), but every non-noise cluster has >= 2
+  // members and clusters partition the labeled points.
+  std::map<int64_t, size_t> sizes;
+  for (const auto& [elem, label] : clustered.Collect()) {
+    if (label != kNoise) sizes[label]++;
+  }
+  for (const auto& [label, size] : sizes) {
+    EXPECT_GE(size, 2u) << "cluster " << label;
+  }
+}
+
+TEST_F(IntegrationTest, RepartitioningIsLossless) {
+  // Shuffling between partitioners must never lose or duplicate elements.
+  auto pairs = EventsToPairs(records_).ValueOrDie();
+  auto events = SpatialRDD<Payload>::FromVector(&ctx_, std::move(pairs));
+  const auto original = Ids(events.rdd().Collect());
+
+  auto grid = std::make_shared<GridPartitioner>(Envelope(0, 0, 100, 100), 7);
+  auto once = events.PartitionBy(grid);
+  auto grid2 = std::make_shared<GridPartitioner>(Envelope(0, 0, 100, 100), 3);
+  auto twice = once.PartitionBy(grid2);
+
+  EXPECT_EQ(Ids(once.rdd().Collect()), original);
+  EXPECT_EQ(Ids(twice.rdd().Collect()), original);
+  EXPECT_EQ(twice.NumPartitions(), 9u);
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,155 @@
+// Tests for the CSV event reader/writer and the workload generators.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include "io/csv.h"
+#include "io/generator.h"
+
+namespace stark {
+namespace {
+
+TEST(CsvTest, ParsesSchemaWithQuotedWkt) {
+  const std::string text =
+      "1,sports,1000,\"POINT (1 2)\"\n"
+      "2,politics,2000,\"POLYGON ((0 0, 4 0, 4 4, 0 0))\"\n";
+  auto records = ParseEventsCsv(text).ValueOrDie();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, 1);
+  EXPECT_EQ(records[0].category, "sports");
+  EXPECT_EQ(records[0].time, 1000);
+  EXPECT_EQ(records[0].wkt, "POINT (1 2)");
+  EXPECT_EQ(records[1].wkt, "POLYGON ((0 0, 4 0, 4 4, 0 0))");
+}
+
+TEST(CsvTest, UnquotedWktWithoutCommasIsAccepted) {
+  auto records = ParseEventsCsv("7,x,-5,POINT (3 4)\n").ValueOrDie();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].time, -5);
+  EXPECT_EQ(records[0].wkt, "POINT (3 4)");
+}
+
+TEST(CsvTest, SkipsEmptyLinesAndHandlesCrLf) {
+  auto records =
+      ParseEventsCsv("1,a,2,\"POINT (0 0)\"\r\n\n2,b,3,\"POINT (1 1)\"\n")
+          .ValueOrDie();
+  EXPECT_EQ(records.size(), 2u);
+}
+
+TEST(CsvTest, EscapedQuotesInsideField) {
+  auto records =
+      ParseEventsCsv("1,\"say \"\"hi\"\"\",2,\"POINT (0 0)\"\n").ValueOrDie();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].category, "say \"hi\"");
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(ParseEventsCsv("1,a,2\n").ok());                 // 3 fields
+  EXPECT_FALSE(ParseEventsCsv("x,a,2,POINT (0 0)\n").ok());     // bad id
+  EXPECT_FALSE(ParseEventsCsv("1,a,zz,POINT (0 0)\n").ok());    // bad time
+  EXPECT_FALSE(ParseEventsCsv("1,\"a,2,POINT (0 0)\n").ok());   // open quote
+  EXPECT_EQ(ParseEventsCsv("1,a\n").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(CsvTest, RoundTripThroughFile) {
+  std::vector<EventRecord> records = {
+      {1, "sports", 100, "POINT (1 2)"},
+      {2, "a,b \"quoted\"", 200, "POLYGON ((0 0, 1 0, 1 1, 0 0))"},
+  };
+  const std::string path = test::UniqueTempPath("stark_events.csv");
+  ASSERT_TRUE(WriteEventsCsv(path, records).ok());
+  auto back = ReadEventsCsv(path).ValueOrDie();
+  EXPECT_EQ(back, records);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, EventsToPairsBuildsSTObjects) {
+  std::vector<EventRecord> records = {{5, "cat", 123, "POINT (7 8)"}};
+  auto pairs = EventsToPairs(records).ValueOrDie();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first.Centroid().x, 7.0);
+  ASSERT_TRUE(pairs[0].first.HasTime());
+  EXPECT_EQ(pairs[0].first.time()->start(), 123);
+  EXPECT_EQ(pairs[0].second.first, 5);
+  EXPECT_EQ(pairs[0].second.second, "cat");
+}
+
+TEST(CsvTest, EventsToPairsRejectsBadWkt) {
+  std::vector<EventRecord> records = {{5, "cat", 123, "NOT WKT"}};
+  EXPECT_FALSE(EventsToPairs(records).ok());
+}
+
+TEST(GeneratorTest, SkewedPointsDeterministicAndInUniverse) {
+  SkewedPointsOptions opt;
+  opt.count = 500;
+  opt.universe = Envelope(-10, -5, 10, 5);
+  auto a = GenerateSkewedPoints(opt);
+  auto b = GenerateSkewedPoints(opt);
+  ASSERT_EQ(a.size(), 500u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_TRUE(opt.universe.Contains(a[i].Centroid()));
+  }
+}
+
+TEST(GeneratorTest, SkewedPointsAreActuallySkewed) {
+  SkewedPointsOptions opt;
+  opt.count = 5000;
+  opt.universe = Envelope(0, 0, 100, 100);
+  opt.clusters = 2;
+  opt.cluster_spread = 0.01;
+  opt.noise_fraction = 0.0;
+  auto pts = GenerateSkewedPoints(opt);
+  // With 2 tight clusters, a 10x10 grid must leave most cells empty.
+  std::set<std::pair<int, int>> occupied;
+  for (const auto& p : pts) {
+    const Coordinate c = p.Centroid();
+    occupied.insert({static_cast<int>(c.x / 10), static_cast<int>(c.y / 10)});
+  }
+  EXPECT_LT(occupied.size(), 30u);
+}
+
+TEST(GeneratorTest, UniformPointsCoverUniverse) {
+  auto pts = GenerateUniformPoints(2000, 9, Envelope(0, 0, 10, 10));
+  std::set<std::pair<int, int>> occupied;
+  for (const auto& p : pts) {
+    const Coordinate c = p.Centroid();
+    occupied.insert({static_cast<int>(c.x), static_cast<int>(c.y)});
+  }
+  EXPECT_GT(occupied.size(), 90u);  // nearly all 100 unit cells hit
+}
+
+TEST(GeneratorTest, PolygonsAreValidAndBounded) {
+  PolygonsOptions opt;
+  opt.count = 200;
+  opt.universe = Envelope(0, 0, 100, 100);
+  auto polys = GenerateRandomPolygons(opt);
+  ASSERT_EQ(polys.size(), 200u);
+  for (const auto& p : polys) {
+    EXPECT_EQ(p.geo().type(), GeometryType::kPolygon);
+    EXPECT_GE(p.geo().polygons()[0].shell.size(), 4u);
+    EXPECT_LE(p.envelope().Width(), 2 * opt.max_radius + 1e-9);
+  }
+}
+
+TEST(GeneratorTest, EventsHaveSchemaFieldsPopulated) {
+  EventsOptions opt;
+  opt.count = 300;
+  auto events = GenerateEvents(opt);
+  ASSERT_EQ(events.size(), 300u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, static_cast<int64_t>(i));
+    EXPECT_FALSE(events[i].category.empty());
+    EXPECT_GE(events[i].time, opt.time_min);
+    EXPECT_LE(events[i].time, opt.time_max);
+    EXPECT_EQ(events[i].wkt.rfind("POINT", 0), 0u);
+  }
+  // Generated events parse back into STObjects.
+  EXPECT_TRUE(EventsToPairs(events).ok());
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,202 @@
+// Tests for the spatio-temporal join: every predicate, partitioned and
+// unpartitioned, indexed and nested-loop — verified against brute force.
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "io/generator.h"
+#include "partition/bsp_partitioner.h"
+#include "partition/grid_partitioner.h"
+#include "spatial_rdd/join.h"
+
+namespace stark {
+namespace {
+
+using Pair = std::pair<int64_t, int64_t>;
+
+class JoinTest : public ::testing::Test {
+ protected:
+  JoinTest() {
+    SkewedPointsOptions gen;
+    gen.count = 400;
+    gen.universe = universe_;
+    gen.seed = 61;
+    auto pts = GenerateSkewedPoints(gen);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      left_.emplace_back(pts[i], static_cast<int64_t>(i));
+    }
+    PolygonsOptions pgen;
+    pgen.count = 60;
+    pgen.universe = universe_;
+    pgen.seed = 62;
+    pgen.min_radius = 2;
+    pgen.max_radius = 8;
+    auto polys = GenerateRandomPolygons(pgen);
+    for (size_t i = 0; i < polys.size(); ++i) {
+      right_.emplace_back(polys[i], static_cast<int64_t>(i));
+    }
+  }
+
+  std::set<Pair> BruteForce(const JoinPredicate& pred) const {
+    std::set<Pair> out;
+    for (const auto& [lo, lid] : left_) {
+      for (const auto& [ro, rid] : right_) {
+        if (pred.Eval(lo, ro)) out.emplace(lid, rid);
+      }
+    }
+    return out;
+  }
+
+  template <typename JoinedRdd>
+  static std::set<Pair> Ids(const JoinedRdd& rdd) {
+    std::set<Pair> out;
+    for (const auto& [l, r] : rdd.Collect()) {
+      auto [it, inserted] = out.emplace(l.second, r.second);
+      EXPECT_TRUE(inserted) << "duplicate join result (" << l.second << ", "
+                            << r.second << ")";
+    }
+    return out;
+  }
+
+  Envelope universe_ = Envelope(0, 0, 100, 100);
+  Context ctx_{4};
+  std::vector<std::pair<STObject, int64_t>> left_;
+  std::vector<std::pair<STObject, int64_t>> right_;
+};
+
+TEST_F(JoinTest, IntersectsJoinUnpartitioned) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2);
+  auto expect = BruteForce(JoinPredicate::Intersects());
+  EXPECT_FALSE(expect.empty());
+  EXPECT_EQ(Ids(SpatialJoin(l, r, JoinPredicate::Intersects())), expect);
+}
+
+TEST_F(JoinTest, JoinWithoutIndexMatches) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2);
+  JoinOptions no_index;
+  no_index.index_order = 0;
+  EXPECT_EQ(Ids(SpatialJoin(l, r, JoinPredicate::Intersects(), no_index)),
+            BruteForce(JoinPredicate::Intersects()));
+}
+
+TEST_F(JoinTest, ContainedByJoin) {
+  // Points contained by polygons.
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2);
+  EXPECT_EQ(Ids(SpatialJoin(l, r, JoinPredicate::ContainedBy())),
+            BruteForce(JoinPredicate::ContainedBy()));
+}
+
+TEST_F(JoinTest, ContainsJoinPolygonsOverPoints) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2);  // polygons
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3);   // points
+  std::set<Pair> expect;
+  for (const auto& [lo, lid] : right_) {
+    for (const auto& [ro, rid] : left_) {
+      if (lo.Contains(ro)) expect.emplace(lid, rid);
+    }
+  }
+  EXPECT_EQ(Ids(SpatialJoin(l, r, JoinPredicate::Contains())), expect);
+}
+
+TEST_F(JoinTest, WithinDistanceJoin) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2);
+  const auto pred = JoinPredicate::WithinDistance(3.0);
+  EXPECT_EQ(Ids(SpatialJoin(l, r, pred)), BruteForce(pred));
+}
+
+TEST_F(JoinTest, PartitionedJoinMatchesUnpartitioned) {
+  auto grid_l = std::make_shared<GridPartitioner>(universe_, 4);
+  auto grid_r = std::make_shared<GridPartitioner>(universe_, 3);
+  auto l =
+      SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3).PartitionBy(grid_l);
+  auto r =
+      SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2).PartitionBy(grid_r);
+  EXPECT_EQ(Ids(SpatialJoin(l, r, JoinPredicate::Intersects())),
+            BruteForce(JoinPredicate::Intersects()));
+  const auto wd = JoinPredicate::WithinDistance(2.5);
+  EXPECT_EQ(Ids(SpatialJoin(l, r, wd)), BruteForce(wd));
+}
+
+TEST_F(JoinTest, BspPartitionedJoinMatches) {
+  std::vector<Coordinate> centroids;
+  for (const auto& [o, id] : left_) centroids.push_back(o.Centroid());
+  BSPartitioner::Options opt;
+  opt.max_cost = 50;
+  auto bsp = std::make_shared<BSPartitioner>(universe_, centroids, opt);
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3).PartitionBy(bsp);
+  auto grid = std::make_shared<GridPartitioner>(universe_, 4);
+  auto r =
+      SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2).PartitionBy(grid);
+  EXPECT_EQ(Ids(SpatialJoin(l, r, JoinPredicate::Intersects())),
+            BruteForce(JoinPredicate::Intersects()));
+}
+
+TEST_F(JoinTest, MixedPartitioningOneSideOnly) {
+  auto grid = std::make_shared<GridPartitioner>(universe_, 4);
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3).PartitionBy(grid);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2);
+  EXPECT_EQ(Ids(SpatialJoin(l, r, JoinPredicate::Intersects())),
+            BruteForce(JoinPredicate::Intersects()));
+}
+
+TEST_F(JoinTest, TemporalJoinSemantics) {
+  // Left: instants; right: one interval query region. Only temporally
+  // overlapping pairs join.
+  std::vector<std::pair<STObject, int64_t>> timed_left;
+  for (int64_t i = 0; i < 10; ++i) {
+    timed_left.emplace_back(
+        STObject(Geometry::MakePoint(5, 5), /*time=*/i * 10), i);
+  }
+  std::vector<std::pair<STObject, int64_t>> timed_right;
+  timed_right.emplace_back(
+      STObject(Geometry::MakeBox(Envelope(0, 0, 10, 10)), 25, 55), 0);
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, timed_left, 2);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, timed_right, 1);
+  auto got = Ids(SpatialJoin(l, r, JoinPredicate::Intersects()));
+  // Instants 30, 40, 50 fall in [25, 55].
+  EXPECT_EQ(got, (std::set<Pair>{{3, 0}, {4, 0}, {5, 0}}));
+}
+
+TEST_F(JoinTest, SelfJoinExcludesIdentityAndIsSymmetric) {
+  std::vector<std::pair<STObject, int64_t>> pts;
+  for (const auto& [o, id] : left_) pts.emplace_back(o, id);
+  auto rdd = SpatialRDD<int64_t>::FromVector(&ctx_, pts, 4);
+  auto joined = SelfSpatialJoin(rdd, JoinPredicate::WithinDistance(2.0));
+  std::set<Pair> got;
+  for (const auto& [l, r] : joined.Collect()) {
+    EXPECT_NE(l.second.second, r.second.second);  // no identity pairs
+    got.emplace(static_cast<int64_t>(l.second.second),
+                static_cast<int64_t>(r.second.second));
+  }
+  // Symmetric: (a, b) present iff (b, a) present.
+  for (const auto& [a, b] : got) {
+    EXPECT_TRUE(got.count({b, a})) << a << "," << b;
+  }
+  // Matches brute force.
+  std::set<Pair> expect;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (i != j &&
+          EuclideanDistance(pts[i].first, pts[j].first) <= 2.0) {
+        expect.emplace(static_cast<int64_t>(i), static_cast<int64_t>(j));
+      }
+    }
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(JoinTest, EmptySideYieldsEmptyResult) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, {}, 2);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2);
+  EXPECT_EQ(SpatialJoin(l, r, JoinPredicate::Intersects()).Count(), 0u);
+  EXPECT_EQ(SpatialJoin(r, l, JoinPredicate::Intersects()).Count(), 0u);
+}
+
+}  // namespace
+}  // namespace stark

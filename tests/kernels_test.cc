@@ -1,0 +1,147 @@
+// Tests for the low-level computational geometry kernels.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/kernels.h"
+
+namespace stark {
+namespace {
+
+TEST(OrientationTest, BasicTurns) {
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {1, 1}), 1);   // ccw
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {1, -1}), -1); // cw
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {2, 0}), 0);   // collinear
+}
+
+TEST(OrientationTest, NearCollinearIsCollinear) {
+  EXPECT_EQ(Orientation({0, 0}, {1e6, 0}, {2e6, 1e-9}), 0);
+}
+
+TEST(PointOnSegmentTest, EndpointsAndMidpoints) {
+  EXPECT_TRUE(PointOnSegment({0, 0}, {0, 0}, {2, 2}));
+  EXPECT_TRUE(PointOnSegment({2, 2}, {0, 0}, {2, 2}));
+  EXPECT_TRUE(PointOnSegment({1, 1}, {0, 0}, {2, 2}));
+  EXPECT_FALSE(PointOnSegment({3, 3}, {0, 0}, {2, 2}));  // beyond the end
+  EXPECT_FALSE(PointOnSegment({1, 1.5}, {0, 0}, {2, 2}));
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+}
+
+TEST(SegmentsIntersectTest, EndpointTouch) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(SegmentsIntersectTest, ParallelDisjoint) {
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {2, 0}, {0, 1}, {2, 1}));
+}
+
+TEST(SegmentsIntersectTest, TShapeTouch) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {1, 1}));
+}
+
+Ring UnitSquare() {
+  return {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}};
+}
+
+TEST(LocateInRingTest, InsideOutsideBoundary) {
+  const Ring ring = UnitSquare();
+  EXPECT_EQ(LocateInRing({2, 2}, ring), RingLocation::kInside);
+  EXPECT_EQ(LocateInRing({5, 2}, ring), RingLocation::kOutside);
+  EXPECT_EQ(LocateInRing({0, 2}, ring), RingLocation::kBoundary);
+  EXPECT_EQ(LocateInRing({0, 0}, ring), RingLocation::kBoundary);
+  EXPECT_EQ(LocateInRing({2, 4}, ring), RingLocation::kBoundary);
+}
+
+TEST(LocateInRingTest, ConcaveRing) {
+  // U-shaped ring: the notch (2,3) is outside.
+  const Ring ring = {{0, 0}, {6, 0}, {6, 6}, {4, 6}, {4, 2},
+                     {2, 2}, {2, 6}, {0, 6}, {0, 0}};
+  EXPECT_EQ(LocateInRing({1, 5}, ring), RingLocation::kInside);
+  EXPECT_EQ(LocateInRing({5, 5}, ring), RingLocation::kInside);
+  EXPECT_EQ(LocateInRing({3, 5}, ring), RingLocation::kOutside);  // notch
+  EXPECT_EQ(LocateInRing({3, 1}, ring), RingLocation::kInside);   // below notch
+}
+
+TEST(LocateInRingTest, DegenerateRingIsOutside) {
+  EXPECT_EQ(LocateInRing({0, 0}, Ring{{0, 0}, {1, 1}}),
+            RingLocation::kOutside);
+}
+
+TEST(DistancePointSegmentTest, ProjectionCases) {
+  EXPECT_DOUBLE_EQ(DistancePointSegment({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(DistancePointSegment({3, 0}, {-1, 0}, {1, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(DistancePointSegment({0, 0}, {0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(DistancePointSegment({1, 1}, {0, 0}, {2, 2}), 0.0);
+}
+
+TEST(DistanceSegmentSegmentTest, IntersectingIsZero) {
+  EXPECT_EQ(DistanceSegmentSegment({0, 0}, {2, 2}, {0, 2}, {2, 0}), 0.0);
+}
+
+TEST(DistanceSegmentSegmentTest, ParallelGap) {
+  EXPECT_DOUBLE_EQ(DistanceSegmentSegment({0, 0}, {2, 0}, {0, 3}, {2, 3}),
+                   3.0);
+}
+
+TEST(DistanceSegmentSegmentTest, EndpointToEndpoint) {
+  EXPECT_DOUBLE_EQ(DistanceSegmentSegment({0, 0}, {1, 0}, {4, 4}, {5, 5}),
+                   5.0);  // (1,0) to (4,4): 3-4-5 triangle
+}
+
+TEST(SignedRingAreaTest, OrientationSign) {
+  EXPECT_DOUBLE_EQ(SignedRingArea(UnitSquare()), 16.0);  // ccw positive
+  Ring cw = UnitSquare();
+  std::reverse(cw.begin(), cw.end());
+  EXPECT_DOUBLE_EQ(SignedRingArea(cw), -16.0);
+}
+
+TEST(RingCentroidTest, SquareCentroid) {
+  const Coordinate c = RingCentroid(UnitSquare());
+  EXPECT_DOUBLE_EQ(c.x, 2.0);
+  EXPECT_DOUBLE_EQ(c.y, 2.0);
+}
+
+TEST(RingCentroidTest, DegenerateFallsBackToVertexMean) {
+  const Ring line = {{0, 0}, {2, 0}, {4, 0}, {0, 0}};
+  const Coordinate c = RingCentroid(line);
+  EXPECT_DOUBLE_EQ(c.x, 2.0);
+  EXPECT_DOUBLE_EQ(c.y, 0.0);
+}
+
+// Property: SegmentsIntersect is symmetric in both segment order and
+// endpoint order, over random segments.
+TEST(KernelPropertyTest, SegmentIntersectSymmetry) {
+  Rng rng(7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    auto pt = [&] {
+      return Coordinate{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    };
+    const Coordinate a = pt(), b = pt(), c = pt(), d = pt();
+    const bool r = SegmentsIntersect(a, b, c, d);
+    EXPECT_EQ(r, SegmentsIntersect(c, d, a, b));
+    EXPECT_EQ(r, SegmentsIntersect(b, a, d, c));
+  }
+}
+
+// Property: if segments intersect, their distance is 0 and vice versa.
+TEST(KernelPropertyTest, DistanceZeroIffIntersect) {
+  Rng rng(8);
+  for (int trial = 0; trial < 1000; ++trial) {
+    auto pt = [&] {
+      return Coordinate{rng.Uniform(-3, 3), rng.Uniform(-3, 3)};
+    };
+    const Coordinate a = pt(), b = pt(), c = pt(), d = pt();
+    const double dist = DistanceSegmentSegment(a, b, c, d);
+    EXPECT_EQ(dist == 0.0, SegmentsIntersect(a, b, c, d));
+  }
+}
+
+}  // namespace
+}  // namespace stark

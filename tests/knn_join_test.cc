@@ -1,0 +1,138 @@
+// Tests for the kNN join operator, verified against brute force.
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "io/generator.h"
+#include "partition/grid_partitioner.h"
+#include "spatial_rdd/knn_join.h"
+
+namespace stark {
+namespace {
+
+class KnnJoinTest : public ::testing::Test {
+ protected:
+  KnnJoinTest() {
+    SkewedPointsOptions gen;
+    gen.count = 300;
+    gen.universe = universe_;
+    gen.seed = 101;
+    auto lp = GenerateSkewedPoints(gen);
+    for (size_t i = 0; i < lp.size(); ++i) {
+      left_.emplace_back(lp[i], static_cast<int64_t>(i));
+    }
+    gen.count = 500;
+    gen.seed = 102;
+    auto rp = GenerateSkewedPoints(gen);
+    for (size_t i = 0; i < rp.size(); ++i) {
+      right_.emplace_back(rp[i], static_cast<int64_t>(i));
+    }
+  }
+
+  /// Brute-force k nearest right ids for one left object, by distance.
+  std::vector<double> BruteForceDistances(const STObject& l, size_t k) const {
+    std::vector<double> dists;
+    dists.reserve(right_.size());
+    for (const auto& [obj, id] : right_) {
+      dists.push_back(Distance(l.geo(), obj.geo()));
+    }
+    std::sort(dists.begin(), dists.end());
+    dists.resize(std::min(k, dists.size()));
+    return dists;
+  }
+
+  Envelope universe_ = Envelope(0, 0, 100, 100);
+  Context ctx_{4};
+  std::vector<std::pair<STObject, int64_t>> left_;
+  std::vector<std::pair<STObject, int64_t>> right_;
+};
+
+TEST_F(KnnJoinTest, MatchesBruteForceUnpartitioned) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 4);
+  auto joined = KnnJoin(l, r, 5).Collect();
+  ASSERT_EQ(joined.size(), left_.size());
+  for (const auto& [lelem, matches] : joined) {
+    ASSERT_EQ(matches.size(), 5u);
+    const auto expect = BruteForceDistances(lelem.first, 5);
+    for (size_t i = 0; i < matches.size(); ++i) {
+      EXPECT_DOUBLE_EQ(matches[i].first, expect[i]);
+      if (i > 0) {
+        EXPECT_LE(matches[i - 1].first, matches[i].first);
+      }
+    }
+  }
+}
+
+TEST_F(KnnJoinTest, MatchesBruteForcePartitioned) {
+  auto grid_l = std::make_shared<GridPartitioner>(universe_, 3);
+  auto grid_r = std::make_shared<GridPartitioner>(universe_, 5);
+  auto l =
+      SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3).PartitionBy(grid_l);
+  auto r =
+      SpatialRDD<int64_t>::FromVector(&ctx_, right_, 4).PartitionBy(grid_r);
+  auto joined = KnnJoin(l, r, 3).Collect();
+  ASSERT_EQ(joined.size(), left_.size());
+  for (const auto& [lelem, matches] : joined) {
+    const auto expect = BruteForceDistances(lelem.first, 3);
+    ASSERT_EQ(matches.size(), expect.size());
+    for (size_t i = 0; i < matches.size(); ++i) {
+      EXPECT_DOUBLE_EQ(matches[i].first, expect[i]);
+    }
+  }
+}
+
+TEST_F(KnnJoinTest, KLargerThanRightSide) {
+  auto l = SpatialRDD<int64_t>::FromVector(
+      &ctx_, {left_.begin(), left_.begin() + 5}, 2);
+  auto r = SpatialRDD<int64_t>::FromVector(
+      &ctx_, {right_.begin(), right_.begin() + 3}, 2);
+  auto joined = KnnJoin(l, r, 10).Collect();
+  for (const auto& [lelem, matches] : joined) {
+    EXPECT_EQ(matches.size(), 3u);  // whole right side
+  }
+}
+
+TEST_F(KnnJoinTest, NonPointLeftGeometries) {
+  // Polygons as the left side: exact geometry distances, not centroid ones.
+  PolygonsOptions pgen;
+  pgen.count = 20;
+  pgen.universe = universe_;
+  pgen.min_radius = 2;
+  pgen.max_radius = 6;
+  pgen.seed = 103;
+  auto polys = GenerateRandomPolygons(pgen);
+  std::vector<std::pair<STObject, int64_t>> poly_left;
+  for (size_t i = 0; i < polys.size(); ++i) {
+    poly_left.emplace_back(polys[i], static_cast<int64_t>(i));
+  }
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, poly_left, 2);
+  auto grid_r = std::make_shared<GridPartitioner>(universe_, 4);
+  auto r =
+      SpatialRDD<int64_t>::FromVector(&ctx_, right_, 4).PartitionBy(grid_r);
+  auto joined = KnnJoin(l, r, 4).Collect();
+  ASSERT_EQ(joined.size(), poly_left.size());
+  for (const auto& [lelem, matches] : joined) {
+    const auto expect = BruteForceDistances(lelem.first, 4);
+    ASSERT_EQ(matches.size(), expect.size());
+    for (size_t i = 0; i < matches.size(); ++i) {
+      EXPECT_DOUBLE_EQ(matches[i].first, expect[i]) << lelem.second;
+    }
+  }
+}
+
+TEST_F(KnnJoinTest, EmptyRightSideGivesEmptyMatches) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 2);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, {}, 2);
+  auto joined = KnnJoin(l, r, 5).Collect();
+  ASSERT_EQ(joined.size(), left_.size());
+  for (const auto& [lelem, matches] : joined) {
+    EXPECT_TRUE(matches.empty());
+  }
+}
+
+}  // namespace
+}  // namespace stark

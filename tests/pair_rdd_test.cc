@@ -1,0 +1,136 @@
+// Tests for the key-value engine operations (PairRDDFunctions analogue)
+// and for RDD checkpointing.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include "core/st_serde.h"
+#include "engine/checkpoint.h"
+#include "engine/pair_rdd.h"
+#include "spatial_rdd/value_serde.h"
+
+namespace stark {
+namespace {
+
+class PairRddTest : public ::testing::Test {
+ protected:
+  Context ctx_{4};
+};
+
+TEST_F(PairRddTest, ReduceByKeySums) {
+  std::vector<std::pair<std::string, int64_t>> data;
+  for (int i = 0; i < 100; ++i) {
+    data.emplace_back(i % 2 == 0 ? "even" : "odd", i);
+  }
+  auto rdd = MakeRDD(&ctx_, data, 5);
+  auto reduced =
+      ReduceByKey(rdd, [](int64_t a, int64_t b) { return a + b; });
+  std::map<std::string, int64_t> result;
+  for (auto& [k, v] : reduced.Collect()) result[k] = v;
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result["even"], 2450);  // 0+2+...+98
+  EXPECT_EQ(result["odd"], 2500);   // 1+3+...+99
+}
+
+TEST_F(PairRddTest, ReduceByKeyEachKeyOnce) {
+  std::vector<std::pair<int64_t, int64_t>> data;
+  for (int64_t i = 0; i < 1000; ++i) data.emplace_back(i % 37, 1);
+  auto reduced = ReduceByKey(MakeRDD(&ctx_, data, 7),
+                             [](int64_t a, int64_t b) { return a + b; }, 4);
+  auto out = reduced.Collect();
+  EXPECT_EQ(out.size(), 37u);
+  EXPECT_EQ(reduced.NumPartitions(), 4u);
+}
+
+TEST_F(PairRddTest, GroupByKeyCollectsAllValues) {
+  std::vector<std::pair<std::string, int64_t>> data = {
+      {"a", 1}, {"b", 2}, {"a", 3}, {"c", 4}, {"a", 5}};
+  auto grouped = GroupByKey(MakeRDD(&ctx_, data, 3));
+  std::map<std::string, size_t> sizes;
+  for (auto& [k, vs] : grouped.Collect()) sizes[k] = vs.size();
+  EXPECT_EQ(sizes["a"], 3u);
+  EXPECT_EQ(sizes["b"], 1u);
+  EXPECT_EQ(sizes["c"], 1u);
+}
+
+TEST_F(PairRddTest, CountByKey) {
+  std::vector<std::pair<std::string, int64_t>> data;
+  for (int i = 0; i < 60; ++i) {
+    data.emplace_back(std::to_string(i % 3), i);
+  }
+  auto counts = CountByKey(MakeRDD(&ctx_, data, 4));
+  EXPECT_EQ(counts.at("0"), 20u);
+  EXPECT_EQ(counts.at("1"), 20u);
+  EXPECT_EQ(counts.at("2"), 20u);
+}
+
+TEST_F(PairRddTest, DistinctRemovesDuplicates) {
+  std::vector<int64_t> data;
+  for (int64_t i = 0; i < 500; ++i) data.push_back(i % 50);
+  auto distinct = Distinct(MakeRDD(&ctx_, data, 6));
+  auto out = distinct.Collect();
+  EXPECT_EQ(out.size(), 50u);
+  std::sort(out.begin(), out.end());
+  for (int64_t i = 0; i < 50; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+}
+
+TEST_F(PairRddTest, SortByOrdersGlobally) {
+  std::vector<int64_t> data = {5, 3, 9, 1, 7, 2, 8, 0, 6, 4};
+  auto sorted = SortBy(MakeRDD(&ctx_, data, 3),
+                       [](const int64_t& x) { return -x; }, 2);
+  auto out = sorted.Collect();
+  ASSERT_EQ(out.size(), 10u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int64_t>(9 - i));  // descending by -x
+  }
+  EXPECT_EQ(sorted.NumPartitions(), 2u);
+}
+
+TEST_F(PairRddTest, CheckpointRoundTrip) {
+  const std::string dir = test::UniqueTempPath("stark_ckpt");
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  std::vector<std::pair<int64_t, std::string>> data;
+  for (int64_t i = 0; i < 100; ++i) {
+    data.emplace_back(i, "value-" + std::to_string(i));
+  }
+  auto rdd = MakeRDD(&ctx_, data, 5);
+  ASSERT_TRUE(Checkpoint(rdd, dir).ok());
+
+  auto loaded = LoadCheckpoint<std::pair<int64_t, std::string>>(&ctx_, dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().NumPartitions(), 5u);
+  EXPECT_EQ(loaded.ValueOrDie().Collect(), rdd.Collect());
+}
+
+TEST_F(PairRddTest, CheckpointSpatialData) {
+  // Figure 2's "store to HDFS" step: persist spatially partitioned pairs.
+  const std::string dir = test::UniqueTempPath("stark_ckpt_spatial");
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  std::vector<std::pair<STObject, int64_t>> data;
+  for (int64_t i = 0; i < 50; ++i) {
+    data.emplace_back(
+        STObject(Geometry::MakePoint(static_cast<double>(i), 1.0), i), i);
+  }
+  auto rdd = MakeRDD(&ctx_, data, 4);
+  ASSERT_TRUE(Checkpoint(rdd, dir).ok());
+  auto loaded = LoadCheckpoint<std::pair<STObject, int64_t>>(&ctx_, dir);
+  ASSERT_TRUE(loaded.ok());
+  auto out = loaded.ValueOrDie().Collect();
+  ASSERT_EQ(out.size(), data.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, data[i].first);
+    EXPECT_EQ(out[i].second, data[i].second);
+  }
+}
+
+TEST_F(PairRddTest, LoadCheckpointMissingDirFails) {
+  auto loaded = LoadCheckpoint<int64_t>(&ctx_, "/no/such/ckpt");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace stark

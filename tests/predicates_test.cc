@@ -1,0 +1,310 @@
+// Tests for the spatial predicates: Intersects, Contains, Distance.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/predicates.h"
+#include "geometry/wkt.h"
+
+namespace stark {
+namespace {
+
+Geometry G(const char* wkt) { return ParseWkt(wkt).ValueOrDie(); }
+
+// ---------------------------------------------------------------------------
+// Intersects
+// ---------------------------------------------------------------------------
+
+TEST(IntersectsTest, PointPoint) {
+  EXPECT_TRUE(Intersects(G("POINT (1 2)"), G("POINT (1 2)")));
+  EXPECT_FALSE(Intersects(G("POINT (1 2)"), G("POINT (1 2.1)")));
+}
+
+TEST(IntersectsTest, PointLine) {
+  const Geometry line = G("LINESTRING (0 0, 4 4)");
+  EXPECT_TRUE(Intersects(G("POINT (2 2)"), line));
+  EXPECT_TRUE(Intersects(line, G("POINT (0 0)")));
+  EXPECT_FALSE(Intersects(G("POINT (2 3)"), line));
+}
+
+TEST(IntersectsTest, PointPolygon) {
+  const Geometry poly = G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  EXPECT_TRUE(Intersects(G("POINT (2 2)"), poly));
+  EXPECT_TRUE(Intersects(G("POINT (0 2)"), poly));   // boundary
+  EXPECT_FALSE(Intersects(G("POINT (5 2)"), poly));
+}
+
+TEST(IntersectsTest, PointInPolygonHole) {
+  const Geometry poly =
+      G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 7 3, 7 7, 3 7, 3 3))");
+  EXPECT_FALSE(Intersects(G("POINT (5 5)"), poly));  // inside the hole
+  EXPECT_TRUE(Intersects(G("POINT (1 1)"), poly));
+  EXPECT_TRUE(Intersects(G("POINT (3 5)"), poly));   // hole boundary
+}
+
+TEST(IntersectsTest, LineLine) {
+  EXPECT_TRUE(Intersects(G("LINESTRING (0 0, 4 4)"),
+                         G("LINESTRING (0 4, 4 0)")));
+  EXPECT_FALSE(Intersects(G("LINESTRING (0 0, 1 0)"),
+                          G("LINESTRING (0 1, 1 1)")));
+}
+
+TEST(IntersectsTest, LinePolygon) {
+  const Geometry poly = G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  EXPECT_TRUE(Intersects(G("LINESTRING (-1 2, 5 2)"), poly));  // crosses
+  EXPECT_TRUE(Intersects(G("LINESTRING (1 1, 3 3)"), poly));   // fully inside
+  EXPECT_FALSE(Intersects(G("LINESTRING (5 5, 6 6)"), poly));
+}
+
+TEST(IntersectsTest, PolygonPolygonOverlap) {
+  const Geometry a = G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  EXPECT_TRUE(Intersects(a, G("POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))")));
+  EXPECT_FALSE(Intersects(a, G("POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))")));
+}
+
+TEST(IntersectsTest, PolygonPolygonNested) {
+  const Geometry outer = G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  const Geometry inner = G("POLYGON ((4 4, 6 4, 6 6, 4 6, 4 4))");
+  EXPECT_TRUE(Intersects(outer, inner));
+  EXPECT_TRUE(Intersects(inner, outer));
+}
+
+TEST(IntersectsTest, PolygonPolygonTouchingEdge) {
+  const Geometry a = G("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))");
+  const Geometry b = G("POLYGON ((2 0, 4 0, 4 2, 2 2, 2 0))");
+  EXPECT_TRUE(Intersects(a, b));
+}
+
+TEST(IntersectsTest, MultiGeometryAnyPart) {
+  const Geometry mp = G("MULTIPOINT (0 0, 10 10)");
+  const Geometry poly = G("POLYGON ((9 9, 11 9, 11 11, 9 11, 9 9))");
+  EXPECT_TRUE(Intersects(mp, poly));
+  EXPECT_FALSE(
+      Intersects(G("MULTIPOINT (0 0, 1 1)"), poly));
+}
+
+// ---------------------------------------------------------------------------
+// Contains
+// ---------------------------------------------------------------------------
+
+TEST(ContainsTest, PolygonContainsPoint) {
+  const Geometry poly = G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  EXPECT_TRUE(Contains(poly, G("POINT (2 2)")));
+  EXPECT_TRUE(Contains(poly, G("POINT (4 4)")));  // covers semantics
+  EXPECT_FALSE(Contains(poly, G("POINT (5 2)")));
+  EXPECT_FALSE(Contains(G("POINT (2 2)"), poly));  // point can't contain poly
+}
+
+TEST(ContainsTest, PolygonWithHoleExcludesHole) {
+  const Geometry poly =
+      G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 7 3, 7 7, 3 7, 3 3))");
+  EXPECT_FALSE(Contains(poly, G("POINT (5 5)")));
+  EXPECT_TRUE(Contains(poly, G("POINT (1 5)")));
+}
+
+TEST(ContainsTest, PolygonContainsLine) {
+  const Geometry poly = G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  EXPECT_TRUE(Contains(poly, G("LINESTRING (1 1, 9 9)")));
+  EXPECT_FALSE(Contains(poly, G("LINESTRING (1 1, 11 11)")));  // leaves
+}
+
+TEST(ContainsTest, PolygonDoesNotContainLineCrossingHole) {
+  const Geometry poly =
+      G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))");
+  EXPECT_FALSE(Contains(poly, G("LINESTRING (1 5, 9 5)")));  // spans the hole
+  EXPECT_TRUE(Contains(poly, G("LINESTRING (1 1, 9 1)")));
+}
+
+TEST(ContainsTest, PolygonContainsPolygon) {
+  const Geometry outer = G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  EXPECT_TRUE(Contains(outer, G("POLYGON ((2 2, 5 2, 5 5, 2 5, 2 2))")));
+  EXPECT_FALSE(Contains(outer, G("POLYGON ((8 8, 12 8, 12 12, 8 12, 8 8))")));
+  EXPECT_TRUE(Contains(outer, outer));  // covers itself
+}
+
+TEST(ContainsTest, OuterHoleBlocksContainment) {
+  const Geometry outer =
+      G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))");
+  // The candidate fully covers the outer polygon's hole.
+  EXPECT_FALSE(Contains(outer, G("POLYGON ((3 3, 7 3, 7 7, 3 7, 3 3))")));
+  // A candidate away from the hole is contained.
+  EXPECT_TRUE(Contains(outer, G("POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))")));
+}
+
+TEST(ContainsTest, LineContainsPointAndSubline) {
+  const Geometry line = G("LINESTRING (0 0, 4 4, 8 4)");
+  EXPECT_TRUE(Contains(line, G("POINT (2 2)")));
+  EXPECT_TRUE(Contains(line, G("LINESTRING (1 1, 3 3)")));
+  EXPECT_TRUE(Contains(line, G("LINESTRING (2 2, 4 4, 6 4)")));
+  EXPECT_FALSE(Contains(line, G("LINESTRING (0 0, 5 5)")));
+  EXPECT_FALSE(Contains(line, G("POINT (1 2)")));
+}
+
+TEST(ContainsTest, PointContainsOnlyEqualPoint) {
+  EXPECT_TRUE(Contains(G("POINT (1 1)"), G("POINT (1 1)")));
+  EXPECT_FALSE(Contains(G("POINT (1 1)"), G("POINT (2 2)")));
+  EXPECT_FALSE(Contains(G("POINT (1 1)"), G("LINESTRING (0 0, 2 2)")));
+}
+
+TEST(ContainsTest, MultiPolygonContainsPerPart) {
+  const Geometry mp = G(
+      "MULTIPOLYGON (((0 0, 4 0, 4 4, 0 4, 0 0)), "
+      "((10 10, 14 10, 14 14, 10 14, 10 10)))");
+  EXPECT_TRUE(Contains(mp, G("POINT (2 2)")));
+  EXPECT_TRUE(Contains(mp, G("POINT (12 12)")));
+  EXPECT_TRUE(Contains(mp, G("MULTIPOINT (2 2, 12 12)")));
+  EXPECT_FALSE(Contains(mp, G("POINT (7 7)")));  // in the gap
+}
+
+TEST(ContainedByTest, IsReverseOfContains) {
+  const Geometry poly = G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  const Geometry pt = G("POINT (1 1)");
+  EXPECT_TRUE(ContainedBy(pt, poly));
+  EXPECT_FALSE(ContainedBy(poly, pt));
+}
+
+// ---------------------------------------------------------------------------
+// Distance
+// ---------------------------------------------------------------------------
+
+TEST(DistanceTest, PointPoint) {
+  EXPECT_DOUBLE_EQ(Distance(G("POINT (0 0)"), G("POINT (3 4)")), 5.0);
+}
+
+TEST(DistanceTest, PointLine) {
+  EXPECT_DOUBLE_EQ(Distance(G("POINT (2 3)"), G("LINESTRING (0 0, 4 0)")),
+                   3.0);
+}
+
+TEST(DistanceTest, PointPolygonInsideIsZero) {
+  const Geometry poly = G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  EXPECT_EQ(Distance(G("POINT (2 2)"), poly), 0.0);
+  EXPECT_DOUBLE_EQ(Distance(G("POINT (7 2)"), poly), 3.0);
+}
+
+TEST(DistanceTest, PointInHoleMeasuresToHoleRing) {
+  const Geometry poly =
+      G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 7 3, 7 7, 3 7, 3 3))");
+  EXPECT_DOUBLE_EQ(Distance(G("POINT (5 5)"), poly), 2.0);
+}
+
+TEST(DistanceTest, PolygonPolygonGap) {
+  const Geometry a = G("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  const Geometry b = G("POLYGON ((4 0, 5 0, 5 1, 4 1, 4 0))");
+  EXPECT_DOUBLE_EQ(Distance(a, b), 3.0);
+  EXPECT_EQ(Distance(a, a), 0.0);
+}
+
+TEST(DistanceTest, LineLine) {
+  EXPECT_DOUBLE_EQ(Distance(G("LINESTRING (0 0, 1 0)"),
+                            G("LINESTRING (0 2, 1 2)")),
+                   2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Properties over random geometries
+// ---------------------------------------------------------------------------
+
+class RandomGeometrySource {
+ public:
+  explicit RandomGeometrySource(uint64_t seed) : rng_(seed) {}
+
+  Geometry Next() {
+    switch (rng_.UniformInt(0, 3)) {
+      case 0:
+        return Geometry::MakePoint(Coord());
+      case 1: {
+        std::vector<Coordinate> pts(
+            static_cast<size_t>(rng_.UniformInt(2, 5)));
+        for (auto& p : pts) p = Coord();
+        return Geometry::MakeLineString(std::move(pts)).ValueOrDie();
+      }
+      case 2: {
+        std::vector<Coordinate> pts(
+            static_cast<size_t>(rng_.UniformInt(1, 4)));
+        for (auto& p : pts) p = Coord();
+        return Geometry::MakeMultiPoint(std::move(pts)).ValueOrDie();
+      }
+      default: {
+        const Coordinate c = Coord();
+        const double w = rng_.Uniform(0.5, 3.0);
+        const double h = rng_.Uniform(0.5, 3.0);
+        return Geometry::MakePolygon(
+                   {{c.x, c.y}, {c.x + w, c.y}, {c.x + w, c.y + h},
+                    {c.x, c.y + h}})
+            .ValueOrDie();
+      }
+    }
+  }
+
+  Coordinate Coord() {
+    return {rng_.Uniform(-8, 8), rng_.Uniform(-8, 8)};
+  }
+
+ private:
+  Rng rng_;
+};
+
+TEST(PredicatePropertyTest, IntersectsIsSymmetric) {
+  RandomGeometrySource source(21);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Geometry a = source.Next();
+    const Geometry b = source.Next();
+    EXPECT_EQ(Intersects(a, b), Intersects(b, a))
+        << a.ToWkt() << " vs " << b.ToWkt();
+  }
+}
+
+TEST(PredicatePropertyTest, ContainsImpliesIntersects) {
+  RandomGeometrySource source(22);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Geometry a = source.Next();
+    const Geometry b = source.Next();
+    if (Contains(a, b)) {
+      EXPECT_TRUE(Intersects(a, b)) << a.ToWkt() << " vs " << b.ToWkt();
+    }
+  }
+}
+
+TEST(PredicatePropertyTest, DistanceZeroIffIntersects) {
+  RandomGeometrySource source(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Geometry a = source.Next();
+    const Geometry b = source.Next();
+    const double d = Distance(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_EQ(d == 0.0, Intersects(a, b))
+        << a.ToWkt() << " vs " << b.ToWkt() << " dist=" << d;
+  }
+}
+
+TEST(PredicatePropertyTest, DistanceIsSymmetric) {
+  RandomGeometrySource source(24);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Geometry a = source.Next();
+    const Geometry b = source.Next();
+    EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+  }
+}
+
+TEST(PredicatePropertyTest, SelfRelations) {
+  RandomGeometrySource source(25);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Geometry g = source.Next();
+    EXPECT_TRUE(Intersects(g, g)) << g.ToWkt();
+    EXPECT_EQ(Distance(g, g), 0.0) << g.ToWkt();
+  }
+}
+
+// Every geometry is contained by (a box around) its envelope.
+TEST(PredicatePropertyTest, EnvelopeBoxCoversGeometry) {
+  RandomGeometrySource source(26);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Geometry g = source.Next();
+    const Geometry box = Geometry::MakeBox(g.envelope().Expanded(0.001));
+    EXPECT_TRUE(Contains(box, g)) << g.ToWkt();
+    EXPECT_TRUE(Intersects(box, g)) << g.ToWkt();
+  }
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,188 @@
+// Tests for the R-tree: incremental insertion, STR bulk loading, envelope
+// queries and branch-and-bound kNN, verified against brute force and
+// parameterized over the tree order (the paper's liveIndex `order`).
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/rtree.h"
+
+namespace stark {
+namespace {
+
+std::vector<std::pair<Envelope, size_t>> RandomBoxes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Envelope, size_t>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(-100, 100);
+    const double y = rng.Uniform(-100, 100);
+    const double w = rng.Uniform(0, 4);
+    const double h = rng.Uniform(0, 4);
+    out.emplace_back(Envelope(x, y, x + w, y + h), i);
+  }
+  return out;
+}
+
+std::set<size_t> BruteForceQuery(
+    const std::vector<std::pair<Envelope, size_t>>& data,
+    const Envelope& probe) {
+  std::set<size_t> hits;
+  for (const auto& [env, id] : data) {
+    if (env.Intersects(probe)) hits.insert(id);
+  }
+  return hits;
+}
+
+std::set<size_t> TreeQuery(const RTree<size_t>& tree, const Envelope& probe) {
+  std::set<size_t> hits;
+  tree.Query(probe, [&](const Envelope&, const size_t& id) {
+    auto [it, inserted] = hits.insert(id);
+    EXPECT_TRUE(inserted) << "duplicate id " << id << " from tree query";
+  });
+  return hits;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree<int> tree(4);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  int hits = 0;
+  tree.Query(Envelope(-1e9, -1e9, 1e9, 1e9),
+             [&](const Envelope&, const int&) { ++hits; });
+  EXPECT_EQ(hits, 0);
+  EXPECT_TRUE(tree.Knn({0, 0}, 3, [](const int&) { return 0.0; }).empty());
+}
+
+TEST(RTreeTest, OrderIsClampedToAtLeastTwo) {
+  RTree<int> tree(0);
+  EXPECT_GE(tree.order(), 2u);
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree<size_t> tree(4);
+  tree.Insert(Envelope(0, 0, 1, 1), 7);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(TreeQuery(tree, Envelope(0.5, 0.5, 2, 2)),
+            (std::set<size_t>{7}));
+  EXPECT_TRUE(TreeQuery(tree, Envelope(5, 5, 6, 6)).empty());
+}
+
+class RTreeOrderTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeOrderTest, InsertMatchesBruteForce) {
+  const auto data = RandomBoxes(500, 31);
+  RTree<size_t> tree(GetParam());
+  for (const auto& [env, id] : data) tree.Insert(env, id);
+  EXPECT_EQ(tree.size(), data.size());
+
+  Rng rng(32);
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.Uniform(-110, 110);
+    const double y = rng.Uniform(-110, 110);
+    const Envelope probe(x, y, x + rng.Uniform(0, 30), y + rng.Uniform(0, 30));
+    EXPECT_EQ(TreeQuery(tree, probe), BruteForceQuery(data, probe));
+  }
+}
+
+TEST_P(RTreeOrderTest, BulkLoadMatchesBruteForce) {
+  const auto data = RandomBoxes(500, 33);
+  RTree<size_t> tree(GetParam());
+  tree.BulkLoad(data);
+  EXPECT_EQ(tree.size(), data.size());
+
+  Rng rng(34);
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.Uniform(-110, 110);
+    const double y = rng.Uniform(-110, 110);
+    const Envelope probe(x, y, x + rng.Uniform(0, 30), y + rng.Uniform(0, 30));
+    EXPECT_EQ(TreeQuery(tree, probe), BruteForceQuery(data, probe));
+  }
+}
+
+TEST_P(RTreeOrderTest, KnnMatchesBruteForce) {
+  Rng rng(35);
+  std::vector<std::pair<Envelope, size_t>> data;
+  std::vector<Coordinate> pts;
+  for (size_t i = 0; i < 400; ++i) {
+    const Coordinate c{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    pts.push_back(c);
+    data.emplace_back(Envelope(c), i);
+  }
+  RTree<size_t> tree(GetParam());
+  tree.BulkLoad(data);
+
+  for (int q = 0; q < 50; ++q) {
+    const Coordinate query{rng.Uniform(-60, 60), rng.Uniform(-60, 60)};
+    for (size_t k : {1u, 5u, 17u}) {
+      auto result = tree.Knn(query, k, [&](const size_t& id) {
+        return query.DistanceTo(pts[id]);
+      });
+      ASSERT_EQ(result.size(), std::min<size_t>(k, pts.size()));
+      // Distances must be ascending.
+      for (size_t i = 1; i < result.size(); ++i) {
+        EXPECT_LE(result[i - 1].first, result[i].first);
+      }
+      // The k-th distance must match brute force.
+      std::vector<double> dists;
+      for (const auto& p : pts) dists.push_back(query.DistanceTo(p));
+      std::sort(dists.begin(), dists.end());
+      EXPECT_DOUBLE_EQ(result.back().first, dists[result.size() - 1]);
+    }
+  }
+}
+
+TEST_P(RTreeOrderTest, ForEachVisitsEverything) {
+  const auto data = RandomBoxes(200, 36);
+  RTree<size_t> tree(GetParam());
+  tree.BulkLoad(data);
+  std::set<size_t> seen;
+  tree.ForEach([&](const Envelope&, const size_t& id) { seen.insert(id); });
+  EXPECT_EQ(seen.size(), data.size());
+}
+
+TEST_P(RTreeOrderTest, BoundsCoverAllEntries) {
+  const auto data = RandomBoxes(300, 37);
+  RTree<size_t> tree(GetParam());
+  for (const auto& [env, id] : data) tree.Insert(env, id);
+  for (const auto& [env, id] : data) {
+    EXPECT_TRUE(tree.bounds().Contains(env));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, RTreeOrderTest,
+                         ::testing::Values(2, 3, 5, 10, 32),
+                         [](const auto& info) {
+                           return "order" + std::to_string(info.param);
+                         });
+
+TEST(RTreeTest, DuplicateEnvelopesAllReturned) {
+  RTree<size_t> tree(4);
+  for (size_t i = 0; i < 20; ++i) tree.Insert(Envelope(1, 1, 2, 2), i);
+  EXPECT_EQ(TreeQuery(tree, Envelope(0, 0, 3, 3)).size(), 20u);
+}
+
+TEST(RTreeTest, DepthGrowsWithSize) {
+  RTree<size_t> small(4);
+  small.Insert(Envelope(0, 0, 1, 1), 0);
+  EXPECT_EQ(small.Depth(), 1u);
+
+  RTree<size_t> big(4);
+  for (const auto& [env, id] : RandomBoxes(200, 38)) big.Insert(env, id);
+  EXPECT_GT(big.Depth(), 2u);
+}
+
+TEST(RTreeTest, BulkLoadReplacesContents) {
+  RTree<size_t> tree(4);
+  tree.Insert(Envelope(0, 0, 1, 1), 999);
+  tree.BulkLoad(RandomBoxes(50, 39));
+  EXPECT_EQ(tree.size(), 50u);
+  std::set<size_t> seen;
+  tree.ForEach([&](const Envelope&, const size_t& id) { seen.insert(id); });
+  EXPECT_EQ(seen.count(999), 0u);
+}
+
+}  // namespace
+}  // namespace stark

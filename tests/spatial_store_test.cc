@@ -1,0 +1,130 @@
+// Tests for the spatial store: the Figure-2 store/load cycle with partition
+// metadata surviving across "program runs".
+#include <cstdlib>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include "io/generator.h"
+#include "partition/bsp_partitioner.h"
+#include "partition/grid_partitioner.h"
+#include "spatial_rdd/spatial_store.h"
+
+namespace stark {
+namespace {
+
+class SpatialStoreTest : public ::testing::Test {
+ protected:
+  SpatialStoreTest() {
+    SkewedPointsOptions gen;
+    gen.count = 1200;
+    gen.universe = universe_;
+    gen.seed = 111;
+    auto points = GenerateSkewedPoints(gen);
+    for (size_t i = 0; i < points.size(); ++i) {
+      data_.emplace_back(points[i], static_cast<int64_t>(i));
+    }
+  }
+
+  std::string MakeDir(const char* name) {
+    const std::string dir = test::UniqueTempPath(name);
+    STARK_CHECK(std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str()) ==
+                0);
+    return dir;
+  }
+
+  static std::set<int64_t> Ids(
+      const std::vector<std::pair<STObject, int64_t>>& elems) {
+    std::set<int64_t> ids;
+    for (const auto& [obj, id] : elems) ids.insert(id);
+    return ids;
+  }
+
+  Envelope universe_ = Envelope(0, 0, 100, 100);
+  Context ctx_{4};
+  std::vector<std::pair<STObject, int64_t>> data_;
+};
+
+TEST(ExplicitPartitionerTest, RoutesAndFallsBackToNearest) {
+  std::vector<Envelope> bounds = {Envelope(0, 0, 5, 10),
+                                  Envelope(5, 0, 10, 10)};
+  ExplicitPartitioner part(bounds, {});
+  EXPECT_EQ(part.NumPartitions(), 2u);
+  EXPECT_EQ(part.PartitionFor({2, 5}), 0u);
+  EXPECT_EQ(part.PartitionFor({7, 5}), 1u);
+  // Out-of-universe point routes to the nearest bounds.
+  EXPECT_EQ(part.PartitionFor({-3, 5}), 0u);
+  EXPECT_EQ(part.PartitionFor({14, 5}), 1u);
+  EXPECT_EQ(part.Name(), "explicit");
+}
+
+TEST(ExplicitPartitionerTest, PreloadedExtentsAreKept) {
+  std::vector<Envelope> bounds = {Envelope(0, 0, 5, 10)};
+  std::vector<Envelope> extents = {Envelope(-1, -1, 6, 11)};
+  ExplicitPartitioner part(bounds, extents);
+  EXPECT_TRUE(part.PartitionExtent(0).Contains(Envelope(-1, -1, 6, 11)));
+}
+
+TEST_F(SpatialStoreTest, UnpartitionedRoundTrip) {
+  const std::string dir = MakeDir("stark_store_plain");
+  auto rdd = SpatialRDD<int64_t>::FromVector(&ctx_, data_, 3);
+  ASSERT_TRUE(SaveSpatial(rdd, dir).ok());
+  auto loaded = LoadSpatial<int64_t>(&ctx_, dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().partitioner(), nullptr);
+  EXPECT_EQ(Ids(loaded.ValueOrDie().rdd().Collect()), Ids(data_));
+  EXPECT_EQ(loaded.ValueOrDie().NumPartitions(), 3u);
+}
+
+TEST_F(SpatialStoreTest, PartitionedRoundTripKeepsPruning) {
+  const std::string dir = MakeDir("stark_store_bsp");
+  std::vector<Coordinate> centroids;
+  for (const auto& [obj, id] : data_) centroids.push_back(obj.Centroid());
+  BSPartitioner::Options options;
+  options.max_cost = 150;
+  auto bsp = std::make_shared<BSPartitioner>(universe_, centroids, options);
+  auto rdd = SpatialRDD<int64_t>::FromVector(&ctx_, data_).PartitionBy(bsp);
+  ASSERT_TRUE(SaveSpatial(rdd, dir).ok());
+
+  auto loaded_result = LoadSpatial<int64_t>(&ctx_, dir);
+  ASSERT_TRUE(loaded_result.ok());
+  const auto& loaded = loaded_result.ValueOrDie();
+  ASSERT_NE(loaded.partitioner(), nullptr);
+  EXPECT_EQ(loaded.partitioner()->NumPartitions(), bsp->NumPartitions());
+
+  // Same query results before and after the store/load cycle...
+  const STObject qry(Geometry::MakeBox(Envelope(10, 10, 40, 40)));
+  EXPECT_EQ(Ids(loaded.Intersects(qry).Collect()),
+            Ids(rdd.Intersects(qry).Collect()));
+  // ...and partition pruning still skips irrelevant partitions.
+  const STObject tiny(Geometry::MakeBox(Envelope(1, 1, 4, 4)));
+  auto parts = loaded.Intersects(tiny).CollectPartitions();
+  size_t non_empty = 0;
+  for (const auto& p : parts) non_empty += p.empty() ? 0 : 1;
+  EXPECT_LT(non_empty, parts.size() / 2);
+}
+
+TEST_F(SpatialStoreTest, GridMetadataSurvives) {
+  const std::string dir = MakeDir("stark_store_grid");
+  auto grid = std::make_shared<GridPartitioner>(universe_, 4);
+  auto rdd = SpatialRDD<int64_t>::FromVector(&ctx_, data_).PartitionBy(grid);
+  ASSERT_TRUE(SaveSpatial(rdd, dir).ok());
+  auto loaded = LoadSpatial<int64_t>(&ctx_, dir).ValueOrDie();
+  for (size_t i = 0; i < grid->NumPartitions(); ++i) {
+    EXPECT_EQ(loaded.partitioner()->PartitionBounds(i),
+              grid->PartitionBounds(i));
+    EXPECT_TRUE(loaded.partitioner()->PartitionExtent(i).Contains(
+        grid->PartitionExtent(i)));
+  }
+}
+
+TEST_F(SpatialStoreTest, MissingMetaFails) {
+  auto loaded = LoadSpatial<int64_t>(&ctx_, "/no/such/store");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace stark

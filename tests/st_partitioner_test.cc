@@ -1,0 +1,156 @@
+// Tests for the spatio-temporal grid partitioner and the temporal pruning
+// it enables — the extension of §2.1 ("current version only considers the
+// spatial component") implemented in this reproduction.
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "partition/st_grid_partitioner.h"
+#include "spatial_rdd/spatial_rdd.h"
+
+namespace stark {
+namespace {
+
+TEST(StGridPartitionerTest, LayoutAndCounts) {
+  SpatioTemporalGridPartitioner part(Envelope(0, 0, 10, 10), 2, 0, 100, 5);
+  EXPECT_EQ(part.NumPartitions(), 2u * 2u * 5u);
+  EXPECT_EQ(part.Name(), "st-grid");
+  EXPECT_EQ(part.time_buckets(), 5u);
+}
+
+TEST(StGridPartitionerTest, BucketAssignment) {
+  SpatioTemporalGridPartitioner part(Envelope(0, 0, 10, 10), 1, 0, 100, 4);
+  EXPECT_EQ(part.BucketOf(0), 0u);
+  EXPECT_EQ(part.BucketOf(10), 0u);
+  EXPECT_EQ(part.BucketOf(30), 1u);
+  EXPECT_EQ(part.BucketOf(99), 3u);
+  EXPECT_EQ(part.BucketOf(100), 3u);
+  EXPECT_EQ(part.BucketOf(-50), 0u);   // clamped
+  EXPECT_EQ(part.BucketOf(500), 3u);   // clamped
+}
+
+TEST(StGridPartitionerTest, AssignmentConsistentWithBounds) {
+  SpatioTemporalGridPartitioner part(Envelope(0, 0, 10, 10), 2, 0, 1000, 4);
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const Coordinate c{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const Instant t = rng.UniformInt(0, 1000);
+    const size_t p = part.PartitionForST(c, TemporalInterval(t));
+    ASSERT_LT(p, part.NumPartitions());
+    EXPECT_TRUE(part.PartitionBounds(p).Contains(c));
+    const auto time_bounds = part.PartitionTimeBounds(p);
+    ASSERT_TRUE(time_bounds.has_value());
+    EXPECT_TRUE(time_bounds->Contains(t))
+        << "t=" << t << " bounds=" << time_bounds->ToString();
+  }
+}
+
+TEST(StGridPartitionerTest, UntimedObjectsGoToBucketZero) {
+  SpatioTemporalGridPartitioner part(Envelope(0, 0, 10, 10), 2, 0, 100, 4);
+  const size_t p = part.PartitionForST({1, 1}, std::nullopt);
+  EXPECT_EQ(p % part.time_buckets(), 0u);
+  EXPECT_EQ(p, part.PartitionFor({1, 1}));
+}
+
+TEST(StGridPartitionerTest, DegenerateTimeRange) {
+  SpatioTemporalGridPartitioner part(Envelope(0, 0, 10, 10), 1, 50, 50, 3);
+  EXPECT_EQ(part.BucketOf(50), 0u);
+  EXPECT_LT(part.PartitionForST({5, 5}, TemporalInterval(50)),
+            part.NumPartitions());
+}
+
+class StPartitionedRddTest : public ::testing::Test {
+ protected:
+  StPartitionedRddTest() {
+    Rng rng(14);
+    for (int64_t i = 0; i < 2000; ++i) {
+      const Coordinate c{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+      // 10% of objects carry no time at all.
+      if (i % 10 == 0) {
+        data_.emplace_back(STObject(Geometry::MakePoint(c.x, c.y)), i);
+      } else {
+        data_.emplace_back(
+            STObject(Geometry::MakePoint(c.x, c.y), rng.UniformInt(0, 10'000)),
+            i);
+      }
+    }
+  }
+
+  std::set<int64_t> BruteForce(const STObject& query) const {
+    std::set<int64_t> ids;
+    for (const auto& [obj, id] : data_) {
+      if (obj.Intersects(query)) ids.insert(id);
+    }
+    return ids;
+  }
+
+  static std::set<int64_t> Ids(
+      const std::vector<std::pair<STObject, int64_t>>& elems) {
+    std::set<int64_t> ids;
+    for (const auto& [obj, id] : elems) ids.insert(id);
+    return ids;
+  }
+
+  Context ctx_{4};
+  std::vector<std::pair<STObject, int64_t>> data_;
+};
+
+TEST_F(StPartitionedRddTest, ShuffleIsLossless) {
+  auto part = std::make_shared<SpatioTemporalGridPartitioner>(
+      Envelope(0, 0, 100, 100), 3, 0, 10'000, 4);
+  auto rdd = SpatialRDD<int64_t>::FromVector(&ctx_, data_).PartitionBy(part);
+  EXPECT_EQ(rdd.NumPartitions(), 36u);
+  EXPECT_EQ(Ids(rdd.rdd().Collect()), Ids(data_));
+}
+
+TEST_F(StPartitionedRddTest, TimedQueryMatchesBruteForce) {
+  auto part = std::make_shared<SpatioTemporalGridPartitioner>(
+      Envelope(0, 0, 100, 100), 3, 0, 10'000, 4);
+  auto rdd = SpatialRDD<int64_t>::FromVector(&ctx_, data_).PartitionBy(part);
+  const STObject qry(Geometry::MakeBox(Envelope(10, 10, 70, 70)), 2'000,
+                     4'000);
+  EXPECT_EQ(Ids(rdd.Intersects(qry).Collect()), BruteForce(qry));
+  // Untimed query also stays correct (no temporal pruning applies).
+  const STObject plain(Geometry::MakeBox(Envelope(10, 10, 70, 70)));
+  EXPECT_EQ(Ids(rdd.Intersects(plain).Collect()), BruteForce(plain));
+}
+
+TEST_F(StPartitionedRddTest, TemporalPruningSkipsBuckets) {
+  auto part = std::make_shared<SpatioTemporalGridPartitioner>(
+      Envelope(0, 0, 100, 100), 2, 0, 10'000, 10);
+  auto rdd = SpatialRDD<int64_t>::FromVector(&ctx_, data_).PartitionBy(part);
+  // Narrow time window covering exactly one bucket; spatial window covers
+  // everything — only partitions of that bucket may contribute.
+  const STObject qry(Geometry::MakeBox(Envelope(0, 0, 100, 100)), 2'100,
+                     2'900);
+  auto parts = rdd.Intersects(qry).CollectPartitions();
+  size_t non_empty = 0;
+  for (const auto& p : parts) non_empty += p.empty() ? 0 : 1;
+  // 4 spatial cells x 1 surviving bucket.
+  EXPECT_LE(non_empty, 4u);
+  EXPECT_EQ(Ids(rdd.Intersects(qry).Collect()), BruteForce(qry));
+}
+
+TEST_F(StPartitionedRddTest, KnnWithCustomDistance) {
+  auto rdd = SpatialRDD<int64_t>::FromVector(&ctx_, data_, 4);
+  const STObject qry(Geometry::MakePoint(50, 50));
+  auto knn = rdd.Knn(qry, 5, ManhattanDistance);
+  ASSERT_EQ(knn.size(), 5u);
+  // Verify against brute force under Manhattan distance.
+  std::vector<double> dists;
+  for (const auto& [obj, id] : data_) {
+    dists.push_back(ManhattanDistance(obj, qry));
+  }
+  std::sort(dists.begin(), dists.end());
+  for (size_t i = 0; i < knn.size(); ++i) {
+    EXPECT_DOUBLE_EQ(knn[i].first, dists[i]);
+  }
+  // Euclidean and Manhattan orderings differ in general.
+  auto euclid = rdd.Knn(qry, 5);
+  EXPECT_LE(euclid[0].first, knn[0].first);
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,130 @@
+// Tests for STObject and the combined spatio-temporal predicate semantics
+// (the paper's formula (1)-(3)).
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/stobject.h"
+
+namespace stark {
+namespace {
+
+STObject Pt(double x, double y) {
+  return STObject(Geometry::MakePoint(x, y));
+}
+
+STObject PtAt(double x, double y, Instant t) {
+  return STObject(Geometry::MakePoint(x, y), t);
+}
+
+STObject Box(double x1, double y1, double x2, double y2) {
+  return STObject(Geometry::MakeBox(Envelope(x1, y1, x2, y2)));
+}
+
+STObject BoxDuring(double x1, double y1, double x2, double y2, Instant b,
+                   Instant e) {
+  return STObject(Geometry::MakeBox(Envelope(x1, y1, x2, y2)), b, e);
+}
+
+TEST(STObjectTest, FromWktVariants) {
+  STObject a = STObject::FromWkt("POINT (1 2)").ValueOrDie();
+  EXPECT_FALSE(a.HasTime());
+  STObject b = STObject::FromWkt("POINT (1 2)", 99).ValueOrDie();
+  ASSERT_TRUE(b.HasTime());
+  EXPECT_TRUE(b.time()->IsInstant());
+  STObject c = STObject::FromWkt("POINT (1 2)", 10, 20).ValueOrDie();
+  EXPECT_EQ(c.time()->Length(), 10);
+  EXPECT_FALSE(STObject::FromWkt("JUNK").ok());
+}
+
+TEST(STObjectTest, ToStringIncludesTime) {
+  EXPECT_EQ(Pt(1, 2).ToString(), "STObject(POINT (1 2))");
+  EXPECT_EQ(PtAt(1, 2, 5).ToString(), "STObject(POINT (1 2), @5)");
+}
+
+// Formula (2): both temporal components undefined -> spatial alone decides.
+TEST(STObjectSemanticsTest, BothTimesUndefined) {
+  EXPECT_TRUE(Pt(1, 1).Intersects(Pt(1, 1)));
+  EXPECT_FALSE(Pt(1, 1).Intersects(Pt(2, 2)));
+  EXPECT_TRUE(Box(0, 0, 4, 4).Contains(Pt(2, 2)));
+  EXPECT_TRUE(Pt(2, 2).ContainedBy(Box(0, 0, 4, 4)));
+}
+
+// Formula (3): both defined -> spatial AND temporal must hold.
+TEST(STObjectSemanticsTest, BothTimesDefined) {
+  const STObject box = BoxDuring(0, 0, 4, 4, 0, 100);
+  EXPECT_TRUE(PtAt(2, 2, 50).Intersects(box));
+  EXPECT_FALSE(PtAt(2, 2, 200).Intersects(box));  // spatial yes, temporal no
+  EXPECT_FALSE(PtAt(9, 9, 50).Intersects(box));   // temporal yes, spatial no
+}
+
+// Defined/undefined mix -> always false (per the formal definition).
+TEST(STObjectSemanticsTest, MixedDefinednessIsFalse) {
+  EXPECT_FALSE(PtAt(1, 1, 5).Intersects(Pt(1, 1)));
+  EXPECT_FALSE(Pt(1, 1).Intersects(PtAt(1, 1, 5)));
+  EXPECT_FALSE(Box(0, 0, 4, 4).Contains(PtAt(2, 2, 5)));
+  EXPECT_FALSE(BoxDuring(0, 0, 4, 4, 0, 10).Contains(Pt(2, 2)));
+}
+
+TEST(STObjectSemanticsTest, ContainsUsesTemporalContains) {
+  const STObject box = BoxDuring(0, 0, 4, 4, 0, 100);
+  // Spatially contained, temporally contained.
+  EXPECT_TRUE(box.Contains(BoxDuring(1, 1, 2, 2, 10, 20)));
+  // Spatially contained, but the interval leaks out.
+  EXPECT_FALSE(box.Contains(BoxDuring(1, 1, 2, 2, 50, 150)));
+  // Intersects is weaker: overlap suffices.
+  EXPECT_TRUE(box.Intersects(BoxDuring(1, 1, 2, 2, 50, 150)));
+}
+
+TEST(STObjectSemanticsTest, ContainedByIsReverse) {
+  const STObject inner = BoxDuring(1, 1, 2, 2, 10, 20);
+  const STObject outer = BoxDuring(0, 0, 4, 4, 0, 100);
+  EXPECT_TRUE(inner.ContainedBy(outer));
+  EXPECT_FALSE(outer.ContainedBy(inner));
+}
+
+TEST(STObjectTest, CentroidAndEnvelopeDelegate) {
+  const STObject box = Box(0, 0, 4, 2);
+  EXPECT_DOUBLE_EQ(box.Centroid().x, 2.0);
+  EXPECT_DOUBLE_EQ(box.Centroid().y, 1.0);
+  EXPECT_EQ(box.envelope(), Envelope(0, 0, 4, 2));
+}
+
+TEST(STObjectTest, Equality) {
+  EXPECT_EQ(PtAt(1, 2, 3), PtAt(1, 2, 3));
+  EXPECT_FALSE(PtAt(1, 2, 3) == PtAt(1, 2, 4));
+  EXPECT_FALSE(PtAt(1, 2, 3) == Pt(1, 2));
+}
+
+// -- Distance functions ----------------------------------------------------
+
+TEST(DistanceFunctionTest, Euclidean) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance(Pt(0, 0), Pt(3, 4)), 5.0);
+  EXPECT_EQ(EuclideanDistance(Pt(1, 1), Box(0, 0, 4, 4)), 0.0);
+}
+
+TEST(DistanceFunctionTest, Manhattan) {
+  EXPECT_DOUBLE_EQ(ManhattanDistance(Pt(0, 0), Pt(3, 4)), 7.0);
+}
+
+TEST(DistanceFunctionTest, HaversineKnownDistance) {
+  // Berlin (13.405, 52.52) to Hamburg (9.993, 53.551): ~255 km.
+  const double d =
+      HaversineDistanceKm(Pt(13.405, 52.52), Pt(9.993, 53.551));
+  EXPECT_NEAR(d, 255.0, 5.0);
+  EXPECT_DOUBLE_EQ(HaversineDistanceKm(Pt(10, 50), Pt(10, 50)), 0.0);
+}
+
+TEST(DistanceFunctionTest, TemporalDistance) {
+  EXPECT_EQ(TemporalDistance(PtAt(0, 0, 10), PtAt(0, 0, 25)), 15.0);
+  EXPECT_EQ(TemporalDistance(PtAt(0, 0, 10), Pt(0, 0)), 0.0);
+  EXPECT_EQ(TemporalDistance(Pt(0, 0), Pt(0, 0)), 0.0);
+}
+
+TEST(DistanceFunctionTest, CombinedDistanceWeights) {
+  DistanceFunction fn = CombinedDistance(EuclideanDistance, 2.0, 0.5);
+  // spatial 5 * 2 + temporal 10 * 0.5 = 15.
+  EXPECT_DOUBLE_EQ(fn(PtAt(0, 0, 0), PtAt(3, 4, 10)), 15.0);
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,70 @@
+// Tests for TemporalInterval and the temporal predicates.
+#include <gtest/gtest.h>
+
+#include "temporal/interval.h"
+
+namespace stark {
+namespace {
+
+TEST(TemporalIntervalTest, InstantIsDegenerateInterval) {
+  TemporalInterval t(42);
+  EXPECT_TRUE(t.IsInstant());
+  EXPECT_EQ(t.start(), 42);
+  EXPECT_EQ(t.end(), 42);
+  EXPECT_EQ(t.Length(), 0);
+  EXPECT_EQ(t.Center(), 42);
+  EXPECT_EQ(t.ToString(), "@42");
+}
+
+TEST(TemporalIntervalTest, IntervalBasics) {
+  TemporalInterval t(10, 20);
+  EXPECT_FALSE(t.IsInstant());
+  EXPECT_EQ(t.Length(), 10);
+  EXPECT_EQ(t.Center(), 15);
+  EXPECT_EQ(t.ToString(), "[10, 20]");
+}
+
+TEST(TemporalIntervalTest, IntersectsClosedSemantics) {
+  TemporalInterval a(0, 10);
+  EXPECT_TRUE(a.Intersects(TemporalInterval(5, 15)));
+  EXPECT_TRUE(a.Intersects(TemporalInterval(10, 20)));  // touching end
+  EXPECT_FALSE(a.Intersects(TemporalInterval(11, 20)));
+  EXPECT_TRUE(a.Intersects(TemporalInterval(3)));       // instant inside
+  EXPECT_TRUE(a.Intersects(a));
+}
+
+TEST(TemporalIntervalTest, Contains) {
+  TemporalInterval a(0, 10);
+  EXPECT_TRUE(a.Contains(TemporalInterval(2, 8)));
+  EXPECT_TRUE(a.Contains(a));
+  EXPECT_TRUE(a.Contains(TemporalInterval(0, 10)));
+  EXPECT_FALSE(a.Contains(TemporalInterval(-1, 5)));
+  EXPECT_TRUE(a.Contains(Instant{5}));
+  EXPECT_FALSE(a.Contains(Instant{11}));
+}
+
+TEST(TemporalIntervalTest, Distance) {
+  TemporalInterval a(0, 10);
+  EXPECT_EQ(a.Distance(TemporalInterval(5, 7)), 0);
+  EXPECT_EQ(a.Distance(TemporalInterval(15, 20)), 5);
+  EXPECT_EQ(a.Distance(TemporalInterval(-8, -3)), 3);
+}
+
+TEST(TemporalIntervalTest, Union) {
+  TemporalInterval u = TemporalInterval(0, 5).Union(TemporalInterval(10, 12));
+  EXPECT_EQ(u.start(), 0);
+  EXPECT_EQ(u.end(), 12);
+}
+
+TEST(TemporalPredicateTest, Dispatch) {
+  TemporalInterval a(0, 10);
+  TemporalInterval b(2, 8);
+  EXPECT_TRUE(EvalTemporalPredicate(TemporalPredicate::kIntersects, a, b));
+  EXPECT_TRUE(EvalTemporalPredicate(TemporalPredicate::kContains, a, b));
+  EXPECT_FALSE(EvalTemporalPredicate(TemporalPredicate::kContains, b, a));
+  EXPECT_TRUE(EvalTemporalPredicate(TemporalPredicate::kContainedBy, b, a));
+  EXPECT_FALSE(EvalTemporalPredicate(TemporalPredicate::kContainedBy, a, b));
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,25 @@
+// Shared test helpers.
+#ifndef STARK_TESTS_TEST_UTIL_H_
+#define STARK_TESTS_TEST_UTIL_H_
+
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace stark {
+namespace test {
+
+/// A temp path unique to this test process. gtest_discover_tests runs every
+/// test in its own process, and ctest may run them concurrently — fixed
+/// names under TempDir() would race.
+inline std::string UniqueTempPath(const std::string& stem) {
+  return ::testing::TempDir() + "/" + stem + "." +
+         std::to_string(::getpid());
+}
+
+}  // namespace test
+}  // namespace stark
+
+#endif  // STARK_TESTS_TEST_UTIL_H_

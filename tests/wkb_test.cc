@@ -1,0 +1,143 @@
+// Tests for the WKB reader/writer: round trips for every geometry type,
+// cross-format equivalence with WKT, endianness handling, hex transport,
+// and malformed-input robustness (including a fuzz sweep).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/wkb.h"
+#include "geometry/wkt.h"
+
+namespace stark {
+namespace {
+
+Geometry G(const char* wkt) { return ParseWkt(wkt).ValueOrDie(); }
+
+void RoundTrip(const Geometry& g) {
+  const std::vector<char> wkb = WriteWkb(g);
+  auto back = ParseWkb(wkb);
+  ASSERT_TRUE(back.ok()) << g.ToWkt() << ": " << back.status().ToString();
+  EXPECT_EQ(back.ValueOrDie(), g) << g.ToWkt();
+}
+
+TEST(WkbTest, AllTypesRoundTrip) {
+  RoundTrip(G("POINT (1.5 -2.25)"));
+  RoundTrip(G("LINESTRING (0 0, 1 1, 2 0)"));
+  RoundTrip(G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"));
+  RoundTrip(
+      G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))"));
+  RoundTrip(G("MULTIPOINT (1 2, 3 4, 5 6)"));
+  RoundTrip(G("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), "
+              "((5 5, 6 5, 6 6, 5 5)))"));
+}
+
+TEST(WkbTest, KnownPointEncoding) {
+  // Little-endian WKB for POINT(1 2):
+  // 01 01000000 000000000000F03F 0000000000000040
+  const std::string hex = WriteWkbHex(G("POINT (1 2)"));
+  EXPECT_EQ(hex, "0101000000000000000000F03F0000000000000040");
+}
+
+TEST(WkbTest, HexRoundTrip) {
+  const Geometry g = G("POLYGON ((0 0, 4 0, 4 4, 0 0))");
+  auto back = ParseWkbHex(WriteWkbHex(g));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.ValueOrDie(), g);
+  // Lower-case hex is accepted too.
+  std::string lower = WriteWkbHex(g);
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  EXPECT_TRUE(ParseWkbHex(lower).ok());
+}
+
+TEST(WkbTest, BigEndianInputIsAccepted) {
+  // Big-endian WKB for POINT(1 2):
+  // 00 00000001 3FF0000000000000 4000000000000000
+  auto g = ParseWkbHex("00000000013FF00000000000004000000000000000");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.ValueOrDie(), G("POINT (1 2)"));
+}
+
+TEST(WkbTest, Errors) {
+  EXPECT_FALSE(ParseWkb(nullptr, 0).ok());
+  EXPECT_FALSE(ParseWkbHex("01").ok());               // truncated
+  EXPECT_FALSE(ParseWkbHex("0x5").ok());              // bad characters
+  EXPECT_FALSE(ParseWkbHex("ABC").ok());              // odd length
+  EXPECT_FALSE(ParseWkbHex("0109000000").ok());       // unsupported type 9
+  EXPECT_FALSE(ParseWkbHex("0201000000").ok());       // bad order marker 2
+  // Trailing garbage after a valid point.
+  EXPECT_FALSE(
+      ParseWkbHex("0101000000000000000000F03F0000000000000040FF").ok());
+}
+
+TEST(WkbTest, WktAndWkbAgree) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double x = rng.Uniform(-100, 100);
+    const double y = rng.Uniform(-100, 100);
+    Geometry g = trial % 2 == 0
+                     ? Geometry::MakePoint(x, y)
+                     : Geometry::MakePolygon({{x, y},
+                                              {x + 2, y},
+                                              {x + 2, y + 2},
+                                              {x, y + 2}})
+                           .ValueOrDie();
+    // WKT and WKB must decode to the same geometry.
+    EXPECT_EQ(ParseWkt(g.ToWkt()).ValueOrDie(),
+              ParseWkb(WriteWkb(g)).ValueOrDie());
+  }
+}
+
+// Fuzz sweep: random mutations of valid WKB must never crash — every
+// outcome is either a parsed geometry or a clean ParseError.
+TEST(WkbFuzzTest, MutatedBuffersNeverCrash) {
+  Rng rng(18);
+  const std::vector<char> base =
+      WriteWkb(G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+                 "(2 2, 4 2, 4 4, 2 4, 2 2))"));
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<char> fuzzed = base;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 8));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos =
+          static_cast<size_t>(rng.UniformInt(0, fuzzed.size() - 1));
+      fuzzed[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    if (rng.Bernoulli(0.3)) {
+      fuzzed.resize(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(fuzzed.size()))));
+    }
+    auto result = ParseWkb(fuzzed);  // must not crash or hang
+    if (!result.ok()) {
+      // Either a format error or a geometry-validity error (e.g. a mutated
+      // ring with too few points) — never anything else.
+      const auto code = result.status().code();
+      EXPECT_TRUE(code == StatusCode::kParseError ||
+                  code == StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+// Same fuzz discipline for the WKT parser.
+TEST(WktFuzzTest, MutatedStringsNeverCrash) {
+  Rng rng(19);
+  const std::string base =
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string fuzzed = base;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 6));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos =
+          static_cast<size_t>(rng.UniformInt(0, fuzzed.size() - 1));
+      fuzzed[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    }
+    auto result = ParseWkt(fuzzed);  // must not crash or hang
+    if (!result.ok()) {
+      const auto code = result.status().code();
+      EXPECT_TRUE(code == StatusCode::kParseError ||
+                  code == StatusCode::kInvalidArgument)
+          << fuzzed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stark
