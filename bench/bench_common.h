@@ -1,31 +1,96 @@
 /// \file bench_common.h
 /// Shared helpers for the benchmark binaries: environment-variable sizing
-/// (so the paper-scale 1M-point runs are opt-in) and workload construction.
+/// (so the paper-scale 1M-point runs are opt-in), workload construction,
+/// and span-aware stage timing shared with the obs tracing layer. Set
+/// STARK_TRACE=<file> to capture a Chrome trace of a benchmark run.
 #ifndef STARK_BENCH_BENCH_COMMON_H_
 #define STARK_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "io/generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace stark {
 namespace bench {
 
-/// Reads a size_t from the environment, with a default.
+/// Reads a size_t from the environment, with a default. A value that does
+/// not parse as a non-negative integer (or has trailing junk) falls back
+/// to the default with a warning instead of silently becoming 0 — a bad
+/// STARK_N must not produce an empty benchmark workload.
 inline size_t EnvSize(const char* name, size_t default_value) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return default_value;
-  return static_cast<size_t>(std::strtoull(value, nullptr, 10));
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr,
+                 "warning: %s='%s' is not a valid size, using default %zu\n",
+                 name, value, default_value);
+    return default_value;
+  }
+  return static_cast<size_t>(parsed);
 }
 
-/// Reads a double from the environment, with a default.
+/// Reads a double from the environment, with a default. Invalid values
+/// fall back to the default with a warning, like EnvSize.
 inline double EnvDouble(const char* name, double default_value) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return default_value;
-  return std::strtod(value, nullptr);
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr,
+                 "warning: %s='%s' is not a valid number, using default %g\n",
+                 name, value, default_value);
+    return default_value;
+  }
+  return parsed;
 }
+
+/// Times a named benchmark stage with the shared obs idiom: reports the
+/// scope's duration into the "bench.<name>.ns" histogram and, when tracing
+/// is enabled, emits a matching span into the Chrome trace.
+class ScopedStage {
+ public:
+  explicit ScopedStage(const std::string& name)
+      : span_(obs::DefaultTracer(), "bench." + name),
+        timer_(obs::DefaultMetrics().GetHistogram("bench." + name + ".ns")) {}
+
+ private:
+  obs::ScopedSpan span_;
+  ScopedTimer<obs::Histogram> timer_;
+};
+
+/// Enables the default tracer when STARK_TRACE=<file> is set; the returned
+/// guard writes the trace on destruction (instantiate once in main-scope,
+/// e.g. as a static in a workload builder).
+class TraceFromEnv {
+ public:
+  TraceFromEnv() {
+    const char* path = std::getenv("STARK_TRACE");
+    if (path != nullptr && *path != '\0') {
+      path_ = path;
+      obs::DefaultTracer().Enable();
+    }
+  }
+  ~TraceFromEnv() {
+    if (path_.empty()) return;
+    const Status status = obs::DefaultTracer().WriteChromeTrace(path_);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+};
 
 /// The benchmark universe used throughout the suite.
 inline Envelope BenchUniverse() { return Envelope(0, 0, 100, 100); }

@@ -26,6 +26,9 @@ Context* Ctx() {
 using Rdd = SpatialRDD<int64_t>;
 
 std::vector<std::pair<STObject, int64_t>> MakeData() {
+  // STARK_TRACE=<file> captures this binary's run as a Chrome trace.
+  static bench::TraceFromEnv trace_guard;
+  bench::ScopedStage stage("filter.make_data");
   auto points = bench::BenchPoints(N());
   std::vector<std::pair<STObject, int64_t>> data;
   data.reserve(points.size());

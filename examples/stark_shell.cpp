@@ -3,11 +3,18 @@
 /// front end (§4): type statements, DUMP/DESCRIBE results, iterate. Each
 /// submitted statement (terminated by ';') runs immediately against the
 /// session's interpreter, so relations accumulate like cells in the demo UI.
+///
+/// Run with --trace=<file> to capture a Chrome trace (one span per
+/// partition-task) of everything the session executes; open the file in
+/// chrome://tracing or https://ui.perfetto.dev.
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "engine/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "piglet/explain.h"
 #include "piglet/interpreter.h"
 #include "piglet/parser.h"
@@ -25,20 +32,41 @@ Example:
   hits = FILTER s BY INTERSECTS('POLYGON((0 0,10 0,10 10,0 0))', 0, 1000);
   DUMP hits;
 \e <statements>  shows the optimized plan without running it.
+\a <statements>  EXPLAIN ANALYZE: runs them and prints per-operator stats.
+\m               dumps engine metrics (counters/gauges/histograms).
 Type \q to quit.
 )";
 
+void Prompt(bool pending) {
+  std::printf(pending ? "   ... " : "stark> ");
+  std::fflush(stdout);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace=<file>]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) {
+    obs::DefaultTracer().Enable();
+    std::printf("tracing to %s (Chrome trace_event JSON)\n",
+                trace_path.c_str());
+  }
+
   Context ctx;
   piglet::Interpreter interpreter(&ctx, &std::cout);
   std::printf("%s", kBanner);
 
   std::string pending;
   std::string line;
-  std::printf("stark> ");
-  std::fflush(stdout);
+  Prompt(false);
   while (std::getline(std::cin, line)) {
     if (line == "\\q" || line == "\\quit") break;
     if (line.rfind("\\e ", 0) == 0) {
@@ -54,8 +82,26 @@ int main() {
                     piglet::FormatProgram(optimized).c_str(),
                     report.Total());
       }
-      std::printf("stark> ");
-      std::fflush(stdout);
+      Prompt(false);
+      continue;
+    }
+    if (line.rfind("\\a ", 0) == 0) {
+      // EXPLAIN ANALYZE: execute against the session and print the
+      // per-operator profile (statements still define session relations).
+      piglet::AnalyzeReport report;
+      const Status status =
+          interpreter.RunScriptAnalyze(line.substr(3), &report);
+      std::printf("%s", piglet::FormatAnalyzeReport(report).c_str());
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+      }
+      Prompt(false);
+      continue;
+    }
+    if (line == "\\m") {
+      ctx.PublishPoolStats();
+      std::printf("%s", obs::DefaultMetrics().TextReport().c_str());
+      Prompt(false);
       continue;
     }
     pending += line;
@@ -69,8 +115,17 @@ int main() {
       }
       pending.clear();
     }
-    std::printf(pending.empty() ? "stark> " : "   ... ");
-    std::fflush(stdout);
+    Prompt(!pending.empty());
+  }
+  if (!trace_path.empty()) {
+    const Status status = obs::DefaultTracer().WriteChromeTrace(trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu task spans to %s\n",
+                obs::DefaultTracer().Spans().size(), trace_path.c_str());
   }
   std::printf("\nbye\n");
   return 0;

@@ -4,6 +4,7 @@
 #define STARK_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace stark {
 
@@ -23,9 +24,36 @@ class Stopwatch {
   /// Elapsed milliseconds since start as a double.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Elapsed integral nanoseconds since start (the tracer/metrics unit).
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII timer reporting the scope's elapsed nanoseconds into any sink with
+/// a `Record(uint64_t)` method (e.g. obs::Histogram) — the shared timing
+/// idiom for benchmarks and the task tracer. A null sink disables it.
+template <typename Sink>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Sink* sink) : sink_(sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->Record(stopwatch_.ElapsedNanos());
+  }
+
+ private:
+  Sink* sink_;
+  Stopwatch stopwatch_;
 };
 
 }  // namespace stark

@@ -4,11 +4,19 @@
 
 namespace stark {
 
+namespace {
+
+thread_local int current_worker_index = -1;
+
+}  // namespace
+
+int ThreadPool::CurrentWorkerIndex() { return current_worker_index; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   STARK_CHECK(num_threads >= 1);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(static_cast<int>(i)); });
   }
 }
 
@@ -21,7 +29,8 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  current_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {
@@ -35,6 +44,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

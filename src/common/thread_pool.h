@@ -4,8 +4,10 @@
 #ifndef STARK_COMMON_THREAD_POOL_H_
 #define STARK_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -26,6 +28,21 @@ class ThreadPool {
 
   STARK_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
 
+  /// Index of the pool worker executing the calling thread, or -1 when
+  /// called from a non-worker thread (e.g. the driver). Task tracers use
+  /// this to attribute spans to executor lanes.
+  static int CurrentWorkerIndex();
+
+  /// Plain-value dispatch statistics (monotonic since construction).
+  struct Stats {
+    uint64_t tasks_executed = 0;
+    uint64_t tasks_submitted = 0;
+  };
+  Stats GetStats() const {
+    return {tasks_executed_.load(std::memory_order_relaxed),
+            tasks_submitted_.load(std::memory_order_relaxed)};
+  }
+
   /// Enqueues \p fn and returns a future for its completion.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
@@ -37,6 +54,7 @@ class ThreadPool {
       STARK_CHECK(!shutdown_);
       queue_.emplace_back([task] { (*task)(); });
     }
+    tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
     cv_.notify_one();
     return fut;
   }
@@ -48,13 +66,15 @@ class ThreadPool {
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> tasks_submitted_{0};
 };
 
 }  // namespace stark

@@ -8,27 +8,91 @@
 
 #include <memory>
 #include <thread>
+#include <utility>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace stark {
 
 /// \brief Owns the worker pool and the default parallelism of a program.
+///
+/// Also the engine's observability seam: every action dispatches its
+/// partition tasks through RunTasks(), which is a plain ParallelFor while
+/// tracing is disabled (one relaxed atomic load extra) and records one
+/// TaskSpan per partition-task while it is enabled.
 class Context {
  public:
-  /// \p parallelism 0 means "number of hardware threads".
-  explicit Context(size_t parallelism = 0)
+  /// \p parallelism 0 means "number of hardware threads". \p tracer null
+  /// means the process-wide obs::DefaultTracer().
+  explicit Context(size_t parallelism = 0, obs::TaskTracer* tracer = nullptr)
       : parallelism_(parallelism != 0 ? parallelism
                                       : DefaultHardwareParallelism()),
-        pool_(std::make_unique<ThreadPool>(parallelism_)) {}
+        pool_(std::make_unique<ThreadPool>(parallelism_)),
+        tracer_(tracer != nullptr ? tracer : &obs::DefaultTracer()) {}
 
   STARK_DISALLOW_COPY_AND_ASSIGN(Context);
 
   ThreadPool& pool() { return *pool_; }
 
+  obs::TaskTracer& tracer() const { return *tracer_; }
+
   /// Default number of partitions for new RDDs, like Spark's
   /// `spark.default.parallelism`.
   size_t default_parallelism() const { return parallelism_; }
+
+  /// Runs \p fn(p) for p in [0, n) on the pool as one job of n
+  /// partition-tasks labelled \p stage. This is the begin/end hook of the
+  /// tracing layer: with tracing enabled each task gets a span (job id,
+  /// stage, partition, worker, queue-wait vs compute time) and operator
+  /// code can annotate record counts via obs::CurrentTaskSpan().
+  template <typename Fn>
+  void RunTasks(const char* stage, size_t n, const Fn& fn) {
+    static obs::Counter* const jobs =
+        obs::DefaultMetrics().GetCounter("engine.jobs");
+    static obs::Counter* const tasks =
+        obs::DefaultMetrics().GetCounter("engine.tasks");
+    jobs->Increment();
+    tasks->Add(n);
+    obs::TaskTracer& tracer = *tracer_;
+    if (!tracer.enabled()) {  // null-sink fast path
+      pool_->ParallelFor(n, fn);
+      return;
+    }
+    const uint64_t job = tracer.BeginJob();
+    // ParallelFor enqueues every task up front, so the job start is the
+    // enqueue time of each task; queue wait = task start - job start.
+    const uint64_t queued = tracer.NowNanos();
+    pool_->ParallelFor(n, [&tracer, &fn, stage, job, queued](size_t p) {
+      obs::TaskSpan span;
+      span.job_id = job;
+      span.stage = stage;
+      span.partition = p;
+      span.worker = ThreadPool::CurrentWorkerIndex();
+      span.queued_ns = queued;
+      span.start_ns = tracer.NowNanos();
+      {
+        obs::CurrentTaskSpanScope scope(&span);
+        fn(p);
+      }
+      span.end_ns = tracer.NowNanos();
+      tracer.Record(std::move(span));
+    });
+  }
+
+  /// Copies the pool's dispatch statistics into the default metrics
+  /// registry (engine.pool.* gauges) so a metrics dump includes them.
+  void PublishPoolStats() const {
+    const ThreadPool::Stats stats = pool_->GetStats();
+    obs::MetricsRegistry& m = obs::DefaultMetrics();
+    m.GetGauge("engine.pool.threads")
+        ->Set(static_cast<int64_t>(pool_->num_threads()));
+    m.GetGauge("engine.pool.tasks_submitted")
+        ->Set(static_cast<int64_t>(stats.tasks_submitted));
+    m.GetGauge("engine.pool.tasks_executed")
+        ->Set(static_cast<int64_t>(stats.tasks_executed));
+  }
 
  private:
   static size_t DefaultHardwareParallelism() {
@@ -38,6 +102,7 @@ class Context {
 
   size_t parallelism_;
   std::unique_ptr<ThreadPool> pool_;
+  obs::TaskTracer* tracer_;
 };
 
 }  // namespace stark

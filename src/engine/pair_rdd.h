@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/rdd.h"
+#include "obs/trace.h"
 
 namespace stark {
 
@@ -23,6 +24,7 @@ namespace stark {
 template <typename K, typename V, typename F>
 RDD<std::pair<K, V>> ReduceByKey(const RDD<std::pair<K, V>>& rdd, F combine,
                                  size_t num_partitions = 0) {
+  obs::ScopedSpan span(rdd.ctx()->tracer(), "pair_rdd.reduce_by_key");
   const size_t targets =
       num_partitions != 0 ? num_partitions : rdd.ctx()->default_parallelism();
   // Map-side combine.
@@ -69,6 +71,7 @@ RDD<std::pair<K, V>> ReduceByKey(const RDD<std::pair<K, V>>& rdd, F combine,
 template <typename K, typename V>
 RDD<std::pair<K, std::vector<V>>> GroupByKey(const RDD<std::pair<K, V>>& rdd,
                                              size_t num_partitions = 0) {
+  obs::ScopedSpan span(rdd.ctx()->tracer(), "pair_rdd.group_by_key");
   const size_t targets =
       num_partitions != 0 ? num_partitions : rdd.ctx()->default_parallelism();
   RDD<std::pair<K, V>> shuffled =
@@ -103,6 +106,7 @@ std::map<K, size_t> CountByKey(const RDD<std::pair<K, V>>& rdd) {
 /// Removes duplicate elements (hash shuffle + per-partition sort/unique).
 template <typename T>
 RDD<T> Distinct(const RDD<T>& rdd, size_t num_partitions = 0) {
+  obs::ScopedSpan span(rdd.ctx()->tracer(), "pair_rdd.distinct");
   const size_t targets =
       num_partitions != 0 ? num_partitions : rdd.ctx()->default_parallelism();
   RDD<T> shuffled = rdd.PartitionBy(targets, [targets](const T& x) {

@@ -16,6 +16,8 @@
 #include "common/macros.h"
 #include "common/rng.h"
 #include "engine/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace stark {
 
@@ -168,7 +170,12 @@ class PrunePartitionsRDD final : public RDDImpl<T> {
 
   size_t NumPartitions() const override { return parent_->NumPartitions(); }
   std::vector<T> Compute(size_t p) const override {
-    if (!keep_(p)) return {};
+    static obs::Counter* const pruned =
+        obs::DefaultMetrics().GetCounter("engine.partitions.pruned");
+    if (!keep_(p)) {
+      pruned->Increment();
+      return {};
+    }
     return parent_->Compute(p);
   }
 
@@ -188,8 +195,17 @@ class CacheRDD final : public RDDImpl<T> {
 
   size_t NumPartitions() const override { return parent_->NumPartitions(); }
   std::vector<T> Compute(size_t p) const override {
+    static obs::Counter* const hits =
+        obs::DefaultMetrics().GetCounter("engine.cache.hits");
+    static obs::Counter* const misses =
+        obs::DefaultMetrics().GetCounter("engine.cache.misses");
     Slot& slot = slots_[p];
-    std::call_once(slot.once, [&] { slot.data = parent_->Compute(p); });
+    bool computed = false;
+    std::call_once(slot.once, [&] {
+      slot.data = parent_->Compute(p);
+      computed = true;
+    });
+    (computed ? misses : hits)->Increment();
     return slot.data;
   }
 
@@ -298,12 +314,22 @@ class RDD {
   RDD<T> PartitionBy(size_t num_partitions,
                      const std::function<size_t(const T&)>& target) const {
     STARK_CHECK(num_partitions >= 1);
+    static obs::Counter* const shuffle_records =
+        obs::DefaultMetrics().GetCounter("engine.shuffle.records");
+    static obs::Counter* const shuffles =
+        obs::DefaultMetrics().GetCounter("engine.shuffles");
+    shuffles->Increment();
     const size_t in_parts = NumPartitions();
     // Route each input partition into per-target buckets in parallel...
     std::vector<std::vector<std::vector<T>>> routed(in_parts);
-    ctx()->pool().ParallelFor(in_parts, [&](size_t p) {
+    ctx()->RunTasks("rdd.shuffle.map", in_parts, [&](size_t p) {
       std::vector<std::vector<T>> buckets(num_partitions);
       std::vector<T> in = impl_->Compute(p);
+      if (obs::TaskSpan* span = obs::CurrentTaskSpan()) {
+        span->records_in = in.size();
+        span->records_out = in.size();
+      }
+      shuffle_records->Add(in.size());
       for (auto& x : in) {
         const size_t t = target(x);
         STARK_DCHECK(t < num_partitions);
@@ -352,7 +378,13 @@ class RDD {
   std::vector<std::vector<T>> CollectPartitions() const {
     const size_t n = NumPartitions();
     std::vector<std::vector<T>> parts(n);
-    ctx()->pool().ParallelFor(n, [&](size_t p) { parts[p] = impl_->Compute(p); });
+    ctx()->RunTasks("rdd.collect", n, [&](size_t p) {
+      parts[p] = impl_->Compute(p);
+      if (obs::TaskSpan* span = obs::CurrentTaskSpan()) {
+        span->records_in = parts[p].size();
+        span->records_out = parts[p].size();
+      }
+    });
     return parts;
   }
 
@@ -373,8 +405,13 @@ class RDD {
   size_t Count() const {
     const size_t n = NumPartitions();
     std::vector<size_t> counts(n, 0);
-    ctx()->pool().ParallelFor(
-        n, [&](size_t p) { counts[p] = impl_->Compute(p).size(); });
+    ctx()->RunTasks("rdd.count", n, [&](size_t p) {
+      counts[p] = impl_->Compute(p).size();
+      if (obs::TaskSpan* span = obs::CurrentTaskSpan()) {
+        span->records_in = counts[p];
+        span->records_out = 1;
+      }
+    });
     size_t total = 0;
     for (size_t c : counts) total += c;
     return total;
@@ -386,9 +423,14 @@ class RDD {
   T Fold(T init, F fn) const {
     const size_t n = NumPartitions();
     std::vector<T> partials(n, init);
-    ctx()->pool().ParallelFor(n, [&](size_t p) {
+    ctx()->RunTasks("rdd.fold", n, [&](size_t p) {
+      std::vector<T> items = impl_->Compute(p);
+      if (obs::TaskSpan* span = obs::CurrentTaskSpan()) {
+        span->records_in = items.size();
+        span->records_out = 1;
+      }
       T acc = init;
-      for (auto& x : impl_->Compute(p)) acc = fn(acc, x);
+      for (auto& x : items) acc = fn(acc, x);
       partials[p] = std::move(acc);
     });
     T acc = init;

@@ -1,0 +1,149 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/serde.h"
+#include "common/thread_pool.h"
+
+namespace stark {
+namespace obs {
+
+namespace {
+
+thread_local TaskSpan* current_task_span = nullptr;
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string Micros(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+}  // namespace
+
+void TaskTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  phases_.clear();
+}
+
+void TaskTracer::Record(TaskSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+void TaskTracer::RecordPhase(PhaseEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  phases_.push_back(std::move(event));
+}
+
+std::vector<TaskSpan> TaskTracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<PhaseEvent> TaskTracer::Phases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return phases_;
+}
+
+std::string TaskTracer::ChromeTraceJson() const {
+  std::vector<TaskSpan> spans;
+  std::vector<PhaseEvent> phases;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+    phases = phases_;
+  }
+  // tid 0 is the driver thread; worker w maps to tid w + 1.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TaskSpan& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(&out, s.stage);
+    out += "\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(s.worker + 1) + ",\"ts\":" + Micros(s.start_ns) +
+           ",\"dur\":" + Micros(s.end_ns - s.start_ns) +
+           ",\"args\":{\"job\":" + std::to_string(s.job_id) +
+           ",\"partition\":" + std::to_string(s.partition) +
+           ",\"queue_wait_us\":" + Micros(s.start_ns - s.queued_ns) +
+           ",\"records_in\":" + std::to_string(s.records_in) +
+           ",\"records_out\":" + std::to_string(s.records_out) + "}}";
+  }
+  for (const PhaseEvent& e : phases) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(&out, e.name);
+    out += std::string("\",\"cat\":\"phase\",\"ph\":\"") +
+           (e.begin ? "B" : "E") +
+           "\",\"pid\":1,\"tid\":" + std::to_string(e.worker + 1) +
+           ",\"ts\":" + Micros(e.ts_ns) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status TaskTracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ChromeTraceJson();
+  return WriteFileBytes(path, std::vector<char>(json.begin(), json.end()));
+}
+
+TaskTracer& DefaultTracer() {
+  static TaskTracer* tracer = new TaskTracer();
+  return *tracer;
+}
+
+TaskSpan* CurrentTaskSpan() { return current_task_span; }
+
+CurrentTaskSpanScope::CurrentTaskSpanScope(TaskSpan* span)
+    : previous_(current_task_span) {
+  current_task_span = span;
+}
+
+CurrentTaskSpanScope::~CurrentTaskSpanScope() {
+  current_task_span = previous_;
+}
+
+ScopedSpan::ScopedSpan(TaskTracer& tracer, std::string name)
+    : tracer_(tracer.enabled() ? &tracer : nullptr), name_(std::move(name)) {
+  if (tracer_ == nullptr) return;
+  PhaseEvent e;
+  e.name = name_;
+  e.worker = ThreadPool::CurrentWorkerIndex();
+  e.begin = true;
+  e.ts_ns = tracer_->NowNanos();
+  tracer_->RecordPhase(std::move(e));
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  PhaseEvent e;
+  e.name = name_;
+  e.worker = ThreadPool::CurrentWorkerIndex();
+  e.begin = false;
+  e.ts_ns = tracer_->NowNanos();
+  tracer_->RecordPhase(std::move(e));
+}
+
+}  // namespace obs
+}  // namespace stark

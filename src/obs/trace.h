@@ -1,0 +1,140 @@
+/// \file trace.h
+/// TaskTracer: records one span per partition-task (the sparklet analogue
+/// of a Spark task in the stage/task UI) plus nestable driver-side phase
+/// spans, and exports everything as Chrome `trace_event` JSON loadable in
+/// chrome://tracing or Perfetto.
+///
+/// Tracing is OFF by default and the disabled path is a single relaxed
+/// atomic load (`enabled()`), after which the engine dispatches tasks
+/// exactly as before — no locks, no allocations, no timestamps. When
+/// enabled, spans are buffered under a mutex; that cost is paid only at
+/// task granularity while a trace is being captured.
+#ifndef STARK_OBS_TRACE_H_
+#define STARK_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace stark {
+namespace obs {
+
+/// One completed partition-task. Timestamps are nanoseconds since the
+/// tracer's epoch (steady clock); queue wait = start_ns - queued_ns,
+/// compute time = end_ns - start_ns.
+struct TaskSpan {
+  uint64_t job_id = 0;       ///< Action that launched the task.
+  std::string stage;         ///< Stage label, e.g. "rdd.collect".
+  size_t partition = 0;      ///< Partition index within the job.
+  int worker = -1;           ///< ThreadPool worker index; -1 = driver thread.
+  uint64_t queued_ns = 0;    ///< When the job submitted the task.
+  uint64_t start_ns = 0;     ///< When a worker began computing it.
+  uint64_t end_ns = 0;       ///< When it finished.
+  uint64_t records_in = 0;   ///< Elements read by the task (0 if unknown).
+  uint64_t records_out = 0;  ///< Elements produced by the task.
+};
+
+/// One begin/end phase event from a ScopedSpan (driver-side phases such as
+/// "shuffle" or a benchmark stage); these nest on a thread.
+struct PhaseEvent {
+  std::string name;
+  int worker = -1;
+  bool begin = true;
+  uint64_t ts_ns = 0;
+};
+
+/// \brief Collects spans while enabled; null sink while disabled.
+class TaskTracer {
+ public:
+  TaskTracer() : epoch_(std::chrono::steady_clock::now()) {}
+  STARK_DISALLOW_COPY_AND_ASSIGN(TaskTracer);
+
+  /// The hot-path check: engine code bails out immediately when false.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Drops every buffered span/event (the epoch is kept).
+  void Clear();
+
+  /// Nanoseconds since the tracer's epoch.
+  uint64_t NowNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Allocates a job id for an action (monotonic, process-wide per tracer).
+  uint64_t BeginJob() { return next_job_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Buffers a completed task span (call only while enabled).
+  void Record(TaskSpan span);
+
+  /// Buffers a phase begin/end event (call only while enabled).
+  void RecordPhase(PhaseEvent event);
+
+  std::vector<TaskSpan> Spans() const;
+  std::vector<PhaseEvent> Phases() const;
+
+  /// Serializes all buffered spans/phases to Chrome trace_event JSON
+  /// ({"traceEvents": [...]}; task spans as complete "X" events with
+  /// queue-wait and record counts in args, phases as nested "B"/"E").
+  std::string ChromeTraceJson() const;
+
+  /// Writes ChromeTraceJson() to \p path.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_job_{1};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TaskSpan> spans_;
+  std::vector<PhaseEvent> phases_;
+};
+
+/// The process-wide tracer used by Context unless one is injected;
+/// `stark_shell --trace=<file>` and STARK_TRACE enable this one.
+TaskTracer& DefaultTracer();
+
+/// The span of the partition-task currently executing on this thread, or
+/// null outside a traced task. Lets operator code annotate record counts
+/// without threading the span through every signature.
+TaskSpan* CurrentTaskSpan();
+
+/// RAII guard installing \p span as the thread's current task span.
+class CurrentTaskSpanScope {
+ public:
+  explicit CurrentTaskSpanScope(TaskSpan* span);
+  ~CurrentTaskSpanScope();
+  STARK_DISALLOW_COPY_AND_ASSIGN(CurrentTaskSpanScope);
+
+ private:
+  TaskSpan* previous_;
+};
+
+/// RAII phase span: emits a begin event on construction and the matching
+/// end event on destruction. Nests naturally; no-op while the tracer is
+/// disabled at construction time.
+class ScopedSpan {
+ public:
+  ScopedSpan(TaskTracer& tracer, std::string name);
+  ~ScopedSpan();
+  STARK_DISALLOW_COPY_AND_ASSIGN(ScopedSpan);
+
+ private:
+  TaskTracer* tracer_;  // null when tracing was disabled at construction
+  std::string name_;
+};
+
+}  // namespace obs
+}  // namespace stark
+
+#endif  // STARK_OBS_TRACE_H_

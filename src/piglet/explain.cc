@@ -135,5 +135,35 @@ std::string FormatProgram(const Program& program) {
   return out;
 }
 
+std::string FormatAnalyzeReport(const AnalyzeReport& report) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "EXPLAIN ANALYZE (total %.3f ms)\n",
+                report.total_ms);
+  std::string out = buf;
+  out += "  op    wall_ms       rows  parts  statement\n";
+  for (size_t i = 0; i < report.operators.size(); ++i) {
+    const OperatorProfile& op = report.operators[i];
+    std::string rows = op.produced_relation ? std::to_string(op.rows_out) : "-";
+    std::string parts =
+        op.produced_relation ? std::to_string(op.num_partitions) : "-";
+    std::snprintf(buf, sizeof(buf), "  %2zu %10.3f %10s %6s  ", i + 1,
+                  op.wall_ms, rows.c_str(), parts.c_str());
+    out += buf;
+    out += op.statement;
+    const QueryStats::Snapshot& f = op.filter;
+    if (f.partitions_pruned + f.partitions_scanned + f.candidates +
+            f.results >
+        0) {
+      std::snprintf(buf, sizeof(buf),
+                    "  [pruned=%zu scanned=%zu candidates=%zu results=%zu]",
+                    f.partitions_pruned, f.partitions_scanned, f.candidates,
+                    f.results);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
 }  // namespace piglet
 }  // namespace stark

@@ -1,13 +1,17 @@
 /// \file explain.h
 /// Pretty-printer for Piglet programs — the EXPLAIN facility: renders a
 /// parsed (or optimized) program back to canonical statement text so users
-/// and tests can inspect what the optimizer did.
+/// and tests can inspect what the optimizer did. Also defines the EXPLAIN
+/// ANALYZE report (per-operator wall time, record counts, and filter
+/// pruning stats), which Interpreter::RunScriptAnalyze fills.
 #ifndef STARK_PIGLET_EXPLAIN_H_
 #define STARK_PIGLET_EXPLAIN_H_
 
 #include <string>
+#include <vector>
 
 #include "piglet/ast.h"
+#include "spatial_rdd/query_stats.h"
 
 namespace stark {
 namespace piglet {
@@ -20,6 +24,28 @@ std::string FormatStatement(const Statement& stmt);
 
 /// Renders the whole program, one statement per line.
 std::string FormatProgram(const Program& program);
+
+/// Measured execution of one statement under EXPLAIN ANALYZE.
+struct OperatorProfile {
+  std::string statement;  ///< Canonical statement text.
+  double wall_ms = 0;     ///< Wall time incl. forced materialization.
+  bool produced_relation = false;  ///< False for sinks (DUMP/STORE/...).
+  size_t rows_out = 0;             ///< Rows in the produced relation.
+  size_t num_partitions = 0;       ///< Partitions of the produced relation.
+  /// Spatial-filter pruning counters attributed to this statement (all
+  /// zero for statements that ran no spatial filter).
+  QueryStats::Snapshot filter;
+};
+
+/// Full EXPLAIN ANALYZE result for a script.
+struct AnalyzeReport {
+  std::vector<OperatorProfile> operators;
+  double total_ms = 0;
+};
+
+/// Human-readable table: one line per operator with wall time, row count,
+/// partition count and (when present) pruned/scanned/candidates/results.
+std::string FormatAnalyzeReport(const AnalyzeReport& report);
 
 }  // namespace piglet
 }  // namespace stark

@@ -9,6 +9,7 @@
 #include <set>
 
 #include "clustering/distributed_dbscan.h"
+#include "common/stopwatch.h"
 #include "engine/pair_rdd.h"
 #include "io/csv.h"
 #include "partition/bsp_partitioner.h"
@@ -165,6 +166,55 @@ Status Interpreter::RunScriptOptimized(const std::string& source,
                                        OptimizerReport* report) {
   STARK_ASSIGN_OR_RETURN(Program program, Parse(source));
   return Run(Optimize(program, report));
+}
+
+namespace {
+
+bool ProducesRelation(Statement::Kind kind) {
+  switch (kind) {
+    case Statement::Kind::kDump:
+    case Statement::Kind::kStore:
+    case Statement::Kind::kDescribe:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+Status Interpreter::RunScriptAnalyze(const std::string& source,
+                                     AnalyzeReport* report) {
+  STARK_ASSIGN_OR_RETURN(Program program, Parse(source));
+  analyze_stats_.Reset();
+  analyze_mode_ = true;
+  Stopwatch total;
+  Status status = Status::OK();
+  for (const Statement& stmt : program.statements) {
+    OperatorProfile prof;
+    prof.statement = FormatStatement(stmt);
+    const QueryStats::Snapshot before = analyze_stats_.Snap();
+    Stopwatch sw;
+    status = Execute(stmt);
+    if (!status.ok()) break;
+    if (ProducesRelation(stmt.kind)) {
+      auto it = relations_.find(stmt.target);
+      if (it != relations_.end()) {
+        // Materialize now (cached) so this statement's evaluation cost and
+        // pruning counters are attributed to it, not to a later consumer.
+        it->second.rdd = it->second.rdd.Cache();
+        prof.rows_out = it->second.rdd.Count();
+        prof.produced_relation = true;
+        prof.num_partitions = it->second.rdd.NumPartitions();
+      }
+    }
+    prof.wall_ms = sw.ElapsedMillis();
+    prof.filter = analyze_stats_.Snap().Delta(before);
+    if (report != nullptr) report->operators.push_back(std::move(prof));
+  }
+  if (report != nullptr) report->total_ms = total.ElapsedMillis();
+  analyze_mode_ = false;
+  return status;
 }
 
 Status Interpreter::Run(const Program& program) {
@@ -325,10 +375,11 @@ Result<PigRelation> Interpreter::ExecFilter(const Statement& stmt) {
           return std::make_pair(std::move(key), std::move(row));
         });
     SpatialRDD<PigRow> spatial(std::move(pairs), in->partitioner);
+    QueryStats* stats = analyze_mode_ ? &analyze_stats_ : nullptr;
     RDD<std::pair<STObject, PigRow>> filtered =
         in->index_order > 0
-            ? spatial.LiveIndex(in->index_order).Filter(*e.query, pred)
-            : spatial.Filter(*e.query, pred);
+            ? spatial.LiveIndex(in->index_order).Filter(*e.query, pred, stats)
+            : spatial.Filter(*e.query, pred, stats);
     rel.rdd = filtered.Map([](std::pair<STObject, PigRow>& p) {
       PigRow row = std::move(p.second);
       row.st = std::move(p.first);

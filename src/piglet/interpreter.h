@@ -14,7 +14,9 @@
 #include "engine/rdd.h"
 #include "partition/partitioner.h"
 #include "piglet/ast.h"
+#include "piglet/explain.h"
 #include "piglet/optimizer.h"
+#include "spatial_rdd/query_stats.h"
 
 namespace stark {
 namespace piglet {
@@ -56,6 +58,14 @@ class Interpreter {
   Status RunScriptOptimized(const std::string& source,
                             OptimizerReport* report = nullptr);
 
+  /// EXPLAIN ANALYZE: runs the script, materializing each produced
+  /// relation immediately so per-operator wall time, row counts and
+  /// filter-pruning stats can be attributed to the statement that caused
+  /// them. \p report receives one OperatorProfile per executed statement
+  /// (render with FormatAnalyzeReport). On error, profiles for the
+  /// statements that did run are still filled in.
+  Status RunScriptAnalyze(const std::string& source, AnalyzeReport* report);
+
   /// Runs an already-parsed program.
   Status Run(const Program& program);
 
@@ -81,6 +91,11 @@ class Interpreter {
   Context* ctx_;
   std::ostream* out_;
   std::map<std::string, PigRelation> relations_;
+  /// Non-null only while RunScriptAnalyze executes: spatial filters then
+  /// report pruning counters here. A member (not a local) because filter
+  /// lambdas capture the pointer into lazy lineage nodes.
+  QueryStats analyze_stats_;
+  bool analyze_mode_ = false;
 };
 
 }  // namespace piglet

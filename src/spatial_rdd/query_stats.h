@@ -4,11 +4,19 @@
 /// actually touched. Pass an instance to SpatialRDD::Filter /
 /// IndexedSpatialRDD::Filter to observe a query; counters are atomic since
 /// partitions evaluate in parallel (and lazily — read them after an action).
+///
+/// The bare atomics make QueryStats itself non-copyable, so observations
+/// are taken as plain QueryStats::Snapshot values (Snap()), which can be
+/// stored, compared, and diffed (Delta()) freely. The same counters are
+/// mirrored into the global metrics registry under spatial.filter.* so
+/// pruning numbers appear in engine-wide metric reports too.
 #ifndef STARK_SPATIAL_RDD_QUERY_STATS_H_
 #define STARK_SPATIAL_RDD_QUERY_STATS_H_
 
 #include <atomic>
 #include <cstddef>
+
+#include "obs/metrics.h"
 
 namespace stark {
 
@@ -25,6 +33,48 @@ struct QueryStats {
   /// Elements that satisfied the predicate.
   std::atomic<size_t> results{0};
 
+  /// Plain-value observation of the counters: copyable, comparable,
+  /// diffable — everything the atomic-holding QueryStats itself cannot be.
+  struct Snapshot {
+    size_t partitions_pruned = 0;
+    size_t partitions_scanned = 0;
+    size_t candidates = 0;
+    size_t results = 0;
+
+    /// Counter increments since \p earlier (counters are monotonic between
+    /// Reset()s; fields that went backwards clamp to 0).
+    Snapshot Delta(const Snapshot& earlier) const {
+      auto sub = [](size_t now, size_t before) {
+        return now >= before ? now - before : 0;
+      };
+      Snapshot d;
+      d.partitions_pruned = sub(partitions_pruned, earlier.partitions_pruned);
+      d.partitions_scanned =
+          sub(partitions_scanned, earlier.partitions_scanned);
+      d.candidates = sub(candidates, earlier.candidates);
+      d.results = sub(results, earlier.results);
+      return d;
+    }
+
+    bool operator==(const Snapshot& o) const {
+      return partitions_pruned == o.partitions_pruned &&
+             partitions_scanned == o.partitions_scanned &&
+             candidates == o.candidates && results == o.results;
+    }
+    bool operator!=(const Snapshot& o) const { return !(*this == o); }
+  };
+
+  /// Consistent-enough copy of the live counters (relaxed loads; exact
+  /// once the observed action has completed).
+  Snapshot Snap() const {
+    Snapshot s;
+    s.partitions_pruned = partitions_pruned.load(std::memory_order_relaxed);
+    s.partitions_scanned = partitions_scanned.load(std::memory_order_relaxed);
+    s.candidates = candidates.load(std::memory_order_relaxed);
+    s.results = results.load(std::memory_order_relaxed);
+    return s;
+  }
+
   void Reset() {
     partitions_pruned = 0;
     partitions_scanned = 0;
@@ -32,6 +82,30 @@ struct QueryStats {
     results = 0;
   }
 };
+
+/// Global named-metric mirrors of the QueryStats counters, registered in
+/// obs::DefaultMetrics(). Filter paths bump these (batched per partition)
+/// regardless of whether a per-query QueryStats was passed, so filter
+/// pruning shows up in the same report as the engine.* counters.
+struct FilterMetricSet {
+  obs::Counter* partitions_pruned;
+  obs::Counter* partitions_scanned;
+  obs::Counter* candidates;
+  obs::Counter* results;
+};
+
+inline const FilterMetricSet& GlobalFilterMetrics() {
+  static const FilterMetricSet metrics = [] {
+    obs::MetricsRegistry& m = obs::DefaultMetrics();
+    return FilterMetricSet{
+        m.GetCounter("spatial.filter.partitions_pruned"),
+        m.GetCounter("spatial.filter.partitions_scanned"),
+        m.GetCounter("spatial.filter.candidates"),
+        m.GetCounter("spatial.filter.results"),
+    };
+  }();
+  return metrics;
+}
 
 }  // namespace stark
 

@@ -67,7 +67,10 @@ class IndexedSpatialRDD {
       source = source.PrunePartitions([extents, probe, stats](size_t idx) {
         const bool keep =
             idx >= extents->size() || (*extents)[idx].Intersects(probe);
-        if (!keep && stats) ++stats->partitions_pruned;
+        if (!keep) {
+          if (stats) ++stats->partitions_pruned;
+          GlobalFilterMetrics().partitions_pruned->Increment();
+        }
         return keep;
       });
     }
@@ -75,13 +78,10 @@ class IndexedSpatialRDD {
         [query, pred, probe, prunable, stats](size_t,
                                               std::vector<TreePtr> trees) {
           std::vector<Element> out;
-          if (stats && !trees.empty()) ++stats->partitions_scanned;
+          size_t candidates = 0;
           auto refine = [&](const Element& e) {
-            if (stats) ++stats->candidates;
-            if (pred.Eval(e.first, query)) {
-              if (stats) ++stats->results;
-              out.push_back(e);
-            }
+            ++candidates;
+            if (pred.Eval(e.first, query)) out.push_back(e);
           };
           for (const TreePtr& tree : trees) {
             if (prunable) {
@@ -94,6 +94,15 @@ class IndexedSpatialRDD {
               });
             }
           }
+          if (stats) {
+            if (!trees.empty()) ++stats->partitions_scanned;
+            stats->candidates += candidates;
+            stats->results += out.size();
+          }
+          const FilterMetricSet& global = GlobalFilterMetrics();
+          if (!trees.empty()) global.partitions_scanned->Increment();
+          global.candidates->Add(candidates);
+          global.results->Add(out.size());
           return out;
         });
   }
@@ -317,21 +326,28 @@ class SpatialRDD {
               }
               return true;
             }();
-            if (!keep && stats) ++stats->partitions_pruned;
+            if (!keep) {
+              if (stats) ++stats->partitions_pruned;
+              GlobalFilterMetrics().partitions_pruned->Increment();
+            }
             return keep;
           });
     }
     return source.MapPartitionsWithIndex(
         [query, pred, stats](size_t, std::vector<Element> items) {
           std::vector<Element> out;
-          if (stats && !items.empty()) ++stats->partitions_scanned;
-          if (stats) stats->candidates += items.size();
           for (auto& e : items) {
-            if (pred.Eval(e.first, query)) {
-              if (stats) ++stats->results;
-              out.push_back(std::move(e));
-            }
+            if (pred.Eval(e.first, query)) out.push_back(std::move(e));
           }
+          if (stats) {
+            if (!items.empty()) ++stats->partitions_scanned;
+            stats->candidates += items.size();
+            stats->results += out.size();
+          }
+          const FilterMetricSet& global = GlobalFilterMetrics();
+          if (!items.empty()) global.partitions_scanned->Increment();
+          global.candidates->Add(items.size());
+          global.results->Add(out.size());
           return out;
         });
   }

@@ -1,8 +1,18 @@
-// Tests for the Piglet plan pretty-printer: canonical formatting and the
-// parse -> format -> parse fixpoint property.
+// Tests for the Piglet plan pretty-printer: canonical formatting, the
+// parse -> format -> parse fixpoint property, and EXPLAIN ANALYZE's
+// per-operator runtime profiles.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
+#include "io/csv.h"
 #include "piglet/explain.h"
+#include "piglet/interpreter.h"
 #include "piglet/optimizer.h"
 #include "piglet/parser.h"
 
@@ -90,6 +100,100 @@ TEST(ExplainTest, ShowsOptimizerRewrites) {
   EXPECT_EQ(text.find("dead"), std::string::npos);
   // The optimized plan still parses.
   EXPECT_TRUE(Parse(text).ok());
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  ExplainAnalyzeTest() : interp_(&ctx_, &out_) {
+    csv_path_ = test::UniqueTempPath("explain_analyze_events.csv");
+    // A 10x10 lattice of points over (0,0)-(90,90): with GRID(4)
+    // partitioning, a small query window must prune most partitions.
+    std::vector<EventRecord> records;
+    int64_t id = 0;
+    for (int x = 0; x < 10; ++x) {
+      for (int y = 0; y < 10; ++y) {
+        char wkt[64];
+        std::snprintf(wkt, sizeof(wkt), "POINT (%d %d)", x * 10, y * 10);
+        records.push_back(
+            {++id, x % 2 == 0 ? "sports" : "culture", id * 10, wkt});
+      }
+    }
+    STARK_CHECK(WriteEventsCsv(csv_path_, records).ok());
+  }
+
+  ~ExplainAnalyzeTest() override { std::remove(csv_path_.c_str()); }
+
+  Context ctx_{2};
+  std::ostringstream out_;
+  Interpreter interp_;
+  std::string csv_path_;
+};
+
+TEST_F(ExplainAnalyzeTest, ProfilesEveryOperatorWithRowsAndPruning) {
+  const std::string script =
+      "events = LOAD '" + csv_path_ + "';\n" +
+      "s = SPATIALIZE events;\n"
+      "p = PARTITION s BY GRID(4);\n"
+      // Data carries instants, so the query needs a time window (formula
+      // (3)); [0, 2000] covers every event, keeping this a spatial test.
+      "f = FILTER p BY INTERSECTS('POLYGON((-1 -1, 12 -1, 12 12, -1 12, "
+      "-1 -1))', 0, 2000);\n"
+      "DUMP f;";
+  AnalyzeReport report;
+  ASSERT_TRUE(interp_.RunScriptAnalyze(script, &report).ok());
+  ASSERT_EQ(report.operators.size(), 5u);
+  EXPECT_GT(report.total_ms, 0.0);
+
+  const OperatorProfile& load = report.operators[0];
+  EXPECT_NE(load.statement.find("LOAD"), std::string::npos);
+  EXPECT_TRUE(load.produced_relation);
+  EXPECT_EQ(load.rows_out, 100u);
+  EXPECT_GE(load.wall_ms, 0.0);
+
+  const OperatorProfile& part = report.operators[2];
+  EXPECT_NE(part.statement.find("PARTITION"), std::string::npos);
+  EXPECT_EQ(part.rows_out, 100u);
+  EXPECT_GE(part.num_partitions, 2u);  // 4x4 grid, non-empty cells kept
+
+  // The spatial FILTER statement gets the pruning counters attributed to
+  // it — not to the DUMP that would otherwise trigger evaluation.
+  const OperatorProfile& filter = report.operators[3];
+  EXPECT_NE(filter.statement.find("FILTER"), std::string::npos);
+  EXPECT_TRUE(filter.produced_relation);
+  EXPECT_EQ(filter.rows_out, 4u);  // lattice points at 0/10 in both axes
+  EXPECT_GE(filter.filter.partitions_pruned, 1u);
+  EXPECT_GE(filter.filter.partitions_scanned, 1u);
+  EXPECT_EQ(filter.filter.results, filter.rows_out);
+  // No pruning stats leak into non-filter operators.
+  EXPECT_EQ(load.filter.partitions_pruned, 0u);
+  EXPECT_EQ(part.filter.partitions_pruned, 0u);
+
+  // Sinks profile wall time but produce no relation.
+  const OperatorProfile& dump = report.operators[4];
+  EXPECT_NE(dump.statement.find("DUMP"), std::string::npos);
+  EXPECT_FALSE(dump.produced_relation);
+
+  // The rendered report carries the headline numbers.
+  const std::string text = FormatAnalyzeReport(report);
+  EXPECT_NE(text.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(text.find("pruned="), std::string::npos);
+  EXPECT_NE(text.find("FILTER"), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, ErrorKeepsProfilesOfExecutedStatements) {
+  const std::string script = "events = LOAD '" + csv_path_ +
+                             "';\n"
+                             "bad = FILTER missing BY id == 1;\n";
+  AnalyzeReport report;
+  EXPECT_FALSE(interp_.RunScriptAnalyze(script, &report).ok());
+  // The LOAD ran and is profiled; the failing statement is not.
+  ASSERT_EQ(report.operators.size(), 1u);
+  EXPECT_NE(report.operators[0].statement.find("LOAD"), std::string::npos);
+  EXPECT_EQ(report.operators[0].rows_out, 100u);
 }
 
 }  // namespace

@@ -1,0 +1,481 @@
+// Tests for the observability layer: metrics registry semantics under
+// concurrent increments, task spans recorded by the engine's traced
+// dispatch path, phase-span nesting, and well-formedness of the Chrome
+// trace_event JSON export (verified by an actual round-trip parse).
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+#include "engine/rdd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace stark {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal strict JSON parser, just enough to round-trip the exporters'
+// output. Parsing failures surface as ADD_FAILURE + null values.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+
+  bool IsObject() const { return std::holds_alternative<JsonObject>(v); }
+  bool IsArray() const { return std::holds_alternative<JsonArray>(v); }
+  const JsonObject& AsObject() const { return std::get<JsonObject>(v); }
+  const JsonArray& AsArray() const { return std::get<JsonArray>(v); }
+  double AsNumber() const { return std::get<double>(v); }
+  const std::string& AsString() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    ok_ = true;
+    pos_ = 0;
+    *out = ParseValue();
+    SkipWs();
+    return ok_ && pos_ == text_.size();
+  }
+
+ private:
+  void Fail() { ok_ = false; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail();
+      return {};
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    JsonObject obj;
+    if (!Consume('{')) Fail();
+    SkipWs();
+    if (Consume('}')) return {obj};
+    do {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail();
+        return {};
+      }
+      JsonValue key = ParseString();
+      if (!ok_ || !Consume(':')) {
+        Fail();
+        return {};
+      }
+      obj[key.AsString()] = ParseValue();
+      if (!ok_) return {};
+    } while (Consume(','));
+    if (!Consume('}')) Fail();
+    return {obj};
+  }
+
+  JsonValue ParseArray() {
+    JsonArray arr;
+    if (!Consume('[')) Fail();
+    SkipWs();
+    if (Consume(']')) return {arr};
+    do {
+      arr.push_back(ParseValue());
+      if (!ok_) return {};
+    } while (Consume(','));
+    if (!Consume(']')) Fail();
+    return {arr};
+  }
+
+  JsonValue ParseString() {
+    std::string s;
+    if (!Consume('"')) Fail();
+    while (ok_ && pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          Fail();
+          break;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          case 'r': s += '\r'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) {
+              Fail();
+            } else {
+              pos_ += 4;  // validated as hex-ish, decoded as '?'
+              s += '?';
+            }
+            break;
+          default: Fail();
+        }
+      } else {
+        s += c;
+      }
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      Fail();
+      return {};
+    }
+    ++pos_;
+    return {s};
+  }
+
+  JsonValue ParseBool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return {true};
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return {false};
+    }
+    Fail();
+    return {};
+  }
+
+  JsonValue ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return {nullptr};
+    }
+    Fail();
+    return {};
+  }
+
+  JsonValue ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail();
+      return {};
+    }
+    return {std::stod(text_.substr(start, pos_ - start))};
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+JsonValue ParseJsonOrFail(const std::string& text) {
+  JsonValue v;
+  JsonParser parser(text);
+  EXPECT_TRUE(parser.Parse(&v)) << "invalid JSON: " << text.substr(0, 200);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterConcurrentIncrementsAreLossless) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("test.counter");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncrements; ++i) counter->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsTest, GetterReturnsStablePointerPerName) {
+  obs::MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));
+  EXPECT_NE(registry.GetCounter("a"), registry.GetCounter("b"));
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  obs::MetricsRegistry registry;
+  obs::Gauge* gauge = registry.GetGauge("test.gauge");
+  gauge->Set(42);
+  gauge->Set(-7);
+  EXPECT_EQ(gauge->Value(), -7);
+}
+
+TEST(MetricsTest, HistogramConcurrentRecords) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist = registry.GetHistogram("test.hist");
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist] {
+      for (uint64_t i = 1; i <= kPerThread; ++i) hist->Record(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const obs::Histogram::Snapshot snap = hist->Snap();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum, kThreads * (kPerThread * (kPerThread + 1) / 2));
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+  // Percentiles are bucket upper bounds: monotone and within [min, max]-ish.
+  const uint64_t p50 = snap.ApproxPercentile(0.5);
+  const uint64_t p99 = snap.ApproxPercentile(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_GE(p50, snap.min);
+  EXPECT_GE(p99, kPerThread / 2);  // true p99 is ~9900; bucket bound >= 8191
+}
+
+TEST(MetricsTest, SnapshotAndReportsContainRegisteredNames) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("alpha.count")->Add(3);
+  registry.GetGauge("beta.gauge")->Set(5);
+  registry.GetHistogram("gamma.hist")->Record(100);
+  const obs::MetricsRegistry::Snapshot snap = registry.Snap();
+  EXPECT_EQ(snap.counters.at("alpha.count"), 3u);
+  EXPECT_EQ(snap.gauges.at("beta.gauge"), 5);
+  EXPECT_EQ(snap.histograms.at("gamma.hist").count, 1u);
+
+  const std::string text = registry.TextReport();
+  EXPECT_NE(text.find("alpha.count"), std::string::npos);
+  EXPECT_NE(text.find("gamma.hist"), std::string::npos);
+
+  // The JSON dump round-trips and carries the same values.
+  const JsonValue json = ParseJsonOrFail(registry.Json());
+  ASSERT_TRUE(json.IsObject());
+  const JsonObject& obj = json.AsObject();
+  EXPECT_EQ(obj.at("counters").AsObject().at("alpha.count").AsNumber(), 3.0);
+  EXPECT_EQ(obj.at("gauges").AsObject().at("beta.gauge").AsNumber(), 5.0);
+  EXPECT_EQ(
+      obj.at("histograms").AsObject().at("gamma.hist").AsObject().at("count")
+          .AsNumber(),
+      1.0);
+}
+
+TEST(MetricsTest, ScopedTimerReportsIntoHistogram) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist = registry.GetHistogram("timer.ns");
+  {
+    ScopedTimer<obs::Histogram> timer(hist);
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  const obs::Histogram::Snapshot snap = hist->Snap();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GT(snap.sum, 0u);
+  {
+    ScopedTimer<obs::Histogram> disabled(
+        static_cast<obs::Histogram*>(nullptr));
+  }
+  EXPECT_EQ(hist->Snap().count, 1u);  // null sink records nothing
+}
+
+// ---------------------------------------------------------------------------
+// Task tracing
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, DisabledTracerIsANullSink) {
+  obs::TaskTracer tracer;
+  Context ctx(2, &tracer);
+  EXPECT_FALSE(tracer.enabled());
+  auto rdd = MakeRDD(&ctx, std::vector<int>{1, 2, 3, 4, 5, 6}, 3);
+  EXPECT_EQ(rdd.Count(), 6u);
+  EXPECT_TRUE(tracer.Spans().empty());
+  EXPECT_TRUE(tracer.Phases().empty());
+  EXPECT_EQ(obs::CurrentTaskSpan(), nullptr);
+  // ScopedSpan constructed while disabled records nothing even if the
+  // tracer is enabled before the destructor runs.
+  {
+    obs::ScopedSpan span(tracer, "late");
+    tracer.Enable();
+  }
+  tracer.Disable();
+  EXPECT_TRUE(tracer.Phases().empty());
+}
+
+TEST(TraceTest, RecordsOneSpanPerPartitionTask) {
+  obs::TaskTracer tracer;
+  tracer.Enable();
+  Context ctx(2, &tracer);
+  std::vector<int> data(100);
+  auto rdd = MakeRDD(&ctx, data, 4);
+  EXPECT_EQ(rdd.Count(), 100u);
+  const std::vector<obs::TaskSpan> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  std::vector<bool> seen(4, false);
+  for (const obs::TaskSpan& s : spans) {
+    EXPECT_EQ(s.stage, "rdd.count");
+    EXPECT_EQ(s.job_id, spans[0].job_id);
+    ASSERT_LT(s.partition, 4u);
+    seen[s.partition] = true;
+    EXPECT_LE(s.queued_ns, s.start_ns);
+    EXPECT_LE(s.start_ns, s.end_ns);
+    EXPECT_GE(s.worker, 0);  // ran on a pool worker
+    EXPECT_EQ(s.records_in, 25u);
+    EXPECT_EQ(s.records_out, 1u);
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+
+  // A second action is a new job.
+  rdd.Collect();
+  const std::vector<obs::TaskSpan> more = tracer.Spans();
+  ASSERT_EQ(more.size(), 8u);
+  EXPECT_NE(more.back().job_id, spans[0].job_id);
+  EXPECT_EQ(more.back().stage, "rdd.collect");
+}
+
+TEST(TraceTest, ScopedSpansNestProperly) {
+  obs::TaskTracer tracer;
+  tracer.Enable();
+  {
+    obs::ScopedSpan outer(tracer, "outer");
+    {
+      obs::ScopedSpan inner(tracer, "inner");
+    }
+  }
+  const std::vector<obs::PhaseEvent> phases = tracer.Phases();
+  ASSERT_EQ(phases.size(), 4u);
+  // Begin/end events nest like brackets: outer-B inner-B inner-E outer-E.
+  EXPECT_EQ(phases[0].name, "outer");
+  EXPECT_TRUE(phases[0].begin);
+  EXPECT_EQ(phases[1].name, "inner");
+  EXPECT_TRUE(phases[1].begin);
+  EXPECT_EQ(phases[2].name, "inner");
+  EXPECT_FALSE(phases[2].begin);
+  EXPECT_EQ(phases[3].name, "outer");
+  EXPECT_FALSE(phases[3].begin);
+  // Timestamps are monotone, so the inner interval lies within the outer.
+  EXPECT_LE(phases[0].ts_ns, phases[1].ts_ns);
+  EXPECT_LE(phases[1].ts_ns, phases[2].ts_ns);
+  EXPECT_LE(phases[2].ts_ns, phases[3].ts_ns);
+}
+
+TEST(TraceTest, ChromeTraceJsonRoundTrips) {
+  obs::TaskTracer tracer;
+  tracer.Enable();
+  Context ctx(2, &tracer);
+  {
+    obs::ScopedSpan phase(tracer, "phase \"quoted\"\nname");
+    auto rdd = MakeRDD(&ctx, std::vector<int>{1, 2, 3, 4}, 2);
+    rdd.Count();
+  }
+  const std::string json = tracer.ChromeTraceJson();
+  const JsonValue root = ParseJsonOrFail(json);
+  ASSERT_TRUE(root.IsObject());
+  const JsonObject& obj = root.AsObject();
+  ASSERT_TRUE(obj.count("traceEvents"));
+  const JsonArray& events = obj.at("traceEvents").AsArray();
+  // 2 task spans (X) + 2 phase events (B/E).
+  ASSERT_EQ(events.size(), 4u);
+  size_t task_events = 0;
+  for (const JsonValue& ev : events) {
+    ASSERT_TRUE(ev.IsObject());
+    const JsonObject& e = ev.AsObject();
+    ASSERT_TRUE(e.count("name"));
+    ASSERT_TRUE(e.count("ph"));
+    ASSERT_TRUE(e.count("ts"));
+    ASSERT_TRUE(e.count("pid"));
+    ASSERT_TRUE(e.count("tid"));
+    const std::string& ph = e.at("ph").AsString();
+    if (ph == "X") {
+      ++task_events;
+      EXPECT_EQ(e.at("name").AsString(), "rdd.count");
+      EXPECT_GE(e.at("dur").AsNumber(), 0.0);
+      const JsonObject& args = e.at("args").AsObject();
+      EXPECT_TRUE(args.count("job"));
+      EXPECT_TRUE(args.count("partition"));
+      EXPECT_TRUE(args.count("queue_wait_us"));
+      EXPECT_TRUE(args.count("records_in"));
+      EXPECT_TRUE(args.count("records_out"));
+    } else {
+      EXPECT_TRUE(ph == "B" || ph == "E");
+      EXPECT_EQ(e.at("name").AsString(), "phase \"quoted\"\nname");
+    }
+  }
+  EXPECT_EQ(task_events, 2u);
+
+  // Clear drops everything.
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Spans().empty());
+  const JsonValue empty = ParseJsonOrFail(tracer.ChromeTraceJson());
+  EXPECT_TRUE(empty.AsObject().at("traceEvents").AsArray().empty());
+}
+
+TEST(TraceTest, EngineCountersObserveCacheAndPrune) {
+  obs::MetricsRegistry& m = obs::DefaultMetrics();
+  const uint64_t hits_before = m.GetCounter("engine.cache.hits")->Value();
+  const uint64_t misses_before = m.GetCounter("engine.cache.misses")->Value();
+  const uint64_t pruned_before =
+      m.GetCounter("engine.partitions.pruned")->Value();
+
+  Context ctx(2);
+  auto rdd = MakeRDD(&ctx, std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  auto cached = rdd.Cache();
+  cached.Count();  // 4 misses
+  cached.Count();  // 4 hits
+  EXPECT_EQ(m.GetCounter("engine.cache.misses")->Value() - misses_before, 4u);
+  EXPECT_EQ(m.GetCounter("engine.cache.hits")->Value() - hits_before, 4u);
+
+  auto pruned = rdd.PrunePartitions([](size_t p) { return p % 2 == 0; });
+  EXPECT_EQ(pruned.Count(), 4u);  // partitions 1 and 3 skipped
+  EXPECT_EQ(m.GetCounter("engine.partitions.pruned")->Value() - pruned_before,
+            2u);
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,5 +1,6 @@
 // Tests for the query-statistics instrumentation: the §2.1/§2.2 pruning
 // claims become directly observable counters instead of timing inferences.
+// Observations are taken through the plain-value QueryStats::Snapshot API.
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -32,10 +33,11 @@ TEST_F(QueryStatsTest, UnpartitionedScanTouchesEverything) {
   const STObject qry(Geometry::MakeBox(Envelope(10, 10, 20, 20)));
   const size_t results =
       rdd.Filter(qry, JoinPredicate::Intersects(), &stats).Count();
-  EXPECT_EQ(stats.partitions_pruned.load(), 0u);
-  EXPECT_EQ(stats.partitions_scanned.load(), 4u);
-  EXPECT_EQ(stats.candidates.load(), data_.size());  // no pruning, no index
-  EXPECT_EQ(stats.results.load(), results);
+  const QueryStats::Snapshot snap = stats.Snap();
+  EXPECT_EQ(snap.partitions_pruned, 0u);
+  EXPECT_EQ(snap.partitions_scanned, 4u);
+  EXPECT_EQ(snap.candidates, data_.size());  // no pruning, no index
+  EXPECT_EQ(snap.results, results);
   EXPECT_GT(results, 0u);
 }
 
@@ -48,13 +50,14 @@ TEST_F(QueryStatsTest, PartitionPruningReportsSkippedPartitions) {
   const STObject qry(Geometry::MakeBox(Envelope(5, 5, 15, 15)));
   const size_t results =
       rdd.Filter(qry, JoinPredicate::Intersects(), &stats).Count();
+  const QueryStats::Snapshot snap = stats.Snap();
   // The window spans at most 4 of 25 cells; the rest must be pruned.
-  EXPECT_GE(stats.partitions_pruned.load(), 21u);
-  EXPECT_LE(stats.partitions_scanned.load(), 4u);
+  EXPECT_GE(snap.partitions_pruned, 21u);
+  EXPECT_LE(snap.partitions_scanned, 4u);
   // Candidates are only the surviving partitions' elements — the §2.1
   // "decrease the number of data items to process" claim, as a count.
-  EXPECT_LT(stats.candidates.load(), data_.size() / 4);
-  EXPECT_EQ(stats.results.load(), results);
+  EXPECT_LT(snap.candidates, data_.size() / 4);
+  EXPECT_EQ(snap.results, results);
 }
 
 TEST_F(QueryStatsTest, IndexedFilterReportsCandidatePruning) {
@@ -65,12 +68,13 @@ TEST_F(QueryStatsTest, IndexedFilterReportsCandidatePruning) {
   const STObject qry(Geometry::MakeBox(Envelope(5, 5, 15, 15)));
   const size_t results =
       indexed.Filter(qry, JoinPredicate::Intersects(), &stats).Count();
+  const QueryStats::Snapshot snap = stats.Snap();
   // The R-tree narrows candidates further than partition pruning alone:
   // candidates are bounding-box matches, close to the result size for
   // point data.
-  EXPECT_GE(stats.partitions_pruned.load(), 21u);
-  EXPECT_EQ(stats.candidates.load(), results);  // points: bbox match = hit
-  EXPECT_EQ(stats.results.load(), results);
+  EXPECT_GE(snap.partitions_pruned, 21u);
+  EXPECT_EQ(snap.candidates, results);  // points: bbox match = hit
+  EXPECT_EQ(snap.results, results);
 }
 
 TEST_F(QueryStatsTest, TemporalPruningCounted) {
@@ -93,7 +97,7 @@ TEST_F(QueryStatsTest, TemporalPruningCounted) {
   const STObject qry(Geometry::MakeBox(Envelope(0, 0, 100, 100)), 4'100,
                      5'900);
   rdd.Filter(qry, JoinPredicate::Intersects(), &stats).Count();
-  EXPECT_GE(stats.partitions_pruned.load(), 12u);
+  EXPECT_GE(stats.Snap().partitions_pruned, 12u);
 }
 
 TEST_F(QueryStatsTest, WithinDistanceCustomFunctionDisablesPruning) {
@@ -106,8 +110,9 @@ TEST_F(QueryStatsTest, WithinDistanceCustomFunctionDisablesPruning) {
   rdd.Filter(qry, JoinPredicate::WithinDistance(3.0, manhattan), &stats)
       .Count();
   // A custom distance function cannot be bounded by envelopes: no pruning.
-  EXPECT_EQ(stats.partitions_pruned.load(), 0u);
-  EXPECT_EQ(stats.candidates.load(), data_.size());
+  const QueryStats::Snapshot snap = stats.Snap();
+  EXPECT_EQ(snap.partitions_pruned, 0u);
+  EXPECT_EQ(snap.candidates, data_.size());
 }
 
 TEST_F(QueryStatsTest, ResetClearsCounters) {
@@ -117,10 +122,51 @@ TEST_F(QueryStatsTest, ResetClearsCounters) {
   stats.partitions_pruned = 2;
   stats.partitions_scanned = 1;
   stats.Reset();
-  EXPECT_EQ(stats.candidates.load(), 0u);
-  EXPECT_EQ(stats.results.load(), 0u);
-  EXPECT_EQ(stats.partitions_pruned.load(), 0u);
-  EXPECT_EQ(stats.partitions_scanned.load(), 0u);
+  EXPECT_EQ(stats.Snap(), QueryStats::Snapshot{});
+}
+
+TEST_F(QueryStatsTest, SnapshotDeltaSeparatesTwoObservations) {
+  auto grid = std::make_shared<GridPartitioner>(Envelope(0, 0, 100, 100), 5);
+  auto rdd =
+      SpatialRDD<int64_t>::FromVector(&ctx_, data_).PartitionBy(grid);
+  QueryStats stats;
+  const STObject q1(Geometry::MakeBox(Envelope(5, 5, 15, 15)));
+  const size_t r1 = rdd.Filter(q1, JoinPredicate::Intersects(), &stats).Count();
+  const QueryStats::Snapshot first = stats.Snap();
+
+  const STObject q2(Geometry::MakeBox(Envelope(40, 40, 60, 60)));
+  const size_t r2 = rdd.Filter(q2, JoinPredicate::Intersects(), &stats).Count();
+  const QueryStats::Snapshot second = stats.Snap();
+
+  // The delta isolates the second query even though the counters are
+  // cumulative — the diff workflow the bare atomics could not support.
+  const QueryStats::Snapshot delta = second.Delta(first);
+  EXPECT_EQ(first.results, r1);
+  EXPECT_EQ(delta.results, r2);
+  EXPECT_GE(delta.partitions_pruned, 1u);
+  EXPECT_EQ(second.results, r1 + r2);
+  // Delta against itself is zero.
+  EXPECT_EQ(second.Delta(second), QueryStats::Snapshot{});
+}
+
+TEST_F(QueryStatsTest, GlobalFilterMetricsMirrorCounters) {
+  const FilterMetricSet& global = GlobalFilterMetrics();
+  const uint64_t pruned_before = global.partitions_pruned->Value();
+  const uint64_t results_before = global.results->Value();
+
+  auto grid = std::make_shared<GridPartitioner>(Envelope(0, 0, 100, 100), 5);
+  auto rdd =
+      SpatialRDD<int64_t>::FromVector(&ctx_, data_).PartitionBy(grid);
+  QueryStats stats;
+  const STObject qry(Geometry::MakeBox(Envelope(5, 5, 15, 15)));
+  const size_t results =
+      rdd.Filter(qry, JoinPredicate::Intersects(), &stats).Count();
+
+  // The same pruning numbers flow into the engine-wide named metrics
+  // (>= because other tests in this process may also filter).
+  EXPECT_GE(global.partitions_pruned->Value() - pruned_before,
+            stats.Snap().partitions_pruned);
+  EXPECT_GE(global.results->Value() - results_before, results);
 }
 
 }  // namespace
