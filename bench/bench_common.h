@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "fault/failpoint.h"
 #include "io/generator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -69,7 +70,9 @@ class ScopedStage {
 
 /// Enables the default tracer when STARK_TRACE=<file> is set; the returned
 /// guard writes the trace on destruction (instantiate once in main-scope,
-/// e.g. as a static in a workload builder).
+/// e.g. as a static in a workload builder). Also warns when STARK_FAILPOINTS
+/// armed any fault-injection site, since retried tasks would silently skew
+/// the numbers; the end-of-run summary reports how many faults fired.
 class TraceFromEnv {
  public:
   TraceFromEnv() {
@@ -78,8 +81,28 @@ class TraceFromEnv {
       path_ = path;
       obs::DefaultTracer().Enable();
     }
+    for (const fault::FailPoint* fp : fault::DefaultFailPoints().List()) {
+      if (fp->armed()) {
+        std::fprintf(stderr,
+                     "warning: fail point %s is armed (%s) — benchmark "
+                     "numbers include fault-recovery work\n",
+                     fp->name().c_str(), fp->policy().ToString().c_str());
+      }
+    }
   }
   ~TraceFromEnv() {
+    const uint64_t injected =
+        obs::DefaultMetrics().GetCounter("engine.fault.injected")->Value();
+    const uint64_t retries =
+        obs::DefaultMetrics().GetCounter("engine.task.retries")->Value();
+    if (injected > 0 || retries > 0) {
+      std::fprintf(stderr,
+                   "fault summary: %llu injected fault(s), %llu task "
+                   "retr%s during this run\n",
+                   static_cast<unsigned long long>(injected),
+                   static_cast<unsigned long long>(retries),
+                   retries == 1 ? "y" : "ies");
+    }
     if (path_.empty()) return;
     const Status status = obs::DefaultTracer().WriteChromeTrace(path_);
     if (!status.ok()) {

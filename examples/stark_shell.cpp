@@ -13,6 +13,7 @@
 #include <string>
 
 #include "engine/context.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "piglet/explain.h"
@@ -34,6 +35,7 @@ Example:
 \e <statements>  shows the optimized plan without running it.
 \a <statements>  EXPLAIN ANALYZE: runs them and prints per-operator stats.
 \m               dumps engine metrics (counters/gauges/histograms).
+\f               dumps fault-injection sites (policy, hits, fires).
 Type \q to quit.
 )";
 
@@ -49,8 +51,20 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--failpoints=", 13) == 0) {
+      // Same spec syntax as STARK_FAILPOINTS, e.g.
+      // --failpoints='engine.task.run=nth:1;engine.checkpoint.read=prob:0.1'
+      const Status status =
+          fault::DefaultFailPoints().ArmFromSpec(argv[i] + 13);
+      if (!status.ok()) {
+        std::fprintf(stderr, "bad --failpoints spec: %s\n",
+                     status.ToString().c_str());
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--trace=<file>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace=<file>] [--failpoints=<spec>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -101,6 +115,13 @@ int main(int argc, char** argv) {
     if (line == "\\m") {
       ctx.PublishPoolStats();
       std::printf("%s", obs::DefaultMetrics().TextReport().c_str());
+      Prompt(false);
+      continue;
+    }
+    if (line == "\\f") {
+      const std::string report = fault::DefaultFailPoints().Report();
+      std::printf("%s", report.empty() ? "no fail points resolved yet\n"
+                                       : report.c_str());
       Prompt(false);
       continue;
     }

@@ -114,6 +114,12 @@ class BinaryReader {
 template <typename V>
 struct Serde;
 
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one) of \p n bytes at
+/// \p data. Pass a previous return value as \p seed to checksum a stream
+/// incrementally. Used by the checkpoint format to detect truncated or
+/// bit-flipped part files.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
 /// Writes \p buf to \p path, replacing any existing file.
 Status WriteFileBytes(const std::string& path, const std::vector<char>& buf);
 

@@ -5,6 +5,7 @@
 #define STARK_COMMON_STATUS_H_
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -109,6 +110,24 @@ class Status {
     std::string msg;
   };
   std::unique_ptr<State> state_;
+};
+
+/// \brief Exception carrying a Status across an API that cannot return one.
+///
+/// The engine's task boundary converts every worker-thread exception into a
+/// Status; driver-side code that must signal failure through a
+/// value-returning signature (RDD actions, ThreadPool::ParallelFor) throws
+/// StatusError on the *driver* thread. Callers that prefer Status use the
+/// Try* variants and never see an exception.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
 };
 
 }  // namespace stark

@@ -48,26 +48,44 @@ void ThreadPool::WorkerLoop(int worker_index) {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
+Status ThreadPool::TryParallelFor(size_t n,
+                                  const std::function<void(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  std::mutex mu;
+  Status first_error;
+  // The task boundary: catch everything here, on the executing thread, and
+  // record it as a Status instead of letting it escape through the future.
+  const auto guarded = [&fn, &mu, &first_error](size_t i) {
+    Status status;
+    try {
+      fn(i);
+      return;
+    } catch (const StatusError& e) {
+      status = e.status();
+    } catch (const std::exception& e) {
+      status = Status::UnknownError(std::string("task threw: ") + e.what());
+    } catch (...) {
+      status = Status::UnknownError("task threw a non-std exception");
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (first_error.ok()) first_error = std::move(status);
+  };
   if (n == 1) {
-    fn(0);
-    return;
+    guarded(0);
+    return first_error;
   }
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    futures.push_back(Submit([&fn, i] { fn(i); }));
+    futures.push_back(Submit([&guarded, i] { guarded(i); }));
   }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  for (auto& f : futures) f.get();
+  return first_error;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  const Status status = TryParallelFor(n, fn);
+  if (!status.ok()) throw StatusError(status);
 }
 
 }  // namespace stark

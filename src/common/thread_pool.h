@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 
 namespace stark {
 
@@ -60,7 +61,17 @@ class ThreadPool {
   }
 
   /// Runs \p fn(i) for i in [0, n) across the pool and blocks until all
-  /// complete. Exceptions propagate from the first failing task.
+  /// complete, converting anything a task throws into a Status at the task
+  /// boundary: the first failure is reported (a StatusError keeps its
+  /// carried Status; other exceptions become UnknownError with their
+  /// what() text) and every remaining task still runs. No exception ever
+  /// crosses a worker-thread boundary, so one bad record cannot take down
+  /// the process.
+  Status TryParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Convenience wrapper over TryParallelFor for value-returning call
+  /// sites: throws StatusError on the *calling* thread when any task
+  /// failed.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }

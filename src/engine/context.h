@@ -6,31 +6,48 @@
 #ifndef STARK_ENGINE_CONTEXT_H_
 #define STARK_ENGINE_CONTEXT_H_
 
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
+#include "fault/failpoint.h"
+#include "fault/retry.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace stark {
 
-/// \brief Owns the worker pool and the default parallelism of a program.
+/// \brief Owns the worker pool, the default parallelism and the task retry
+/// policy of a program.
 ///
-/// Also the engine's observability seam: every action dispatches its
-/// partition tasks through RunTasks(), which is a plain ParallelFor while
-/// tracing is disabled (one relaxed atomic load extra) and records one
-/// TaskSpan per partition-task while it is enabled.
+/// Also the engine's resilience and observability seam: every action
+/// dispatches its partition tasks through RunTasks()/TryRunTasks(), which
+/// (1) re-runs a failed task against its lineage according to the
+/// RetryPolicy — RDDImpl::Compute is a pure function of the lineage graph,
+/// so re-invoking the task body *is* Spark's recompute-from-lineage
+/// recovery; (2) converts anything a task throws into a Status at the task
+/// boundary, so worker exceptions never unwind through the thread pool;
+/// (3) records one TaskSpan per *attempt* while tracing is enabled (plain
+/// dispatch plus one relaxed atomic load otherwise); and (4) hosts the
+/// `engine.task.run` fault-injection site (see docs/FAULT_INJECTION.md).
 class Context {
  public:
   /// \p parallelism 0 means "number of hardware threads". \p tracer null
-  /// means the process-wide obs::DefaultTracer().
+  /// means the process-wide obs::DefaultTracer(). The retry policy is
+  /// initialized from the environment (STARK_TASK_RETRIES etc.; defaults:
+  /// 3 attempts, no backoff).
   explicit Context(size_t parallelism = 0, obs::TaskTracer* tracer = nullptr)
       : parallelism_(parallelism != 0 ? parallelism
                                       : DefaultHardwareParallelism()),
         pool_(std::make_unique<ThreadPool>(parallelism_)),
-        tracer_(tracer != nullptr ? tracer : &obs::DefaultTracer()) {}
+        tracer_(tracer != nullptr ? tracer : &obs::DefaultTracer()),
+        retry_policy_(fault::RetryPolicy::FromEnv()) {}
 
   STARK_DISALLOW_COPY_AND_ASSIGN(Context);
 
@@ -42,43 +59,128 @@ class Context {
   /// `spark.default.parallelism`.
   size_t default_parallelism() const { return parallelism_; }
 
+  const fault::RetryPolicy& retry_policy() const { return retry_policy_; }
+  void set_retry_policy(const fault::RetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+
   /// Runs \p fn(p) for p in [0, n) on the pool as one job of n
-  /// partition-tasks labelled \p stage. This is the begin/end hook of the
-  /// tracing layer: with tracing enabled each task gets a span (job id,
-  /// stage, partition, worker, queue-wait vs compute time) and operator
-  /// code can annotate record counts via obs::CurrentTaskSpan().
+  /// partition-tasks labelled \p stage, retrying failed tasks per the
+  /// retry policy. Returns the first permanent task failure as a Status
+  /// (never throws through the pool); once a task fails permanently the
+  /// job is aborted and not-yet-started tasks are skipped.
+  ///
+  /// This is also the begin/end hook of the tracing layer: with tracing
+  /// enabled each task attempt gets a span (job id, stage, partition,
+  /// worker, attempt number, queue-wait vs compute time, failure message)
+  /// and operator code can annotate record counts via
+  /// obs::CurrentTaskSpan().
   template <typename Fn>
-  void RunTasks(const char* stage, size_t n, const Fn& fn) {
+  Status TryRunTasks(const char* stage, size_t n, const Fn& fn) {
     static obs::Counter* const jobs =
         obs::DefaultMetrics().GetCounter("engine.jobs");
     static obs::Counter* const tasks =
         obs::DefaultMetrics().GetCounter("engine.tasks");
+    static obs::Counter* const retries =
+        obs::DefaultMetrics().GetCounter("engine.task.retries");
+    static obs::Counter* const failures =
+        obs::DefaultMetrics().GetCounter("engine.task.failures");
+    static obs::Counter* const jobs_failed =
+        obs::DefaultMetrics().GetCounter("engine.jobs.failed");
+    static fault::FailPoint* const task_fp =
+        fault::DefaultFailPoints().Get("engine.task.run");
     jobs->Increment();
     tasks->Add(n);
+    const fault::RetryPolicy policy = retry_policy_;  // stable for the job
     obs::TaskTracer& tracer = *tracer_;
-    if (!tracer.enabled()) {  // null-sink fast path
-      pool_->ParallelFor(n, fn);
-      return;
-    }
-    const uint64_t job = tracer.BeginJob();
+    const bool traced = tracer.enabled();
+    const uint64_t job = traced ? tracer.BeginJob() : 0;
     // ParallelFor enqueues every task up front, so the job start is the
     // enqueue time of each task; queue wait = task start - job start.
-    const uint64_t queued = tracer.NowNanos();
-    pool_->ParallelFor(n, [&tracer, &fn, stage, job, queued](size_t p) {
-      obs::TaskSpan span;
-      span.job_id = job;
-      span.stage = stage;
-      span.partition = p;
-      span.worker = ThreadPool::CurrentWorkerIndex();
-      span.queued_ns = queued;
-      span.start_ns = tracer.NowNanos();
-      {
-        obs::CurrentTaskSpanScope scope(&span);
-        fn(p);
+    const uint64_t queued = traced ? tracer.NowNanos() : 0;
+
+    std::mutex mu;
+    Status first_failure;
+    std::atomic<bool> aborted{false};
+
+    const Status pool_status = pool_->TryParallelFor(n, [&](size_t p) {
+      if (aborted.load(std::memory_order_relaxed)) return;  // job is dead
+      const size_t max_attempts = policy.EffectiveAttempts();
+      for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        obs::TaskSpan span;
+        if (traced) {
+          span.job_id = job;
+          span.stage = stage;
+          span.partition = p;
+          span.worker = ThreadPool::CurrentWorkerIndex();
+          span.queued_ns = queued;
+          span.attempt = attempt;
+          span.start_ns = tracer.NowNanos();
+        }
+        Status task_status;
+        try {
+          fault::MaybeThrow(task_fp);
+          if (traced) {
+            obs::CurrentTaskSpanScope scope(&span);
+            fn(p);
+          } else {
+            fn(p);
+          }
+        } catch (const StatusError& e) {
+          task_status = e.status();
+        } catch (const std::exception& e) {
+          task_status = Status::UnknownError(e.what());
+        } catch (...) {
+          task_status = Status::UnknownError("non-std exception");
+        }
+        if (traced) {
+          span.end_ns = tracer.NowNanos();
+          span.ok = task_status.ok();
+          span.error = task_status.message();
+          tracer.Record(std::move(span));
+        }
+        if (task_status.ok()) return;
+        failures->Increment();
+        if (attempt >= max_attempts) {
+          // Permanent failure: record it and abort the rest of the job,
+          // like Spark cancelling a stage once a task exhausts
+          // spark.task.maxFailures.
+          aborted.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_failure.ok()) {
+            first_failure = Status(
+                task_status.code(),
+                std::string(stage) + " partition " + std::to_string(p) +
+                    " failed after " + std::to_string(attempt) +
+                    " attempt(s): " + task_status.message());
+          }
+          return;
+        }
+        retries->Increment();
+        const uint64_t backoff_ms = policy.BackoffMs(attempt);
+        if (backoff_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        }
       }
-      span.end_ns = tracer.NowNanos();
-      tracer.Record(std::move(span));
     });
+    // The per-attempt try/catch above is exhaustive, so pool_status can
+    // only report a scheduling-level problem; keep it as a backstop.
+    Status result = pool_status;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (result.ok()) result = first_failure;
+    }
+    if (!result.ok()) jobs_failed->Increment();
+    return result;
+  }
+
+  /// Throwing wrapper over TryRunTasks for value-returning actions: a
+  /// permanently failed job surfaces as a StatusError on the calling
+  /// (driver) thread.
+  template <typename Fn>
+  void RunTasks(const char* stage, size_t n, const Fn& fn) {
+    const Status status = TryRunTasks(stage, n, fn);
+    if (!status.ok()) throw StatusError(status);
   }
 
   /// Copies the pool's dispatch statistics into the default metrics
@@ -103,6 +205,7 @@ class Context {
   size_t parallelism_;
   std::unique_ptr<ThreadPool> pool_;
   obs::TaskTracer* tracer_;
+  fault::RetryPolicy retry_policy_;
 };
 
 }  // namespace stark

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/rdd.h"
+#include "fault/failpoint.h"
 #include "obs/trace.h"
 
 namespace stark {
@@ -44,13 +45,19 @@ RDD<std::pair<K, V>> ReduceByKey(const RDD<std::pair<K, V>>& rdd, F combine,
         for (auto& [k, v] : acc) out.emplace_back(k, std::move(v));
         return out;
       });
-  // Shuffle by key hash, then final merge per partition.
+  // Shuffle by key hash, then final merge per partition. The merge task
+  // carries the engine.shuffle.reduce injection site; its accumulator is
+  // rebuilt from the shuffled input on every attempt, so a retried merge
+  // is idempotent.
   RDD<std::pair<K, V>> shuffled =
       combined.PartitionBy(targets, [targets](const std::pair<K, V>& kv) {
         return std::hash<K>{}(kv.first) % targets;
       });
   return shuffled.MapPartitionsWithIndex(
       [combine](size_t, std::vector<std::pair<K, V>> part) {
+        static fault::FailPoint* const reduce_fp =
+            fault::DefaultFailPoints().Get("engine.shuffle.reduce");
+        fault::MaybeThrow(reduce_fp);
         std::map<K, V> acc;
         for (auto& [k, v] : part) {
           auto it = acc.find(k);

@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/result.h"
 #include "common/rng.h"
 #include "engine/context.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -199,9 +201,15 @@ class CacheRDD final : public RDDImpl<T> {
         obs::DefaultMetrics().GetCounter("engine.cache.hits");
     static obs::Counter* const misses =
         obs::DefaultMetrics().GetCounter("engine.cache.misses");
+    static fault::FailPoint* const cache_fp =
+        fault::DefaultFailPoints().Get("engine.cache.materialize");
     Slot& slot = slots_[p];
     bool computed = false;
+    // An injected (or real) failure propagates out of call_once without
+    // setting the flag, so a retried task re-materializes the partition —
+    // the cache never latches a half-built slot.
     std::call_once(slot.once, [&] {
+      fault::MaybeThrow(cache_fp);
       slot.data = parent_->Compute(p);
       computed = true;
     });
@@ -318,23 +326,29 @@ class RDD {
         obs::DefaultMetrics().GetCounter("engine.shuffle.records");
     static obs::Counter* const shuffles =
         obs::DefaultMetrics().GetCounter("engine.shuffles");
+    static fault::FailPoint* const shuffle_fp =
+        fault::DefaultFailPoints().Get("engine.shuffle.route");
     shuffles->Increment();
     const size_t in_parts = NumPartitions();
     // Route each input partition into per-target buckets in parallel...
+    // (Each attempt rebuilds its buckets from the lineage and the metric
+    // Add happens after routing succeeds, so a retried map task neither
+    // duplicates data nor double-counts records.)
     std::vector<std::vector<std::vector<T>>> routed(in_parts);
     ctx()->RunTasks("rdd.shuffle.map", in_parts, [&](size_t p) {
+      fault::MaybeThrow(shuffle_fp);
       std::vector<std::vector<T>> buckets(num_partitions);
       std::vector<T> in = impl_->Compute(p);
       if (obs::TaskSpan* span = obs::CurrentTaskSpan()) {
         span->records_in = in.size();
         span->records_out = in.size();
       }
-      shuffle_records->Add(in.size());
       for (auto& x : in) {
         const size_t t = target(x);
         STARK_DCHECK(t < num_partitions);
         buckets[t].push_back(std::move(x));
       }
+      shuffle_records->Add(in.size());
       routed[p] = std::move(buckets);
     });
     // ...then concatenate the buckets per target partition.
@@ -373,24 +387,37 @@ class RDD {
   }
 
   // ---- Actions (trigger evaluation) --------------------------------------
+  //
+  // Each action has a Status-returning Try* form and a throwing
+  // value-returning form. A task that keeps failing after the context's
+  // RetryPolicy is exhausted surfaces as a non-OK Result from Try*; the
+  // plain forms throw the same failure as a StatusError on the driver
+  // thread (never through the worker pool).
 
   /// Evaluates and returns all partitions, in partition order.
-  std::vector<std::vector<T>> CollectPartitions() const {
+  Result<std::vector<std::vector<T>>> TryCollectPartitions() const {
     const size_t n = NumPartitions();
     std::vector<std::vector<T>> parts(n);
-    ctx()->RunTasks("rdd.collect", n, [&](size_t p) {
+    STARK_RETURN_NOT_OK(ctx()->TryRunTasks("rdd.collect", n, [&](size_t p) {
       parts[p] = impl_->Compute(p);
       if (obs::TaskSpan* span = obs::CurrentTaskSpan()) {
         span->records_in = parts[p].size();
         span->records_out = parts[p].size();
       }
-    });
+    }));
     return parts;
   }
 
+  std::vector<std::vector<T>> CollectPartitions() const {
+    Result<std::vector<std::vector<T>>> parts = TryCollectPartitions();
+    if (!parts.ok()) throw StatusError(parts.status());
+    return std::move(parts).ValueOrDie();
+  }
+
   /// Evaluates and concatenates all partitions.
-  std::vector<T> Collect() const {
-    std::vector<std::vector<T>> parts = CollectPartitions();
+  Result<std::vector<T>> TryCollect() const {
+    STARK_ASSIGN_OR_RETURN(std::vector<std::vector<T>> parts,
+                           TryCollectPartitions());
     size_t total = 0;
     for (const auto& part : parts) total += part.size();
     std::vector<T> out;
@@ -401,20 +428,32 @@ class RDD {
     return out;
   }
 
+  std::vector<T> Collect() const {
+    Result<std::vector<T>> out = TryCollect();
+    if (!out.ok()) throw StatusError(out.status());
+    return std::move(out).ValueOrDie();
+  }
+
   /// Number of elements.
-  size_t Count() const {
+  Result<size_t> TryCount() const {
     const size_t n = NumPartitions();
     std::vector<size_t> counts(n, 0);
-    ctx()->RunTasks("rdd.count", n, [&](size_t p) {
+    STARK_RETURN_NOT_OK(ctx()->TryRunTasks("rdd.count", n, [&](size_t p) {
       counts[p] = impl_->Compute(p).size();
       if (obs::TaskSpan* span = obs::CurrentTaskSpan()) {
         span->records_in = counts[p];
         span->records_out = 1;
       }
-    });
+    }));
     size_t total = 0;
     for (size_t c : counts) total += c;
     return total;
+  }
+
+  size_t Count() const {
+    Result<size_t> count = TryCount();
+    if (!count.ok()) throw StatusError(count.status());
+    return count.ValueOrDie();
   }
 
   /// Folds all elements with \p fn starting from \p init (fn must be

@@ -1,0 +1,273 @@
+#include "fault/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace stark {
+namespace fault {
+
+namespace {
+
+/// Splits "prefix:rest" at the first ':'; rest is empty when absent.
+bool SplitOnce(const std::string& s, char sep, std::string* head,
+               std::string* tail) {
+  const size_t pos = s.find(sep);
+  if (pos == std::string::npos) {
+    *head = s;
+    tail->clear();
+    return false;
+  }
+  *head = s.substr(0, pos);
+  *tail = s.substr(pos + 1);
+  return true;
+}
+
+Result<uint64_t> ParseU64(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty integer");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad integer '" + s + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+Result<TriggerPolicy> TriggerPolicy::Parse(const std::string& spec) {
+  TriggerPolicy policy;
+  std::string kind, rest;
+  SplitOnce(spec, ':', &kind, &rest);
+  if (kind == "off") {
+    if (!rest.empty()) {
+      return Status::InvalidArgument("'off' takes no parameter: " + spec);
+    }
+    policy.kind = Kind::kOff;
+    return policy;
+  }
+  if (kind == "nth" || kind == "every") {
+    STARK_ASSIGN_OR_RETURN(policy.n, ParseU64(rest));
+    if (policy.n == 0) {
+      return Status::InvalidArgument(kind + " parameter must be >= 1: " +
+                                     spec);
+    }
+    policy.kind = kind == "nth" ? Kind::kNth : Kind::kEvery;
+    return policy;
+  }
+  if (kind == "prob") {
+    std::string p_str, seed_str;
+    SplitOnce(rest, ':', &p_str, &seed_str);
+    char* end = nullptr;
+    policy.probability = std::strtod(p_str.c_str(), &end);
+    if (end == p_str.c_str() || *end != '\0' || policy.probability < 0.0 ||
+        policy.probability > 1.0) {
+      return Status::InvalidArgument("bad probability in '" + spec +
+                                     "' (want 0..1)");
+    }
+    if (!seed_str.empty()) {
+      if (seed_str.rfind("seed=", 0) != 0) {
+        return Status::InvalidArgument("expected seed=<n> in '" + spec + "'");
+      }
+      STARK_ASSIGN_OR_RETURN(policy.seed, ParseU64(seed_str.substr(5)));
+    }
+    policy.kind = Kind::kProbability;
+    return policy;
+  }
+  return Status::InvalidArgument("unknown fail-point policy '" + spec +
+                                 "' (want nth:<n>, every:<k>, "
+                                 "prob:<p>[:seed=<s>], or off)");
+}
+
+std::string TriggerPolicy::ToString() const {
+  switch (kind) {
+    case Kind::kOff:
+      return "off";
+    case Kind::kNth:
+      return "nth:" + std::to_string(n);
+    case Kind::kEvery:
+      return "every:" + std::to_string(n);
+    case Kind::kProbability: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "prob:%g:seed=%llu", probability,
+                    static_cast<unsigned long long>(seed));
+      return buf;
+    }
+  }
+  return "off";
+}
+
+bool TriggerPolicy::Fires(uint64_t hit) const {
+  switch (kind) {
+    case Kind::kOff:
+      return false;
+    case Kind::kNth:
+      return hit == n;
+    case Kind::kEvery:
+      return hit % n == 0;
+    case Kind::kProbability:
+      return FailPoint::ProbabilisticDecision(seed, hit, probability);
+  }
+  return false;
+}
+
+void FailPoint::Arm(const TriggerPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_ = policy;
+  hits_ = 0;
+  fires_ = 0;
+  armed_.store(policy.kind != TriggerPolicy::Kind::kOff,
+               std::memory_order_relaxed);
+}
+
+void FailPoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  policy_.kind = TriggerPolicy::Kind::kOff;
+}
+
+bool FailPoint::ShouldFire() {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (policy_.kind == TriggerPolicy::Kind::kOff) return false;
+  const uint64_t hit = ++hits_;
+  if (!policy_.Fires(hit)) return false;
+  ++fires_;
+  return true;
+}
+
+bool FailPoint::ProbabilisticDecision(uint64_t seed, uint64_t hit, double p) {
+  // SplitMix64 finalizer over (seed, hit): a pure function of the pair, so
+  // the set of firing hit indices is identical run-to-run no matter how
+  // threads interleave their hits.
+  uint64_t z = seed + hit * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u =
+      static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+  return u < p;
+}
+
+uint64_t FailPoint::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t FailPoint::fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fires_;
+}
+
+TriggerPolicy FailPoint::policy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policy_;
+}
+
+FailPoint* FailPointRegistry::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(name, std::make_unique<FailPoint>(name)).first;
+  }
+  return it->second.get();
+}
+
+Status FailPointRegistry::Arm(const std::string& name,
+                              const std::string& spec) {
+  if (name.empty()) {
+    return Status::InvalidArgument("empty fail-point name");
+  }
+  STARK_ASSIGN_OR_RETURN(TriggerPolicy policy, TriggerPolicy::Parse(spec));
+  Get(name)->Arm(policy);
+  return Status::OK();
+}
+
+Status FailPointRegistry::ArmFromSpec(const std::string& spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find_first_of(";,", start);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    // Trim surrounding whitespace.
+    const size_t first = entry.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;  // empty entry
+    const size_t last = entry.find_last_not_of(" \t");
+    entry = entry.substr(first, last - first + 1);
+    const size_t eq = entry.find('=');
+    // Note: prob seeds use "seed=<n>" after the policy's ':' separator, so
+    // the *first* '=' always terminates the site name.
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected <site>=<policy>, got '" +
+                                     entry + "'");
+    }
+    STARK_RETURN_NOT_OK(Arm(entry.substr(0, eq), entry.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+void FailPointRegistry::ArmFromEnv() {
+  const char* spec = std::getenv("STARK_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return;
+  const Status status = ArmFromSpec(spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: bad STARK_FAILPOINTS: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+void FailPointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, fp] : points_) fp->Disarm();
+}
+
+std::vector<FailPoint*> FailPointRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FailPoint*> out;
+  out.reserve(points_.size());
+  for (const auto& [name, fp] : points_) out.push_back(fp.get());
+  return out;
+}
+
+std::string FailPointRegistry::Report() const {
+  std::string out;
+  for (const FailPoint* fp : List()) {
+    out += fp->name();
+    out += " policy=" + fp->policy().ToString();
+    out += " hits=" + std::to_string(fp->hits());
+    out += " fires=" + std::to_string(fp->fires());
+    out += '\n';
+  }
+  return out;
+}
+
+FailPointRegistry& DefaultFailPoints() {
+  static FailPointRegistry* registry = [] {
+    auto* r = new FailPointRegistry();
+    r->ArmFromEnv();
+    return r;
+  }();
+  return *registry;
+}
+
+void MaybeThrow(FailPoint* fp) {
+  if (!fp->ShouldFire()) return;
+  static obs::Counter* const injected =
+      obs::DefaultMetrics().GetCounter("engine.fault.injected");
+  injected->Increment();
+  throw InjectedFaultError(fp->name());
+}
+
+Status MaybeStatus(FailPoint* fp) {
+  if (!fp->ShouldFire()) return Status::OK();
+  static obs::Counter* const injected =
+      obs::DefaultMetrics().GetCounter("engine.fault.injected");
+  injected->Increment();
+  return Status::IOError("injected fault at " + fp->name());
+}
+
+}  // namespace fault
+}  // namespace stark

@@ -1,0 +1,169 @@
+/// \file failpoint.h
+/// Deterministic fault-injection registry. Named fail points are compiled
+/// into the engine's task-execution, shuffle, cache and checkpoint paths;
+/// each site costs one relaxed atomic load while disarmed. Arming a site
+/// (programmatically, via `stark_shell --failpoints=`, or through the
+/// STARK_FAILPOINTS environment variable) makes it throw InjectedFaultError
+/// (task sites) or return an IOError Status (I/O sites) according to a
+/// trigger policy, so the retry/recovery machinery can be exercised under
+/// test exactly like Spark exercises lineage recomputation on executor
+/// loss. See docs/FAULT_INJECTION.md.
+#ifndef STARK_FAULT_FAILPOINT_H_
+#define STARK_FAULT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace stark {
+namespace fault {
+
+/// Thrown by a task-path injection site when its fail point fires. The
+/// engine's task boundary converts it into a Status like any other task
+/// exception, so an injected fault is retried exactly like a real one.
+class InjectedFaultError : public std::runtime_error {
+ public:
+  explicit InjectedFaultError(const std::string& site)
+      : std::runtime_error("injected fault at " + site), site_(site) {}
+
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// \brief When an armed fail point fires, as a function of its hit count.
+///
+/// Spec grammar (used by STARK_FAILPOINTS, --failpoints= and Arm):
+///   `nth:<n>`             fire exactly on the n-th hit (1-based), once;
+///   `every:<k>`           fire on every k-th hit (hits k, 2k, 3k, ...);
+///   `prob:<p>[:seed=<s>]` fire each hit independently with probability p,
+///                         decided by a pure hash of (seed, hit index) so a
+///                         schedule is reproducible across runs and thread
+///                         interleavings;
+///   `off`                 never fire (same as disarming).
+struct TriggerPolicy {
+  enum class Kind { kOff, kNth, kEvery, kProbability };
+
+  Kind kind = Kind::kOff;
+  uint64_t n = 0;            ///< nth / every parameter.
+  double probability = 0.0;  ///< prob parameter.
+  uint64_t seed = 42;        ///< prob decision seed.
+
+  /// Parses one policy spec, e.g. "nth:3" or "prob:0.25:seed=7".
+  static Result<TriggerPolicy> Parse(const std::string& spec);
+
+  /// Canonical spec string (round-trips through Parse).
+  std::string ToString() const;
+
+  /// Whether hit number \p hit (1-based) fires under this policy. Pure.
+  bool Fires(uint64_t hit) const;
+};
+
+/// \brief One named injection site with a hit counter and an armed policy.
+///
+/// Site pointers are stable for the registry's lifetime, so injection
+/// sites resolve their name once (function-local static) and then pay a
+/// single relaxed atomic load per hit while disarmed. Hits are counted
+/// only while armed, which keeps nth-hit schedules independent of work
+/// done before arming.
+class FailPoint {
+ public:
+  explicit FailPoint(std::string name) : name_(std::move(name)) {}
+  STARK_DISALLOW_COPY_AND_ASSIGN(FailPoint);
+
+  const std::string& name() const { return name_; }
+
+  /// Arms \p policy and resets the hit/fire counters.
+  void Arm(const TriggerPolicy& policy);
+
+  /// Disarms the site (counters keep their last values for inspection).
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Counts a hit and reports whether the site fires for it. The disarmed
+  /// fast path is one relaxed load; the armed path takes the site mutex.
+  bool ShouldFire();
+
+  /// Deterministic per-hit decision used by probability policies:
+  /// a SplitMix64-style hash of (seed, hit) mapped to [0, 1) and compared
+  /// against p. Exposed for tests asserting schedule reproducibility.
+  static bool ProbabilisticDecision(uint64_t seed, uint64_t hit, double p);
+
+  uint64_t hits() const;
+  uint64_t fires() const;
+  TriggerPolicy policy() const;
+
+ private:
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;  // guards policy_ and counters on the armed path
+  TriggerPolicy policy_;
+  uint64_t hits_ = 0;
+  uint64_t fires_ = 0;
+};
+
+/// \brief Create-or-get registry of named fail points (MetricsRegistry
+/// idiom: resolution takes a mutex, the per-hit check does not).
+class FailPointRegistry {
+ public:
+  FailPointRegistry() = default;
+  STARK_DISALLOW_COPY_AND_ASSIGN(FailPointRegistry);
+
+  /// Returns the fail point named \p name, creating it disarmed if needed.
+  /// The pointer is stable for the registry's lifetime.
+  FailPoint* Get(const std::string& name);
+
+  /// Parses \p spec and arms the named site, e.g. Arm("engine.task.run",
+  /// "nth:1"). "off" disarms.
+  Status Arm(const std::string& name, const std::string& spec);
+
+  /// Arms every site of a multi-site spec:
+  ///   "engine.task.run=nth:1;engine.checkpoint.write=every:3".
+  /// Entries are separated by ';' or ','; whitespace around entries is
+  /// ignored. Stops at the first malformed entry.
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Arms from the STARK_FAILPOINTS environment variable, if set. Invalid
+  /// specs are reported to stderr rather than silently ignored.
+  void ArmFromEnv();
+
+  void DisarmAll();
+
+  /// All sites ever resolved (armed or not), sorted by name.
+  std::vector<FailPoint*> List() const;
+
+  /// Human-readable "name policy hits fires" table, one site per line.
+  std::string Report() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<FailPoint>> points_;
+};
+
+/// The process-wide registry used by the engine's built-in injection sites.
+/// First access arms from STARK_FAILPOINTS, so any stark binary (tests,
+/// benchmarks, shell) honours the variable without wiring.
+FailPointRegistry& DefaultFailPoints();
+
+/// Task-path injection: throws InjectedFaultError when \p fp fires.
+/// Sites resolve once: `static FailPoint* const fp = ...Get("name");`.
+void MaybeThrow(FailPoint* fp);
+
+/// I/O-path injection: returns IOError when \p fp fires, OK otherwise.
+Status MaybeStatus(FailPoint* fp);
+
+}  // namespace fault
+}  // namespace stark
+
+#endif  // STARK_FAULT_FAILPOINT_H_

@@ -1,0 +1,44 @@
+#include "fault/retry.h"
+
+#include <cstdlib>
+
+namespace stark {
+namespace fault {
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return default_value;
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace
+
+uint64_t RetryPolicy::BackoffMs(size_t attempt) const {
+  if (backoff_base_ms == 0) return 0;
+  constexpr uint64_t kMaxBackoffMs = 10'000;
+  double ms = static_cast<double>(backoff_base_ms);
+  for (size_t i = 1; i < attempt; ++i) {
+    ms *= backoff_multiplier;
+    if (ms >= static_cast<double>(kMaxBackoffMs)) return kMaxBackoffMs;
+  }
+  return static_cast<uint64_t>(ms);
+}
+
+RetryPolicy RetryPolicy::FromEnv() {
+  RetryPolicy policy;
+  policy.max_attempts =
+      static_cast<size_t>(EnvU64("STARK_TASK_RETRIES", policy.max_attempts));
+  if (policy.max_attempts == 0) policy.max_attempts = 1;
+  policy.backoff_base_ms =
+      EnvU64("STARK_TASK_BACKOFF_MS", policy.backoff_base_ms);
+  policy.fail_fast = EnvU64("STARK_TASK_FAIL_FAST", 0) != 0;
+  return policy;
+}
+
+}  // namespace fault
+}  // namespace stark

@@ -1,0 +1,54 @@
+/// \file retry.h
+/// Task retry policy for the sparklet engine. A failed partition task is
+/// re-run against its lineage (RDDImpl::Compute is a pure function of the
+/// lineage graph, so re-invoking it *is* Spark's "recompute the partition
+/// from lineage") up to max_attempts times with exponential backoff, after
+/// which the job fails with a Status. Mirrors Spark's
+/// `spark.task.maxFailures` knob.
+#ifndef STARK_FAULT_RETRY_H_
+#define STARK_FAULT_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stark {
+namespace fault {
+
+/// \brief How the engine reacts to a failing partition task.
+struct RetryPolicy {
+  /// Total attempts per task, like spark.task.maxFailures (>= 1; the
+  /// first run counts as attempt 1). 1 disables retry.
+  size_t max_attempts = 3;
+
+  /// Backoff before attempt k+1 is backoff_base_ms * multiplier^(k-1);
+  /// 0 retries immediately (the default: local recomputation has none of
+  /// the cluster's transient-resource flakiness, so waiting buys nothing
+  /// unless a test or operator wants it).
+  uint64_t backoff_base_ms = 0;
+  double backoff_multiplier = 2.0;
+
+  /// When true a task failure is terminal immediately (one attempt) —
+  /// Spark's fail-fast scheduling for debugging deterministic bugs, where
+  /// retrying only repeats the crash N times.
+  bool fail_fast = false;
+
+  /// Attempts actually granted per task under this policy.
+  size_t EffectiveAttempts() const {
+    if (fail_fast) return 1;
+    return max_attempts >= 1 ? max_attempts : 1;
+  }
+
+  /// Milliseconds to sleep before retrying after failed attempt number
+  /// \p attempt (1-based); capped at 10s.
+  uint64_t BackoffMs(size_t attempt) const;
+
+  /// Reads overrides from the environment: STARK_TASK_RETRIES (max
+  /// attempts), STARK_TASK_BACKOFF_MS, STARK_TASK_FAIL_FAST (0/1).
+  /// Unset or malformed variables keep the defaults.
+  static RetryPolicy FromEnv();
+};
+
+}  // namespace fault
+}  // namespace stark
+
+#endif  // STARK_FAULT_RETRY_H_

@@ -87,7 +87,15 @@ std::string TaskTracer::ChromeTraceJson() const {
            ",\"partition\":" + std::to_string(s.partition) +
            ",\"queue_wait_us\":" + Micros(s.start_ns - s.queued_ns) +
            ",\"records_in\":" + std::to_string(s.records_in) +
-           ",\"records_out\":" + std::to_string(s.records_out) + "}}";
+           ",\"records_out\":" + std::to_string(s.records_out) +
+           ",\"attempt\":" + std::to_string(s.attempt) +
+           ",\"ok\":" + (s.ok ? "true" : "false");
+    if (!s.error.empty()) {
+      out += ",\"error\":\"";
+      AppendEscaped(&out, s.error);
+      out += '"';
+    }
+    out += "}}";
   }
   for (const PhaseEvent& e : phases) {
     if (!first) out += ',';

@@ -38,6 +38,9 @@ struct TaskSpan {
   uint64_t end_ns = 0;       ///< When it finished.
   uint64_t records_in = 0;   ///< Elements read by the task (0 if unknown).
   uint64_t records_out = 0;  ///< Elements produced by the task.
+  uint64_t attempt = 1;      ///< Execution attempt (1 = first run; >1 = retry).
+  bool ok = true;            ///< False when this attempt failed.
+  std::string error;         ///< Failure message of a failed attempt.
 };
 
 /// One begin/end phase event from a ScopedSpan (driver-side phases such as
