@@ -109,6 +109,32 @@ BENCHMARK(BM_STARK_BestPartitioner_Bsp)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);
 
+// Beyond the paper's figure: the same STARK self join through the other
+// two join strategies (see docs/JOINS.md), for an apples-to-apples read on
+// what index reuse and broadcasting buy over the live-index plan.
+
+void BM_STARK_Grid_CachedIndex(benchmark::State& state) {
+  for (auto _ : state) {
+    StarkSelfJoinOptions options;
+    options.partitioner = StarkPartitionerChoice::kGrid;
+    options.join_mode = StarkJoinMode::kCachedIndex;
+    auto stats = StarkSelfJoin(Ctx(), Data(), Dist(), options);
+    Record(state, stats, "STARK/grid+cached-index");
+  }
+}
+BENCHMARK(BM_STARK_Grid_CachedIndex)->Unit(benchmark::kSecond)->Iterations(1);
+
+void BM_STARK_Grid_Broadcast(benchmark::State& state) {
+  for (auto _ : state) {
+    StarkSelfJoinOptions options;
+    options.partitioner = StarkPartitionerChoice::kGrid;
+    options.join_mode = StarkJoinMode::kBroadcast;
+    auto stats = StarkSelfJoin(Ctx(), Data(), Dist(), options);
+    Record(state, stats, "STARK/grid+broadcast");
+  }
+}
+BENCHMARK(BM_STARK_Grid_Broadcast)->Unit(benchmark::kSecond)->Iterations(1);
+
 void PrintFigure4Summary() {
   std::printf("\n=== Figure 4: self join execution time [s] "
               "(N=%zu, withinDistance=%.2f) ===\n",
@@ -128,6 +154,13 @@ void PrintFigure4Summary() {
                            ? g_results["STARK/bsp"].result_pairs
                            : 0;
   std::printf("result pairs (all systems must agree): %zu\n", pairs);
+  if (g_results.count("STARK/grid+cached-index") &&
+      g_results.count("STARK/grid+broadcast")) {
+    std::printf("STARK join strategies (grid partitioner, join phase only "
+                "[s]): cached-index %.2f | broadcast %.2f\n",
+                g_results["STARK/grid+cached-index"].join_seconds,
+                g_results["STARK/grid+broadcast"].join_seconds);
+  }
   std::printf("paper values [s]: GeoSpark N/A & 95.9 | SpatialSpark 51.9 & "
               "19.8 | STARK 31.1 & 6.3 (1M points on a cluster)\n");
   std::printf("paper shape: STARK fastest in both columns; GeoSpark's "

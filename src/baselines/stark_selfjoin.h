@@ -15,10 +15,18 @@ namespace stark {
 /// Which spatial partitioner the STARK run uses.
 enum class StarkPartitionerChoice { kNone, kGrid, kBsp };
 
+/// Which join execution strategy the STARK run uses (see docs/JOINS.md).
+enum class StarkJoinMode {
+  kLiveIndex,    ///< trees built inside the join (the classic plan)
+  kCachedIndex,  ///< Index() first, join probes the cached trees
+  kBroadcast,    ///< small side flattened into one tree, no pair enumeration
+};
+
 /// Options for the STARK self join.
 struct StarkSelfJoinOptions {
   StarkPartitionerChoice partitioner = StarkPartitionerChoice::kNone;
-  size_t index_order = 10;       // live-index R-tree order (0 = no index)
+  StarkJoinMode join_mode = StarkJoinMode::kLiveIndex;
+  size_t index_order = 10;       // R-tree order (0 = no index)
   size_t grid_cells_per_dim = 8; // used when partitioner == kGrid
   size_t bsp_max_cost = 10'000;  // used when partitioner == kBsp
 };

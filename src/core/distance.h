@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 
 #include "core/stobject.h"
 
@@ -14,6 +15,13 @@ namespace stark {
 /// User-suppliable distance between two spatio-temporal objects.
 using DistanceFunction =
     std::function<double(const STObject&, const STObject&)>;
+
+/// Maps NaN to +infinity so a misbehaving user distance function can never
+/// break the strict weak ordering that kNN's sorting relies on — a NaN
+/// distance means "never a neighbor", not undefined behavior.
+inline double SanitizeDistance(double d) {
+  return std::isnan(d) ? std::numeric_limits<double>::infinity() : d;
+}
 
 /// Minimum planar Euclidean distance between the spatial components.
 double EuclideanDistance(const STObject& a, const STObject& b);

@@ -95,6 +95,11 @@ std::string TaskTracer::ChromeTraceJson() const {
       AppendEscaped(&out, s.error);
       out += '"';
     }
+    if (!s.detail.empty()) {
+      out += ",\"detail\":\"";
+      AppendEscaped(&out, s.detail);
+      out += '"';
+    }
     out += "}}";
   }
   for (const PhaseEvent& e : phases) {

@@ -41,6 +41,9 @@ struct TaskSpan {
   uint64_t attempt = 1;      ///< Execution attempt (1 = first run; >1 = retry).
   bool ok = true;            ///< False when this attempt failed.
   std::string error;         ///< Failure message of a failed attempt.
+  std::string detail;        ///< Optional operator annotation (e.g. the
+                             ///< partition pair and probe sub-range of a
+                             ///< join task); empty = omitted from export.
 };
 
 /// One begin/end phase event from a ScopedSpan (driver-side phases such as

@@ -45,6 +45,12 @@ class BSPartitioner final : public SpatialPartitioner {
   }
   std::string Name() const override { return "bsp"; }
 
+  /// Shares the (immutable) split tree with the clone; only the extents are
+  /// duplicated.
+  std::shared_ptr<SpatialPartitioner> Clone() const override {
+    return std::shared_ptr<SpatialPartitioner>(new BSPartitioner(*this));
+  }
+
   const Options& options() const { return options_; }
 
  private:
@@ -60,11 +66,13 @@ class BSPartitioner final : public SpatialPartitioner {
     bool IsLeaf() const { return dim < 0; }
   };
 
+  BSPartitioner(const BSPartitioner&) = default;
+
   std::unique_ptr<Node> Build(const Envelope& box,
                               std::vector<Coordinate>* items);
 
   Options options_;
-  std::unique_ptr<Node> root_;
+  std::shared_ptr<const Node> root_;  // shared between clones, never mutated
   std::vector<Envelope> leaves_;
 };
 

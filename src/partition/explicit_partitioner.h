@@ -57,7 +57,13 @@ class ExplicitPartitioner final : public SpatialPartitioner {
 
   std::string Name() const override { return "explicit"; }
 
+  std::shared_ptr<SpatialPartitioner> Clone() const override {
+    return std::shared_ptr<SpatialPartitioner>(new ExplicitPartitioner(*this));
+  }
+
  private:
+  ExplicitPartitioner(const ExplicitPartitioner&) = default;
+
   std::vector<Envelope> bounds_;
 };
 

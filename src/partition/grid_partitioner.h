@@ -31,6 +31,10 @@ class GridPartitioner final : public SpatialPartitioner {
   }
   std::string Name() const override { return "grid"; }
 
+  std::shared_ptr<SpatialPartitioner> Clone() const override {
+    return std::shared_ptr<SpatialPartitioner>(new GridPartitioner(*this));
+  }
+
   size_t cells_x() const { return cells_x_; }
   size_t cells_y() const { return cells_y_; }
   const Envelope& universe() const { return universe_; }

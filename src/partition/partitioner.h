@@ -8,6 +8,7 @@
 #ifndef STARK_PARTITION_PARTITIONER_H_
 #define STARK_PARTITION_PARTITIONER_H_
 
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -41,6 +42,17 @@ class SpatialPartitioner {
 
   /// Human-readable partitioner name for logs and benchmark labels.
   virtual std::string Name() const = 0;
+
+  /// \brief Copy of this partitioner with the *same* assignment structure
+  /// and an independent set of extents.
+  ///
+  /// SpatialRDD::PartitionBy clones the partitioner it is given (and resets
+  /// the clone's extents) before growing extents during the shuffle, so one
+  /// partitioner instance can be reused for several datasets without the
+  /// first shuffle's extent growth leaking into the next and defeating
+  /// pruning. Immutable assignment structure (grids, BSP trees) may be
+  /// shared between clones; only the extents are per-clone state.
+  virtual std::shared_ptr<SpatialPartitioner> Clone() const = 0;
 
   /// Spatio-temporal assignment hook. The paper notes that "in its current
   /// version, STARK only considers the spatial component for partitioning";
@@ -76,6 +88,17 @@ class SpatialPartitioner {
     extents_[i].ExpandToInclude(env);
   }
 
+  /// Resets every extent back to its assignment bounds, discarding all
+  /// GrowExtent history. Must not race with a concurrent shuffle.
+  void ResetExtents() {
+    std::lock_guard<std::mutex> lock(extent_mu_);
+    extents_.clear();
+    extents_.reserve(NumPartitions());
+    for (size_t i = 0; i < NumPartitions(); ++i) {
+      extents_.push_back(PartitionBounds(i));
+    }
+  }
+
   /// Ids of all partitions whose *bounds* lie within \p eps of \p c; used
   /// by the distributed DBSCAN border replication step.
   std::vector<size_t> PartitionsWithinDistance(const Coordinate& c,
@@ -88,6 +111,14 @@ class SpatialPartitioner {
   }
 
  protected:
+  SpatialPartitioner() = default;
+
+  /// Copying duplicates the extents (the mutex is per-instance); used by
+  /// the subclasses' Clone() implementations.
+  SpatialPartitioner(const SpatialPartitioner& other)
+      : extents_(other.extents_) {}
+  SpatialPartitioner& operator=(const SpatialPartitioner&) = delete;
+
   /// Subclasses call this once their bounds are final to seed the extents.
   void InitExtents() {
     extents_.clear();

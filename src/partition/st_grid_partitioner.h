@@ -53,6 +53,11 @@ class SpatioTemporalGridPartitioner final : public SpatialPartitioner {
 
   std::string Name() const override { return "st-grid"; }
 
+  std::shared_ptr<SpatialPartitioner> Clone() const override {
+    return std::shared_ptr<SpatialPartitioner>(
+        new SpatioTemporalGridPartitioner(*this));
+  }
+
   size_t time_buckets() const { return time_buckets_; }
 
   /// Time bucket index for an instant (clamped into range).

@@ -491,7 +491,14 @@ Result<PigRelation> Interpreter::ExecJoin(const Statement& stmt) {
   pred.type = stmt.join_pred;
   pred.max_distance = stmt.join_distance;
 
-  auto joined = SpatialJoin(lift(*left), lift(*right), pred);
+  // An INDEXed left relation routes through the cached-index join path:
+  // its partitions are indexed once (honoring the INDEX statement's order)
+  // and the join probes those trees rather than building its own.
+  JoinOptions options;
+  auto joined = left->index_order > 0
+                    ? SpatialJoin(lift(*left).Index(left->index_order),
+                                  lift(*right), pred, options)
+                    : SpatialJoin(lift(*left), lift(*right), pred, options);
 
   PigRelation rel;
   rel.spatialized = true;

@@ -2,35 +2,229 @@
 /// Spatio-temporal join (§2.3). STARK assigns each element to exactly one
 /// partition (centroid assignment) and keeps overlapping partition extents,
 /// so the join enumerates partition *pairs* whose extents can satisfy the
-/// predicate, builds a live R-tree over each participating left partition,
-/// and probes it with the right partitions — no replication, no result
-/// deduplication (contrast with the GeoSpark-style baseline).
+/// predicate, indexes the left side, and probes it with the right
+/// partitions — no replication, no result deduplication (contrast with the
+/// GeoSpark-style baseline).
+///
+/// Three execution strategies (see docs/JOINS.md):
+///  - live-index: build an R-tree over each participating left partition at
+///    join time (the classic STARK plan);
+///  - cached-index: the overloads taking an IndexedSpatialRDD probe the
+///    trees built by Index()/LiveIndex()/Load() instead of rebuilding —
+///    `engine.join.tree_builds` stays 0 on this path;
+///  - broadcast: when one side is small (`JoinOptions::broadcast_threshold`),
+///    it is flattened into a single R-tree and probed against every
+///    partition of the large side, skipping partition-pair enumeration.
+///
+/// Probe work is scheduled skew-aware: per-pair cost is estimated as
+/// |probe| * log(|indexed|) (indexed) or |probe| * |build| (nested loop),
+/// pairs whose cost exceeds `skew_split_factor` times the mean are split
+/// into probe sub-range tasks, and tasks run longest-first so one dense
+/// partition no longer serializes the join.
 #ifndef STARK_SPATIAL_RDD_JOIN_H_
 #define STARK_SPATIAL_RDD_JOIN_H_
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "engine/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spatial_rdd/spatial_rdd.h"
 
 namespace stark {
 
 /// Tuning knobs for SpatialJoin.
 struct JoinOptions {
-  /// Order of the live R-tree built over each left partition; 0 disables
-  /// indexing and uses a nested-loop per partition pair ("No Indexing").
+  /// Order of the R-tree built over each left partition (live path) or over
+  /// the broadcast side; 0 disables indexing and uses a nested-loop per
+  /// partition pair ("No Indexing"). Ignored by the cached-index overloads,
+  /// which reuse the trees as built.
   size_t index_order = 10;
+
+  /// When > 0 and one side's total element count is <= this threshold, that
+  /// side is broadcast: flattened into one R-tree probed by every partition
+  /// of the other side, instead of enumerating nl x nr partition pairs.
+  /// 0 disables broadcasting.
+  size_t broadcast_threshold = 0;
+
+  /// A partition pair whose estimated cost exceeds this factor times the
+  /// mean pair cost is split into probe sub-range tasks (skew mitigation).
+  /// <= 0 disables splitting.
+  double skew_split_factor = 4.0;
+
+  /// Upper bound on the number of sub-range tasks one pair is split into.
+  size_t max_subtasks_per_pair = 32;
 };
+
+/// Global named-metric mirrors for the join engine, registered in
+/// obs::DefaultMetrics() under engine.join.* (the join analogue of
+/// GlobalFilterMetrics). Counters are batched per task, never per element.
+struct JoinMetricSet {
+  obs::Counter* pairs_enumerated;  ///< partition pairs turned into tasks
+  obs::Counter* pairs_pruned;      ///< partition pairs skipped by extents
+  obs::Counter* pairs_split;       ///< pairs split into sub-range tasks
+  obs::Counter* subtasks;          ///< probe tasks actually scheduled
+  obs::Counter* tree_builds;       ///< R-trees built by the join itself
+  obs::Counter* tree_reuse_hits;   ///< cached trees probed without rebuild
+  obs::Counter* broadcast_joins;   ///< joins that took the broadcast path
+  obs::Counter* prefilter_skips;   ///< nested-loop pairs rejected by envelope
+  obs::Counter* results;           ///< result records emitted
+};
+
+inline const JoinMetricSet& GlobalJoinMetrics() {
+  static const JoinMetricSet metrics = [] {
+    obs::MetricsRegistry& m = obs::DefaultMetrics();
+    return JoinMetricSet{
+        m.GetCounter("engine.join.pairs_enumerated"),
+        m.GetCounter("engine.join.pairs_pruned"),
+        m.GetCounter("engine.join.pairs_split"),
+        m.GetCounter("engine.join.subtasks"),
+        m.GetCounter("engine.join.tree_builds"),
+        m.GetCounter("engine.join.tree_reuse_hits"),
+        m.GetCounter("engine.join.broadcast_joins"),
+        m.GetCounter("engine.join.prefilter_skips"),
+        m.GetCounter("engine.join.results"),
+    };
+  }();
+  return metrics;
+}
+
+namespace join_internal {
+
+/// One schedulable unit of probe work: right-partition elements
+/// [begin, end) probed against left partition `left`. A whole pair is one
+/// task with [0, |R_j|); a skew-split pair becomes several tasks over
+/// disjoint sub-ranges.
+struct ProbeTask {
+  size_t left = 0;
+  size_t right = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  double cost = 0.0;
+};
+
+/// Estimated cost of probing \p probe_count elements against a partition of
+/// \p build_count elements. Indexed probes are logarithmic in the indexed
+/// side, nested loops linear. The +2 keeps log2 positive for tiny trees.
+inline double PairCost(size_t probe_count, size_t build_count, bool indexed) {
+  if (indexed) {
+    return static_cast<double>(probe_count) *
+           std::log2(2.0 + static_cast<double>(build_count));
+  }
+  return static_cast<double>(probe_count) * static_cast<double>(build_count);
+}
+
+/// \brief Turns surviving partition pairs into an ordered probe-task list.
+///
+/// Cost per pair is PairCost(|R_j|, |L_i|, indexed). Pairs whose cost
+/// exceeds `skew_split_factor` times the mean are split into up to
+/// `max_subtasks_per_pair` equal probe sub-ranges (each targeting roughly
+/// the mean cost); the final list is sorted cost-descending, which on the
+/// FIFO worker pool schedules the longest tasks first (LPT). Increments
+/// the pairs_split counter via \p pairs_split when non-null.
+inline std::vector<ProbeTask> PlanProbeTasks(
+    const std::vector<std::pair<size_t, size_t>>& pairs,
+    const std::vector<size_t>& left_sizes,
+    const std::vector<size_t>& right_sizes, bool indexed,
+    const JoinOptions& options, size_t* pairs_split = nullptr) {
+  std::vector<ProbeTask> tasks;
+  tasks.reserve(pairs.size());
+  double total_cost = 0.0;
+  for (const auto& [i, j] : pairs) {
+    ProbeTask t;
+    t.left = i;
+    t.right = j;
+    t.begin = 0;
+    t.end = right_sizes[j];
+    t.cost = PairCost(right_sizes[j], left_sizes[i], indexed);
+    total_cost += t.cost;
+    tasks.push_back(t);
+  }
+
+  if (options.skew_split_factor > 0.0 && tasks.size() > 1) {
+    const double mean = total_cost / static_cast<double>(tasks.size());
+    const double limit = mean * options.skew_split_factor;
+    std::vector<ProbeTask> expanded;
+    expanded.reserve(tasks.size());
+    size_t split_count = 0;
+    for (const ProbeTask& t : tasks) {
+      const size_t range = t.end - t.begin;
+      size_t subtasks = 1;
+      if (mean > 0.0 && t.cost > limit && range > 1) {
+        subtasks = static_cast<size_t>(std::ceil(t.cost / mean));
+        subtasks = std::min({subtasks, options.max_subtasks_per_pair, range});
+      }
+      if (subtasks <= 1) {
+        expanded.push_back(t);
+        continue;
+      }
+      ++split_count;
+      const size_t chunk = (range + subtasks - 1) / subtasks;
+      for (size_t b = t.begin; b < t.end; b += chunk) {
+        ProbeTask sub = t;
+        sub.begin = b;
+        sub.end = std::min(t.end, b + chunk);
+        sub.cost = t.cost * static_cast<double>(sub.end - sub.begin) /
+                   static_cast<double>(range);
+        expanded.push_back(sub);
+      }
+    }
+    if (pairs_split != nullptr) *pairs_split = split_count;
+    tasks = std::move(expanded);
+  } else if (pairs_split != nullptr) {
+    *pairs_split = 0;
+  }
+
+  // Longest-first: the pool consumes its queue in submission order, so a
+  // descending sort is a priority schedule that stops the biggest pair
+  // from being picked up last and dragging the join's tail.
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const ProbeTask& a, const ProbeTask& b) {
+                     return a.cost > b.cost;
+                   });
+  return tasks;
+}
+
+/// Trace annotation for a probe task, e.g. "L3xR1" or "L3xR1 [500,1000)"
+/// for a skew-split sub-range.
+inline std::string TaskDetail(const ProbeTask& t, size_t full_range) {
+  std::string d = "L" + std::to_string(t.left) + "xR" + std::to_string(t.right);
+  if (t.begin != 0 || t.end != full_range) {
+    d += " [" + std::to_string(t.begin) + "," + std::to_string(t.end) + ")";
+  }
+  return d;
+}
+
+/// Annotates the current task span (when tracing) with the probe detail and
+/// record counts; no-op outside a traced task.
+inline void AnnotateSpan(const std::string& detail, size_t records_in,
+                         size_t records_out) {
+  if (obs::TaskSpan* span = obs::CurrentTaskSpan()) {
+    span->detail = detail;
+    span->records_in = records_in;
+    span->records_out = records_out;
+  }
+}
+
+}  // namespace join_internal
 
 /// \brief Joins two spatial RDDs on \p pred and emits project(l, r) for
 /// every matching pair — the projection runs inside the join tasks, so
 /// callers that only need payloads (or ids) avoid materializing full
 /// geometry pairs.
 ///
-/// The result is materialized with one output partition per surviving
-/// partition pair. Correctness does not require spatial partitioning; with
-/// it, extent pruning skips partition pairs that cannot match.
+/// Live-index strategy: an R-tree is built over each participating left
+/// partition at join time (skipped entirely when the predicate cannot use
+/// it). With `options.broadcast_threshold` set and one side small enough,
+/// the broadcast strategy is taken instead. Correctness does not require
+/// spatial partitioning; with it, extent pruning skips partition pairs that
+/// cannot match.
 template <typename V, typename W, typename Project>
 auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
                         const JoinPredicate& pred, const JoinOptions& options,
@@ -40,42 +234,163 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
   using L = std::pair<STObject, V>;
   using R = std::pair<STObject, W>;
   using Out = std::invoke_result_t<Project, const L&, const R&>;
+  namespace ji = join_internal;
 
   Context* ctx = left.ctx();
   const size_t nl = left.NumPartitions();
   const size_t nr = right.NumPartitions();
   const double margin = pred.EnvelopeMargin();
+  const JoinMetricSet& metrics = GlobalJoinMetrics();
 
+  // An index only helps predicates that admit envelope candidate pruning;
+  // for the rest, building trees would be pure wasted work.
+  const bool use_index = options.index_order > 0 && pred.Prunable();
+
+  // Materialize both sides once.
+  std::vector<std::vector<L>> left_parts = left.rdd().CollectPartitions();
+  std::vector<std::vector<R>> right_parts = right.rdd().CollectPartitions();
+  std::vector<size_t> left_sizes(nl, 0);
+  std::vector<size_t> right_sizes(nr, 0);
+  size_t total_l = 0;
+  size_t total_r = 0;
+  for (size_t i = 0; i < nl; ++i) total_l += left_sizes[i] = left_parts[i].size();
+  for (size_t j = 0; j < nr; ++j) total_r += right_sizes[j] = right_parts[j].size();
+
+  // ---- Broadcast strategy -------------------------------------------------
+  // One side fits under the threshold: flatten it, index it once, and probe
+  // it from every partition of the other side — no pair enumeration at all.
+  if (options.broadcast_threshold > 0 &&
+      std::min(total_l, total_r) <= options.broadcast_threshold) {
+    metrics.broadcast_joins->Increment();
+    if (total_r <= total_l) {
+      // Broadcast the right side; one task per left partition.
+      std::vector<R> small;
+      small.reserve(total_r);
+      for (auto& part : right_parts) {
+        for (auto& r : part) small.push_back(std::move(r));
+      }
+      RTree<size_t> tree(use_index ? options.index_order : size_t{4});
+      if (use_index) {
+        std::vector<std::pair<Envelope, size_t>> entries;
+        entries.reserve(small.size());
+        for (size_t e = 0; e < small.size(); ++e) {
+          entries.emplace_back(small[e].first.envelope(), e);
+        }
+        tree.BulkLoad(std::move(entries));
+        metrics.tree_builds->Increment();
+      }
+      std::vector<std::vector<Out>> out(nl);
+      ctx->RunTasks("spatial.join.broadcast", nl, [&](size_t i) {
+        std::vector<Out>& sink = out[i];
+        sink.clear();  // retry-idempotent: a re-run starts from scratch
+        size_t prefilter_skips = 0;
+        for (const L& l : left_parts[i]) {
+          const Envelope probe = l.first.envelope().Expanded(margin);
+          if (use_index) {
+            tree.Query(probe, [&](const Envelope&, const size_t& e) {
+              if (pred.Eval(l.first, small[e].first)) {
+                sink.push_back(project(l, small[e]));
+              }
+            });
+          } else {
+            for (const R& r : small) {
+              if (pred.Prunable() && !probe.Intersects(r.first.envelope())) {
+                ++prefilter_skips;
+                continue;
+              }
+              if (pred.Eval(l.first, r.first)) sink.push_back(project(l, r));
+            }
+          }
+        }
+        ji::AnnotateSpan("L" + std::to_string(i) + "xR* (broadcast)",
+                         left_parts[i].size(), sink.size());
+        metrics.prefilter_skips->Add(prefilter_skips);
+        metrics.results->Add(sink.size());
+      });
+      return MakeRDDFromPartitions(ctx, std::move(out));
+    }
+    // Broadcast the left side; one task per right partition.
+    std::vector<L> small;
+    small.reserve(total_l);
+    for (auto& part : left_parts) {
+      for (auto& l : part) small.push_back(std::move(l));
+    }
+    RTree<size_t> tree(use_index ? options.index_order : size_t{4});
+    if (use_index) {
+      std::vector<std::pair<Envelope, size_t>> entries;
+      entries.reserve(small.size());
+      for (size_t e = 0; e < small.size(); ++e) {
+        entries.emplace_back(small[e].first.envelope(), e);
+      }
+      tree.BulkLoad(std::move(entries));
+      metrics.tree_builds->Increment();
+    }
+    std::vector<std::vector<Out>> out(nr);
+    ctx->RunTasks("spatial.join.broadcast", nr, [&](size_t j) {
+      std::vector<Out>& sink = out[j];
+      sink.clear();
+      size_t prefilter_skips = 0;
+      for (const R& r : right_parts[j]) {
+        const Envelope probe = r.first.envelope().Expanded(margin);
+        if (use_index) {
+          tree.Query(probe, [&](const Envelope&, const size_t& e) {
+            if (pred.Eval(small[e].first, r.first)) {
+              sink.push_back(project(small[e], r));
+            }
+          });
+        } else {
+          for (const L& l : small) {
+            if (pred.Prunable() && !probe.Intersects(l.first.envelope())) {
+              ++prefilter_skips;
+              continue;
+            }
+            if (pred.Eval(l.first, r.first)) sink.push_back(project(l, r));
+          }
+        }
+      }
+      ji::AnnotateSpan("L*xR" + std::to_string(j) + " (broadcast)",
+                       right_parts[j].size(), sink.size());
+      metrics.prefilter_skips->Add(prefilter_skips);
+      metrics.results->Add(sink.size());
+    });
+    return MakeRDDFromPartitions(ctx, std::move(out));
+  }
+
+  // ---- Partition-pair strategy (live index / nested loop) ----------------
   // Enumerate candidate partition pairs, pruned by extents when available.
   const auto& lp = left.partitioner();
   const auto& rp = right.partitioner();
   const bool can_prune = pred.Prunable() && lp != nullptr && rp != nullptr;
   std::vector<std::pair<size_t, size_t>> pairs;
   pairs.reserve(can_prune ? nl + nr : nl * nr);
+  size_t pruned = 0;
   for (size_t i = 0; i < nl; ++i) {
     for (size_t j = 0; j < nr; ++j) {
       if (can_prune) {
         const Envelope le = lp->PartitionExtent(i).Expanded(margin);
-        if (!le.Intersects(rp->PartitionExtent(j))) continue;
+        if (!le.Intersects(rp->PartitionExtent(j))) {
+          ++pruned;
+          continue;
+        }
       }
       pairs.emplace_back(i, j);
     }
   }
-
-  // Materialize both sides once.
-  std::vector<std::vector<L>> left_parts = left.rdd().CollectPartitions();
-  std::vector<std::vector<R>> right_parts = right.rdd().CollectPartitions();
+  metrics.pairs_enumerated->Add(pairs.size());
+  metrics.pairs_pruned->Add(pruned);
 
   // Build a live index over each participating left partition (once, not
-  // once per pair).
+  // once per pair) — but only when the predicate can actually use it.
   std::vector<char> left_used(nl, 0);
   for (const auto& [i, j] : pairs) {
     (void)j;
     left_used[i] = 1;
   }
   std::vector<std::unique_ptr<RTree<size_t>>> left_trees(nl);
-  if (options.index_order > 0) {
-    ctx->pool().ParallelFor(nl, [&](size_t i) {
+  if (use_index) {
+    size_t builds = 0;
+    for (size_t i = 0; i < nl; ++i) builds += left_used[i] ? 1 : 0;
+    ctx->RunTasks("spatial.join.build", nl, [&](size_t i) {
       if (!left_used[i]) return;
       auto tree = std::make_unique<RTree<size_t>>(options.index_order);
       std::vector<std::pair<Envelope, size_t>> entries;
@@ -86,18 +401,28 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
       tree->BulkLoad(std::move(entries));
       left_trees[i] = std::move(tree);
     });
+    metrics.tree_builds->Add(builds);
   }
 
-  // Probe: one task per partition pair.
-  std::vector<std::vector<Out>> out(pairs.size());
-  ctx->pool().ParallelFor(pairs.size(), [&](size_t t) {
-    const auto [i, j] = pairs[t];
-    const std::vector<L>& lv = left_parts[i];
-    const std::vector<R>& rv = right_parts[j];
+  // Plan the probe schedule: per-pair costs, skew splitting, longest-first.
+  size_t pairs_split = 0;
+  const std::vector<ji::ProbeTask> tasks = ji::PlanProbeTasks(
+      pairs, left_sizes, right_sizes, use_index, options, &pairs_split);
+  metrics.pairs_split->Add(pairs_split);
+  metrics.subtasks->Add(tasks.size());
+
+  std::vector<std::vector<Out>> out(tasks.size());
+  ctx->RunTasks("spatial.join.probe", tasks.size(), [&](size_t t) {
+    const ji::ProbeTask& task = tasks[t];
+    const std::vector<L>& lv = left_parts[task.left];
+    const std::vector<R>& rv = right_parts[task.right];
     std::vector<Out>& sink = out[t];
-    if (options.index_order > 0 && pred.Prunable()) {
-      const RTree<size_t>& tree = *left_trees[i];
-      for (const R& r : rv) {
+    sink.clear();  // retry-idempotent: a re-run starts from scratch
+    size_t prefilter_skips = 0;
+    if (use_index) {
+      const RTree<size_t>& tree = *left_trees[task.left];
+      for (size_t rix = task.begin; rix < task.end; ++rix) {
+        const R& r = rv[rix];
         const Envelope probe = r.first.envelope().Expanded(margin);
         tree.Query(probe, [&](const Envelope&, const size_t& e) {
           if (pred.Eval(lv[e].first, r.first)) {
@@ -106,12 +431,152 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
         });
       }
     } else {
+      const bool prefilter = pred.Prunable();
       for (const L& l : lv) {
-        for (const R& r : rv) {
+        const Envelope le = l.first.envelope().Expanded(margin);
+        for (size_t rix = task.begin; rix < task.end; ++rix) {
+          const R& r = rv[rix];
+          if (prefilter && !le.Intersects(r.first.envelope())) {
+            ++prefilter_skips;
+            continue;
+          }
           if (pred.Eval(l.first, r.first)) sink.push_back(project(l, r));
         }
       }
     }
+    ji::AnnotateSpan(ji::TaskDetail(task, rv.size()), task.end - task.begin,
+                     sink.size());
+    metrics.prefilter_skips->Add(prefilter_skips);
+    metrics.results->Add(sink.size());
+  });
+
+  return MakeRDDFromPartitions(ctx, std::move(out));
+}
+
+/// \brief Cached-index join: probes the R-trees already held by \p left —
+/// built once by Index()/LiveIndex() or loaded from disk — instead of
+/// rebuilding them per call. `engine.join.tree_builds` stays at 0 on this
+/// path; every probed tree counts as an `engine.join.tree_reuse_hits`.
+///
+/// Partition pairs are pruned with the extents captured at indexing time.
+/// A non-prunable predicate cannot use the trees; the elements are then
+/// scanned out of them into a nested loop (still no tree build). The
+/// broadcast strategy never applies here — the index is already paid for.
+template <typename V, typename W, typename Project>
+auto SpatialJoinProject(const IndexedSpatialRDD<V>& left,
+                        const SpatialRDD<W>& right, const JoinPredicate& pred,
+                        const JoinOptions& options, Project project)
+    -> RDD<std::invoke_result_t<Project, const std::pair<STObject, V>&,
+                                const std::pair<STObject, W>&>> {
+  using L = std::pair<STObject, V>;
+  using R = std::pair<STObject, W>;
+  using Out = std::invoke_result_t<Project, const L&, const R&>;
+  using TreePtr = typename IndexedSpatialRDD<V>::TreePtr;
+  namespace ji = join_internal;
+
+  Context* ctx = right.ctx();
+  const size_t nl = left.NumPartitions();
+  const size_t nr = right.NumPartitions();
+  const double margin = pred.EnvelopeMargin();
+  const JoinMetricSet& metrics = GlobalJoinMetrics();
+
+  // Collecting a cached trees RDD hands back the shared tree pointers
+  // without copying or rebuilding anything.
+  std::vector<std::vector<TreePtr>> left_trees = left.trees().CollectPartitions();
+  std::vector<std::vector<R>> right_parts = right.rdd().CollectPartitions();
+  std::vector<size_t> left_sizes(nl, 0);
+  std::vector<size_t> right_sizes(nr, 0);
+  for (size_t i = 0; i < nl; ++i) {
+    for (const TreePtr& tree : left_trees[i]) left_sizes[i] += tree->size();
+  }
+  for (size_t j = 0; j < nr; ++j) right_sizes[j] = right_parts[j].size();
+
+  // Enumerate pairs, pruned with the extents captured when the index was
+  // built (they grow with the indexed data, exactly like partitioner
+  // extents).
+  const auto& extents = left.extents();
+  const auto& rp = right.partitioner();
+  const bool can_prune = pred.Prunable() && extents != nullptr && rp != nullptr;
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(can_prune ? nl + nr : nl * nr);
+  size_t pruned = 0;
+  for (size_t i = 0; i < nl; ++i) {
+    for (size_t j = 0; j < nr; ++j) {
+      if (can_prune && i < extents->size()) {
+        const Envelope le = (*extents)[i].Expanded(margin);
+        if (!le.Intersects(rp->PartitionExtent(j))) {
+          ++pruned;
+          continue;
+        }
+      }
+      pairs.emplace_back(i, j);
+    }
+  }
+  metrics.pairs_enumerated->Add(pairs.size());
+  metrics.pairs_pruned->Add(pruned);
+
+  std::vector<char> left_used(nl, 0);
+  for (const auto& [i, j] : pairs) {
+    (void)j;
+    left_used[i] = 1;
+  }
+  size_t reuse_hits = 0;
+  for (size_t i = 0; i < nl; ++i) {
+    if (left_used[i]) reuse_hits += left_trees[i].size();
+  }
+  metrics.tree_reuse_hits->Add(reuse_hits);
+
+  // A non-prunable predicate cannot probe the trees; scan their elements
+  // out once per used partition and fall back to a nested loop. This is a
+  // flat copy, not an R-tree build.
+  const bool probe_trees = pred.Prunable();
+  std::vector<std::vector<L>> left_elems(nl);
+  if (!probe_trees) {
+    ctx->RunTasks("spatial.join.scan", nl, [&](size_t i) {
+      if (!left_used[i]) return;
+      std::vector<L>& elems = left_elems[i];
+      elems.clear();
+      elems.reserve(left_sizes[i]);
+      for (const TreePtr& tree : left_trees[i]) {
+        tree->ForEach([&](const Envelope&, const L& e) { elems.push_back(e); });
+      }
+    });
+  }
+
+  size_t pairs_split = 0;
+  const std::vector<ji::ProbeTask> tasks = ji::PlanProbeTasks(
+      pairs, left_sizes, right_sizes, probe_trees, options, &pairs_split);
+  metrics.pairs_split->Add(pairs_split);
+  metrics.subtasks->Add(tasks.size());
+
+  std::vector<std::vector<Out>> out(tasks.size());
+  ctx->RunTasks("spatial.join.probe", tasks.size(), [&](size_t t) {
+    const ji::ProbeTask& task = tasks[t];
+    const std::vector<R>& rv = right_parts[task.right];
+    std::vector<Out>& sink = out[t];
+    sink.clear();  // retry-idempotent: a re-run starts from scratch
+    if (probe_trees) {
+      for (size_t rix = task.begin; rix < task.end; ++rix) {
+        const R& r = rv[rix];
+        const Envelope probe = r.first.envelope().Expanded(margin);
+        for (const TreePtr& tree : left_trees[task.left]) {
+          tree->Query(probe, [&](const Envelope&, const L& l) {
+            if (pred.Eval(l.first, r.first)) sink.push_back(project(l, r));
+          });
+        }
+      }
+    } else {
+      const std::vector<L>& lv = left_elems[task.left];
+      for (const L& l : lv) {
+        for (size_t rix = task.begin; rix < task.end; ++rix) {
+          const R& r = rv[rix];
+          if (pred.Eval(l.first, r.first)) sink.push_back(project(l, r));
+        }
+      }
+    }
+    ji::AnnotateSpan(ji::TaskDetail(task, rv.size()), task.end - task.begin,
+                     sink.size());
+    metrics.results->Add(sink.size());
   });
 
   return MakeRDDFromPartitions(ctx, std::move(out));
@@ -122,6 +587,19 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
 template <typename V, typename W>
 RDD<std::pair<std::pair<STObject, V>, std::pair<STObject, W>>> SpatialJoin(
     const SpatialRDD<V>& left, const SpatialRDD<W>& right,
+    const JoinPredicate& pred, const JoinOptions& options = {}) {
+  using L = std::pair<STObject, V>;
+  using R = std::pair<STObject, W>;
+  return SpatialJoinProject(left, right, pred, options,
+                            [](const L& l, const R& r) {
+                              return std::pair<L, R>(l, r);
+                            });
+}
+
+/// Cached-index variant of SpatialJoin: probes \p left's persistent trees.
+template <typename V, typename W>
+RDD<std::pair<std::pair<STObject, V>, std::pair<STObject, W>>> SpatialJoin(
+    const IndexedSpatialRDD<V>& left, const SpatialRDD<W>& right,
     const JoinPredicate& pred, const JoinOptions& options = {}) {
   using L = std::pair<STObject, V>;
   using R = std::pair<STObject, W>;

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/distance.h"
 #include "core/st_serde.h"
 #include "core/stobject.h"
 #include "engine/rdd.h"
@@ -49,6 +50,13 @@ class IndexedSpatialRDD {
   const RDD<TreePtr>& trees() const { return trees_; }
   size_t order() const { return order_; }
   size_t NumPartitions() const { return trees_.NumPartitions(); }
+
+  /// Per-partition extents captured when the index was built (null when the
+  /// source was not spatially partitioned). Joins use these for partition
+  /// pruning without re-collecting the trees.
+  const std::shared_ptr<std::vector<Envelope>>& extents() const {
+    return extents_;
+  }
 
   /// Generic filter against \p query: R-tree candidate lookup plus exact
   /// refinement with the full spatio-temporal predicate (candidate pruning
@@ -122,20 +130,38 @@ class IndexedSpatialRDD {
                                                        std::move(fn)));
   }
 
-  /// Exact k nearest neighbors of \p query by Euclidean geometry distance;
-  /// results are (distance, element) sorted ascending.
-  std::vector<std::pair<double, Element>> Knn(const STObject& query,
-                                              size_t k) const {
+  /// Exact k nearest neighbors of \p query; results are (distance, element)
+  /// sorted ascending. Defaults to the Euclidean geometry distance (tree
+  /// branch-and-bound); a custom \p fn falls back to a per-partition scan,
+  /// since RTree::Knn's envelope lower bound is only valid for Euclidean
+  /// distance. A distance of NaN is treated as +infinity (never a neighbor).
+  std::vector<std::pair<double, Element>> Knn(const STObject& query, size_t k,
+                                              DistanceFunction fn = nullptr)
+      const {
     const Coordinate qc = query.Centroid();
     RDD<std::pair<double, Element>> locals =
-        trees_.MapPartitionsWithIndex([query, qc, k](size_t,
-                                                     std::vector<TreePtr> ts) {
+        trees_.MapPartitionsWithIndex([query, qc, k, fn](
+                                          size_t, std::vector<TreePtr> ts) {
           std::vector<std::pair<double, Element>> out;
           for (const TreePtr& tree : ts) {
-            auto hits = tree->Knn(qc, k, [&query](const Element& e) {
-              return Distance(e.first.geo(), query.geo());
-            });
-            for (auto& [dist, elem] : hits) out.emplace_back(dist, *elem);
+            if (fn) {
+              tree->ForEach([&](const Envelope&, const Element& e) {
+                out.emplace_back(SanitizeDistance(fn(e.first, query)), e);
+              });
+            } else {
+              auto hits = tree->Knn(qc, k, [&query](const Element& e) {
+                return Distance(e.first.geo(), query.geo());
+              });
+              for (auto& [dist, elem] : hits) out.emplace_back(dist, *elem);
+            }
+          }
+          if (fn && out.size() > k) {
+            std::partial_sort(out.begin(),
+                              out.begin() + static_cast<ptrdiff_t>(k),
+                              out.end(), [](const auto& a, const auto& b) {
+                                return a.first < b.first;
+                              });
+            out.erase(out.begin() + static_cast<ptrdiff_t>(k), out.end());
           }
           return out;
         });
@@ -279,7 +305,12 @@ class SpatialRDD {
   /// extents are grown by the element envelopes (§2.1). Materializes the
   /// shuffle (a Spark stage boundary).
   SpatialRDD PartitionBy(std::shared_ptr<SpatialPartitioner> partitioner) const {
-    auto p = partitioner;
+    // Clone the partitioner and grow extents on the private clone: growing
+    // the caller's (shared) instance would leave extents from *this*
+    // dataset behind when the same partitioner is reused for another one,
+    // silently defeating partition pruning there.
+    std::shared_ptr<SpatialPartitioner> p = partitioner->Clone();
+    p->ResetExtents();
     RDD<Element> shuffled = rdd_.PartitionBy(
         p->NumPartitions(), [p](const Element& e) {
           const size_t target =
@@ -384,8 +415,10 @@ class SpatialRDD {
           std::vector<std::pair<double, Element>> local;
           local.reserve(items.size());
           for (auto& e : items) {
-            const double dist = fn ? fn(e.first, query)
-                                   : Distance(e.first.geo(), query.geo());
+            // NaN from a user distance function would break partial_sort's
+            // strict weak ordering; treat it as "infinitely far".
+            const double dist = SanitizeDistance(
+                fn ? fn(e.first, query) : Distance(e.first.geo(), query.geo()));
             local.emplace_back(dist, std::move(e));
           }
           const size_t keep = std::min(k, local.size());

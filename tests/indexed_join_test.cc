@@ -1,0 +1,332 @@
+// Tests for the indexed join engine: cached-index joins that reuse the
+// trees built by Index() (differential against the live join), the
+// broadcast strategy, skew-aware sub-range splitting (visible as per-pair
+// trace spans), and the engine.join.* metrics.
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "io/generator.h"
+#include "obs/trace.h"
+#include "partition/grid_partitioner.h"
+#include "spatial_rdd/join.h"
+
+namespace stark {
+namespace {
+
+using Pair = std::pair<int64_t, int64_t>;
+
+/// Plain-value observation of the engine.join.* counters.
+struct JoinSnap {
+  uint64_t pairs_enumerated = 0;
+  uint64_t pairs_pruned = 0;
+  uint64_t pairs_split = 0;
+  uint64_t subtasks = 0;
+  uint64_t tree_builds = 0;
+  uint64_t tree_reuse_hits = 0;
+  uint64_t broadcast_joins = 0;
+  uint64_t prefilter_skips = 0;
+};
+
+JoinSnap SnapJoinMetrics() {
+  const JoinMetricSet& m = GlobalJoinMetrics();
+  JoinSnap s;
+  s.pairs_enumerated = m.pairs_enumerated->Value();
+  s.pairs_pruned = m.pairs_pruned->Value();
+  s.pairs_split = m.pairs_split->Value();
+  s.subtasks = m.subtasks->Value();
+  s.tree_builds = m.tree_builds->Value();
+  s.tree_reuse_hits = m.tree_reuse_hits->Value();
+  s.broadcast_joins = m.broadcast_joins->Value();
+  s.prefilter_skips = m.prefilter_skips->Value();
+  return s;
+}
+
+class IndexedJoinTest : public ::testing::Test {
+ protected:
+  IndexedJoinTest() {
+    SkewedPointsOptions gen;
+    gen.count = 400;
+    gen.universe = universe_;
+    gen.seed = 71;
+    auto pts = GenerateSkewedPoints(gen);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      left_.emplace_back(pts[i], static_cast<int64_t>(i));
+    }
+    PolygonsOptions pgen;
+    pgen.count = 60;
+    pgen.universe = universe_;
+    pgen.seed = 72;
+    pgen.min_radius = 2;
+    pgen.max_radius = 8;
+    auto polys = GenerateRandomPolygons(pgen);
+    for (size_t i = 0; i < polys.size(); ++i) {
+      right_.emplace_back(polys[i], static_cast<int64_t>(i));
+    }
+  }
+
+  std::set<Pair> BruteForce(const JoinPredicate& pred) const {
+    std::set<Pair> out;
+    for (const auto& [lo, lid] : left_) {
+      for (const auto& [ro, rid] : right_) {
+        if (pred.Eval(lo, ro)) out.emplace(lid, rid);
+      }
+    }
+    return out;
+  }
+
+  template <typename JoinedRdd>
+  static std::set<Pair> Ids(const JoinedRdd& rdd) {
+    std::set<Pair> out;
+    for (const auto& [l, r] : rdd.Collect()) {
+      auto [it, inserted] = out.emplace(l.second, r.second);
+      EXPECT_TRUE(inserted) << "duplicate join result (" << l.second << ", "
+                            << r.second << ")";
+    }
+    return out;
+  }
+
+  Envelope universe_ = Envelope(0, 0, 100, 100);
+  Context ctx_{4};
+  std::vector<std::pair<STObject, int64_t>> left_;
+  std::vector<std::pair<STObject, int64_t>> right_;
+};
+
+TEST_F(IndexedJoinTest, CachedIndexJoinMatchesLiveJoinWithoutTreeBuilds) {
+  auto grid_l = std::make_shared<GridPartitioner>(universe_, 4);
+  auto grid_r = std::make_shared<GridPartitioner>(universe_, 3);
+  auto l =
+      SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3).PartitionBy(grid_l);
+  auto r =
+      SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2).PartitionBy(grid_r);
+
+  IndexedSpatialRDD<int64_t> indexed = l.Index(8);
+  indexed.trees().Count();  // materialize the cached trees up front
+
+  for (const JoinPredicate& pred :
+       {JoinPredicate::Intersects(), JoinPredicate::ContainedBy(),
+        JoinPredicate::WithinDistance(2.5)}) {
+    const auto live = Ids(SpatialJoin(l, r, pred));
+    const JoinSnap before = SnapJoinMetrics();
+    const auto cached = Ids(SpatialJoin(indexed, r, pred));
+    const JoinSnap after = SnapJoinMetrics();
+    EXPECT_EQ(cached, live) << PredicateName(pred.type);
+    EXPECT_EQ(cached, BruteForce(pred)) << PredicateName(pred.type);
+    // The cached path never builds a tree; every probed tree is a reuse.
+    EXPECT_EQ(after.tree_builds, before.tree_builds)
+        << PredicateName(pred.type);
+    EXPECT_GT(after.tree_reuse_hits, before.tree_reuse_hits)
+        << PredicateName(pred.type);
+    // Extents captured at indexing time still prune partition pairs.
+    EXPECT_GT(after.pairs_pruned, before.pairs_pruned)
+        << PredicateName(pred.type);
+  }
+}
+
+TEST_F(IndexedJoinTest, CachedIndexJoinNonPrunablePredicateScansTrees) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2);
+  IndexedSpatialRDD<int64_t> indexed = l.Index(8);
+  indexed.trees().Count();
+
+  // A custom distance function (not promised euclidean-compatible) cannot
+  // use envelope candidate pruning — the cached path must still answer
+  // correctly, by scanning the trees, without building anything.
+  const auto pred = JoinPredicate::WithinDistance(
+      4.0, [](const STObject& a, const STObject& b) {
+        return ManhattanDistance(a, b);
+      });
+  ASSERT_FALSE(pred.Prunable());
+  const JoinSnap before = SnapJoinMetrics();
+  const auto got = Ids(SpatialJoin(indexed, r, pred));
+  const JoinSnap after = SnapJoinMetrics();
+  EXPECT_EQ(got, BruteForce(pred));
+  EXPECT_EQ(after.tree_builds, before.tree_builds);
+}
+
+TEST_F(IndexedJoinTest, LiveJoinSkipsTreeBuildForNonPrunablePredicate) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2);
+  const auto pred = JoinPredicate::WithinDistance(
+      4.0, [](const STObject& a, const STObject& b) {
+        return ManhattanDistance(a, b);
+      });
+  ASSERT_FALSE(pred.Prunable());
+  JoinOptions options;  // index_order = 10: would build trees if usable
+  const JoinSnap before = SnapJoinMetrics();
+  const auto got = Ids(SpatialJoin(l, r, pred, options));
+  const JoinSnap after = SnapJoinMetrics();
+  EXPECT_EQ(got, BruteForce(pred));
+  // Regression: the index cannot serve a non-prunable predicate, so
+  // building it would be pure wasted work.
+  EXPECT_EQ(after.tree_builds, before.tree_builds);
+}
+
+TEST_F(IndexedJoinTest, NestedLoopPrefilterPrunesAndStaysExact) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2);
+  JoinOptions no_index;
+  no_index.index_order = 0;
+  const JoinSnap before = SnapJoinMetrics();
+  const auto got = Ids(SpatialJoin(l, r, JoinPredicate::Intersects(),
+                                   no_index));
+  const JoinSnap after = SnapJoinMetrics();
+  EXPECT_EQ(got, BruteForce(JoinPredicate::Intersects()));
+  // The envelope prefilter rejected element pairs before the exact test.
+  EXPECT_GT(after.prefilter_skips, before.prefilter_skips);
+}
+
+TEST_F(IndexedJoinTest, BroadcastJoinSmallRightSide) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 4);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 3);
+  JoinOptions options;
+  options.broadcast_threshold = 100;  // right side (60 polygons) qualifies
+  for (const JoinPredicate& pred :
+       {JoinPredicate::Intersects(), JoinPredicate::WithinDistance(2.5)}) {
+    const JoinSnap before = SnapJoinMetrics();
+    const auto got = Ids(SpatialJoin(l, r, pred, options));
+    const JoinSnap after = SnapJoinMetrics();
+    EXPECT_EQ(got, BruteForce(pred)) << PredicateName(pred.type);
+    EXPECT_EQ(after.broadcast_joins, before.broadcast_joins + 1)
+        << PredicateName(pred.type);
+    // Broadcast skips pair enumeration entirely.
+    EXPECT_EQ(after.pairs_enumerated, before.pairs_enumerated)
+        << PredicateName(pred.type);
+  }
+}
+
+TEST_F(IndexedJoinTest, BroadcastJoinSmallLeftSide) {
+  // Swap the sides so the broadcast side is the left one (its own probe
+  // direction in the implementation).
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 3);  // 60 polygons
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 4);   // 400 points
+  JoinOptions options;
+  options.broadcast_threshold = 100;
+  const auto pred = JoinPredicate::Contains();  // polygons contain points
+  std::set<Pair> expect;
+  for (const auto& [lo, lid] : right_) {
+    for (const auto& [ro, rid] : left_) {
+      if (pred.Eval(lo, ro)) expect.emplace(lid, rid);
+    }
+  }
+  const JoinSnap before = SnapJoinMetrics();
+  const auto got = Ids(SpatialJoin(l, r, pred, options));
+  const JoinSnap after = SnapJoinMetrics();
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(after.broadcast_joins, before.broadcast_joins + 1);
+}
+
+TEST_F(IndexedJoinTest, BroadcastRespectsThreshold) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 4);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 3);
+  JoinOptions options;
+  options.broadcast_threshold = 10;  // both sides are bigger than this
+  const JoinSnap before = SnapJoinMetrics();
+  const auto got = Ids(SpatialJoin(l, r, JoinPredicate::Intersects(),
+                                   options));
+  const JoinSnap after = SnapJoinMetrics();
+  EXPECT_EQ(got, BruteForce(JoinPredicate::Intersects()));
+  EXPECT_EQ(after.broadcast_joins, before.broadcast_joins);
+  EXPECT_GT(after.pairs_enumerated, before.pairs_enumerated);
+}
+
+// Deterministic lattice of points inside one quadrant of the 100x100
+// universe, kept >= 2 units away from the quadrant edges so partition
+// extents never bleed into neighbouring cells (margin 1 stays inside).
+void FillQuadrant(std::vector<std::pair<STObject, int64_t>>* out, int qx,
+                  int qy, size_t count, int64_t* next_id) {
+  for (size_t i = 0; i < count; ++i) {
+    const double fx = static_cast<double>(i % 32) / 31.0;
+    const double fy = static_cast<double>(i / 32 % 32) / 31.0;
+    const double x = qx * 50.0 + 2.0 + 45.0 * fx;
+    const double y = qy * 50.0 + 2.0 + 45.0 * fy;
+    out->emplace_back(STObject(Geometry::MakePoint(x, y)), (*next_id)++);
+  }
+}
+
+TEST_F(IndexedJoinTest, SkewedPairSplitsIntoSubtaskSpans) {
+  // Right partition 0 holds 50% of the right records: its pair is the
+  // join's straggler unless it is split.
+  std::vector<std::pair<STObject, int64_t>> lhs;
+  std::vector<std::pair<STObject, int64_t>> rhs;
+  int64_t id = 0;
+  for (int q = 0; q < 4; ++q) FillQuadrant(&lhs, q % 2, q / 2, 250, &id);
+  id = 0;
+  FillQuadrant(&rhs, 0, 0, 500, &id);
+  FillQuadrant(&rhs, 1, 0, 167, &id);
+  FillQuadrant(&rhs, 0, 1, 167, &id);
+  FillQuadrant(&rhs, 1, 1, 166, &id);
+
+  obs::TaskTracer tracer;
+  tracer.Enable();
+  Context ctx(4, &tracer);
+  auto grid_l = std::make_shared<GridPartitioner>(universe_, 2);
+  auto grid_r = std::make_shared<GridPartitioner>(universe_, 2);
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx, lhs, 2).PartitionBy(grid_l);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx, rhs, 2).PartitionBy(grid_r);
+
+  JoinOptions options;
+  options.skew_split_factor = 1.5;
+  const auto pred = JoinPredicate::WithinDistance(1.0);
+
+  const JoinSnap before = SnapJoinMetrics();
+  const auto got = Ids(SpatialJoin(l, r, pred, options));
+  const JoinSnap after = SnapJoinMetrics();
+
+  // Still exact.
+  std::set<Pair> expect;
+  for (const auto& [lo, lid] : lhs) {
+    for (const auto& [ro, rid] : rhs) {
+      if (pred.Eval(lo, ro)) expect.emplace(lid, rid);
+    }
+  }
+  EXPECT_EQ(got, expect);
+
+  // The dense pair was split: more probe tasks than enumerated pairs.
+  EXPECT_GE(after.pairs_split - before.pairs_split, 1u);
+  EXPECT_GT(after.subtasks - before.subtasks,
+            after.pairs_enumerated - before.pairs_enumerated);
+
+  // And the split is visible in the trace: >= 2 probe spans carry the same
+  // partition-pair label, with explicit sub-ranges.
+  size_t dense_pair_spans = 0;
+  size_t ranged_spans = 0;
+  for (const obs::TaskSpan& span : tracer.Spans()) {
+    if (span.stage != "spatial.join.probe") continue;
+    if (span.detail.rfind("L0xR0", 0) == 0) {
+      ++dense_pair_spans;
+      if (span.detail.find('[') != std::string::npos) ++ranged_spans;
+    }
+  }
+  EXPECT_GE(dense_pair_spans, 2u);
+  EXPECT_GE(ranged_spans, 2u);
+}
+
+TEST_F(IndexedJoinTest, CachedIndexJoinUnpartitionedRightMatches) {
+  // Indexed left against a right side with no partitioner at all: no
+  // pruning possible, every pair probed, still exact.
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2);
+  IndexedSpatialRDD<int64_t> indexed = l.Index(8);
+  const auto pred = JoinPredicate::Intersects();
+  EXPECT_EQ(Ids(SpatialJoin(indexed, r, pred)), BruteForce(pred));
+}
+
+TEST_F(IndexedJoinTest, CachedIndexJoinEmptySides) {
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, {}, 2);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, right_, 2);
+  IndexedSpatialRDD<int64_t> indexed = l.Index(8);
+  EXPECT_EQ(SpatialJoin(indexed, r, JoinPredicate::Intersects()).Count(), 0u);
+
+  auto l2 = SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3);
+  auto empty_r = SpatialRDD<int64_t>::FromVector(&ctx_, {}, 2);
+  IndexedSpatialRDD<int64_t> indexed2 = l2.Index(8);
+  EXPECT_EQ(SpatialJoin(indexed2, empty_r, JoinPredicate::Intersects()).Count(),
+            0u);
+}
+
+}  // namespace
+}  // namespace stark

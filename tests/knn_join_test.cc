@@ -134,5 +134,85 @@ TEST_F(KnnJoinTest, EmptyRightSideGivesEmptyMatches) {
   }
 }
 
+TEST_F(KnnJoinTest, TieAtKthNeighborAcrossPartitionBoundary) {
+  // Deterministic construction: the query point sits near the x=50 grid
+  // boundary; its k-th nearest distance is shared by candidates on *both*
+  // sides of the boundary, and the neighboring partition's extent distance
+  // equals that k-th distance exactly. The probe loop's stop rule must not
+  // skip the tied partition (strict >, not >=, against the k-th distance)
+  // and the merged result must match brute force.
+  std::vector<std::pair<STObject, int64_t>> lhs = {
+      {STObject(Geometry::MakePoint(48, 50)), 0}};
+  std::vector<std::pair<STObject, int64_t>> rhs = {
+      {STObject(Geometry::MakePoint(46, 50)), 0},  // d=2, west cell
+      {STObject(Geometry::MakePoint(45, 50)), 1},  // d=3, west cell
+      {STObject(Geometry::MakePoint(44, 50)), 2},  // d=4, west cell (tie)
+      {STObject(Geometry::MakePoint(52, 50)), 3},  // d=4, east cell (tie)
+      {STObject(Geometry::MakePoint(60, 50)), 4},  // d=12, east cell
+  };
+  auto grid = std::make_shared<GridPartitioner>(universe_, 2);
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, lhs, 1);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, rhs, 2).PartitionBy(grid);
+  auto joined = KnnJoin(l, r, 3).Collect();
+  ASSERT_EQ(joined.size(), 1u);
+  const auto& matches = joined[0].second;
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_DOUBLE_EQ(matches[0].first, 2.0);
+  EXPECT_DOUBLE_EQ(matches[1].first, 3.0);
+  EXPECT_DOUBLE_EQ(matches[2].first, 4.0);  // one of the two tied candidates
+  EXPECT_TRUE(matches[2].second.second == 2 || matches[2].second.second == 3);
+  // Everything strictly closer than the k-th distance must be present.
+  EXPECT_EQ(matches[0].second.second, 0);
+  EXPECT_EQ(matches[1].second.second, 1);
+}
+
+TEST_F(KnnJoinTest, AllEmptyRightPartitions) {
+  // A partitioned right side whose partitions are all empty: the probe
+  // order over extent distances must terminate with no matches rather than
+  // spin or crash on empty extents.
+  auto grid_l = std::make_shared<GridPartitioner>(universe_, 2);
+  auto grid_r = std::make_shared<GridPartitioner>(universe_, 4);
+  auto l =
+      SpatialRDD<int64_t>::FromVector(&ctx_, left_, 3).PartitionBy(grid_l);
+  auto r = SpatialRDD<int64_t>::FromVector(&ctx_, {}, 2).PartitionBy(grid_r);
+  ASSERT_EQ(r.NumPartitions(), 16u);
+  auto joined = KnnJoin(l, r, 5).Collect();
+  ASSERT_EQ(joined.size(), left_.size());
+  for (const auto& [lelem, matches] : joined) {
+    EXPECT_TRUE(matches.empty());
+  }
+}
+
+TEST_F(KnnJoinTest, MixedPointAndPolygonLeftGeometries) {
+  // A left side mixing points (fast path) and polygons (scan fallback) in
+  // the same partitions: each element must take the path its geometry
+  // requires and still match brute force.
+  PolygonsOptions pgen;
+  pgen.count = 10;
+  pgen.universe = universe_;
+  pgen.min_radius = 2;
+  pgen.max_radius = 6;
+  pgen.seed = 104;
+  auto polys = GenerateRandomPolygons(pgen);
+  std::vector<std::pair<STObject, int64_t>> mixed;
+  for (size_t i = 0; i < polys.size(); ++i) {
+    mixed.emplace_back(polys[i], static_cast<int64_t>(i));
+    mixed.emplace_back(left_[i].first, static_cast<int64_t>(100 + i));
+  }
+  auto grid_r = std::make_shared<GridPartitioner>(universe_, 4);
+  auto l = SpatialRDD<int64_t>::FromVector(&ctx_, mixed, 3);
+  auto r =
+      SpatialRDD<int64_t>::FromVector(&ctx_, right_, 4).PartitionBy(grid_r);
+  auto joined = KnnJoin(l, r, 4).Collect();
+  ASSERT_EQ(joined.size(), mixed.size());
+  for (const auto& [lelem, matches] : joined) {
+    const auto expect = BruteForceDistances(lelem.first, 4);
+    ASSERT_EQ(matches.size(), expect.size());
+    for (size_t i = 0; i < matches.size(); ++i) {
+      EXPECT_DOUBLE_EQ(matches[i].first, expect[i]) << lelem.second;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace stark

@@ -1,0 +1,122 @@
+// Regression tests for the PartitionBy partitioner-clone fix: growing the
+// extents of the *shared* partitioner instance used to leak one dataset's
+// extent growth into every later shuffle using the same instance, silently
+// defeating partition pruning for disjoint data.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "partition/bsp_partitioner.h"
+#include "partition/grid_partitioner.h"
+#include "spatial_rdd/spatial_rdd.h"
+
+namespace stark {
+namespace {
+
+using Element = std::pair<STObject, int64_t>;
+
+// Dataset A: one oversized polygon per grid cell, each growing its home
+// partition's extent far beyond the cell bounds.
+std::vector<Element> BigPolygons(const Envelope& universe, size_t cells) {
+  std::vector<Element> out;
+  const double cw = universe.Width() / static_cast<double>(cells);
+  const double ch = universe.Height() / static_cast<double>(cells);
+  int64_t id = 0;
+  for (size_t cy = 0; cy < cells; ++cy) {
+    for (size_t cx = 0; cx < cells; ++cx) {
+      const double x = universe.min_x() + (static_cast<double>(cx) + 0.5) * cw;
+      const double y = universe.min_y() + (static_cast<double>(cy) + 0.5) * ch;
+      const Envelope big(std::max(universe.min_x(), x - 45.0),
+                         std::max(universe.min_y(), y - 45.0),
+                         std::min(universe.max_x(), x + 45.0),
+                         std::min(universe.max_y(), y + 45.0));
+      out.emplace_back(STObject(Geometry::MakeBox(big)), id++);
+    }
+  }
+  return out;
+}
+
+// Dataset B: points confined to the upper-right corner, disjoint from the
+// query region used below.
+std::vector<Element> CornerPoints() {
+  std::vector<Element> out;
+  for (int64_t i = 0; i < 100; ++i) {
+    const double t = static_cast<double>(i) / 100.0;
+    out.emplace_back(
+        STObject(Geometry::MakePoint(80.0 + 15.0 * t, 80.0 + 15.0 * t)), i);
+  }
+  return out;
+}
+
+TEST(PartitionerCloneTest, SharedPartitionerReuseKeepsFullPruning) {
+  Context ctx(4);
+  const Envelope universe(0, 0, 100, 100);
+  auto grid = std::make_shared<GridPartitioner>(universe, 4);
+
+  // First shuffle: the oversized polygons would grow almost every extent to
+  // cover most of the universe — on the clone, not on `grid` itself.
+  auto parted_a =
+      SpatialRDD<int64_t>::FromVector(&ctx, BigPolygons(universe, 4), 2)
+          .PartitionBy(grid);
+  // Second shuffle with the *same* instance over disjoint point data.
+  auto parted_b = SpatialRDD<int64_t>::FromVector(&ctx, CornerPoints(), 2)
+                      .PartitionBy(grid);
+
+  // The shared instance was never mutated: extents still equal bounds.
+  for (size_t i = 0; i < grid->NumPartitions(); ++i) {
+    EXPECT_EQ(grid->PartitionExtent(i), grid->PartitionBounds(i)) << i;
+  }
+
+  // A query over the lower-left cell must prune every other partition of
+  // dataset B — before the fix, A's stale extents covered the query region
+  // and nothing was pruned.
+  QueryStats stats;
+  const STObject query(Geometry::MakeBox(Envelope(1, 1, 10, 10)));
+  auto hits = parted_b.Filter(query, JoinPredicate::Intersects(), &stats);
+  EXPECT_EQ(hits.Count(), 0u);
+  EXPECT_EQ(stats.partitions_pruned.load(), grid->NumPartitions() - 1);
+  EXPECT_LE(stats.partitions_scanned.load(), 1u);
+
+  // Dataset A itself still joins/filters correctly through its clone: its
+  // partitioner really does carry the grown extents.
+  ASSERT_NE(parted_a.partitioner(), nullptr);
+  EXPECT_NE(parted_a.partitioner().get(), grid.get());
+  bool any_grown = false;
+  for (size_t i = 0; i < parted_a.partitioner()->NumPartitions(); ++i) {
+    if (!(parted_a.partitioner()->PartitionExtent(i) ==
+          parted_a.partitioner()->PartitionBounds(i))) {
+      any_grown = true;
+    }
+  }
+  EXPECT_TRUE(any_grown);
+}
+
+TEST(PartitionerCloneTest, CloneSharesAssignmentButNotExtents) {
+  const Envelope universe(0, 0, 100, 100);
+  std::vector<Coordinate> centroids;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>(i) / 1000.0;
+    centroids.emplace_back(Coordinate{100.0 * t, 100.0 * t * t});
+  }
+  BSPartitioner::Options options;
+  options.max_cost = 100;
+  const auto bsp = std::make_shared<BSPartitioner>(universe, centroids,
+                                                   options);
+  const auto clone = bsp->Clone();
+
+  ASSERT_EQ(clone->NumPartitions(), bsp->NumPartitions());
+  for (const Coordinate& c : centroids) {
+    EXPECT_EQ(clone->PartitionFor(c), bsp->PartitionFor(c));
+  }
+  // Growing the clone's extents leaves the original untouched.
+  clone->GrowExtent(0, Envelope(-50, -50, 150, 150));
+  EXPECT_EQ(bsp->PartitionExtent(0), bsp->PartitionBounds(0));
+  EXPECT_TRUE(clone->PartitionExtent(0).Contains(Envelope(-50, -50, 150, 150)));
+  // And ResetExtents drops the growth again.
+  clone->ResetExtents();
+  EXPECT_EQ(clone->PartitionExtent(0), clone->PartitionBounds(0));
+}
+
+}  // namespace
+}  // namespace stark

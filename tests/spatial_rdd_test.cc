@@ -2,6 +2,7 @@
 // kNN, and the live/persistent indexing modes — all verified against brute
 // force over the same data.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <set>
@@ -184,6 +185,56 @@ TEST_F(SpatialRddTest, KnnWithKLargerThanData) {
   auto small = SpatialRDD<int64_t>::FromVector(
       &ctx_, {data_.begin(), data_.begin() + 5}, 2);
   EXPECT_EQ(small.Knn(STObject(Geometry::MakePoint(0, 0)), 50).size(), 5u);
+}
+
+// A user distance function that returns NaN for part of the data — e.g. a
+// haversine formula fed coordinates outside its domain. NaN used to break
+// partial_sort's strict weak ordering (undefined behavior, garbage
+// neighbors); it must rank as "infinitely far" instead.
+double NanWestOfFifty(const STObject& a, const STObject& b) {
+  if (a.Centroid().x < 50.0) return std::nan("");
+  return Distance(a.geo(), b.geo());
+}
+
+TEST_F(SpatialRddTest, KnnTreatsNanDistanceAsInfinitelyFar) {
+  const STObject qry(Geometry::MakePoint(42, 42));
+  auto knn = MakeSpatial().Knn(qry, 10, NanWestOfFifty);
+  ASSERT_EQ(knn.size(), 10u);
+  // Brute force over the finite-distance subset only.
+  std::vector<double> dists;
+  for (const auto& [obj, id] : data_) {
+    const double d = NanWestOfFifty(obj, qry);
+    if (!std::isnan(d)) dists.push_back(d);
+  }
+  std::sort(dists.begin(), dists.end());
+  ASSERT_GE(dists.size(), 10u);
+  for (size_t i = 0; i < knn.size(); ++i) {
+    EXPECT_DOUBLE_EQ(knn[i].first, dists[i]) << i;
+    // No NaN-distance element may surface as a neighbor.
+    EXPECT_GE(knn[i].second.first.Centroid().x, 50.0) << i;
+  }
+}
+
+TEST_F(SpatialRddTest, KnnAllNanDistancesReturnsInfinities) {
+  const STObject qry(Geometry::MakePoint(42, 42));
+  auto knn = MakeSpatial().Knn(
+      qry, 5, [](const STObject&, const STObject&) { return std::nan(""); });
+  ASSERT_EQ(knn.size(), 5u);  // k results still come back, ranked +inf
+  for (const auto& [dist, elem] : knn) {
+    EXPECT_TRUE(std::isinf(dist));
+  }
+}
+
+TEST_F(SpatialRddTest, IndexedKnnWithCustomFunctionMatchesScan) {
+  const STObject qry(Geometry::MakePoint(42, 42));
+  auto indexed = MakeSpatial().Index(8);
+  auto knn_indexed = indexed.Knn(qry, 10, NanWestOfFifty);
+  auto knn_scan = MakeSpatial().Knn(qry, 10, NanWestOfFifty);
+  ASSERT_EQ(knn_indexed.size(), knn_scan.size());
+  for (size_t i = 0; i < knn_indexed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(knn_indexed[i].first, knn_scan[i].first) << i;
+    EXPECT_GE(knn_indexed[i].second.first.Centroid().x, 50.0) << i;
+  }
 }
 
 TEST_F(SpatialRddTest, LiveIndexMatchesScan) {
