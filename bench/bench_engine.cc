@@ -3,7 +3,18 @@
 /// throughput of the sparklet engine primitives that every STARK operator
 /// is built from — map/filter scans, shuffles, reduceByKey and caching —
 /// so the E1–E8 numbers can be read relative to the engine's own costs.
+///
+/// `bench_engine --smoke` runs a fast self-checking tail-latency scenario
+/// instead of the timing suite: one task is delayed to 20x the median via
+/// the engine.task.run delay failpoint, and the run asserts that
+/// speculative execution recovers the job wall time (see docs/
+/// FAULT_INJECTION.md).
+#include <atomic>
+#include <chrono>
+#include <cstring>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -118,7 +129,129 @@ void BM_Engine_PrunedCount(benchmark::State& state) {
 }
 BENCHMARK(BM_Engine_PrunedCount)->Unit(benchmark::kMillisecond);
 
+// ---- --smoke mode ---------------------------------------------------------
+
+/// Tail-latency check for CI: a 4-task job where one task is a 20x-median
+/// straggler. Without speculation the job waits out the full delay
+/// (> 10x the clean wall time); with an aggressive speculation policy a
+/// backup copy finishes first and the job completes in < 3x the clean
+/// wall time, with byte-identical results.
+constexpr size_t kTasks = 4;
+constexpr int kTaskMs = 50;  // per-task work (sleep stands in for CPU);
+                             // the armed delay of 1000ms is 20x this.
+
+int RunSmoke() {
+  fault::DefaultFailPoints().DisarmAll();
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    std::fprintf(stderr, "[smoke] %s: %s\n", what, ok ? "ok" : "FAILED");
+    if (!ok) ++failures;
+  };
+
+  obs::Counter* const wins =
+      obs::DefaultMetrics().GetCounter("engine.task.speculation_wins");
+  obs::Counter* const speculated =
+      obs::DefaultMetrics().GetCounter("engine.task.speculated");
+
+  // Each run records which partitions executed user code; results must be
+  // identical with and without speculation (exactly-once commit).
+  auto run_job = [&](Context* ctx, std::vector<uint64_t>* out) {
+    out->assign(kTasks, 0);
+    return ctx->TryRunTasks("bench.smoke", kTasks, [out](size_t p) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kTaskMs));
+      (*out)[p] = p * p + 1;
+    });
+  };
+
+  // Clean baseline: 4 tasks on 4 workers, no faults.
+  std::vector<uint64_t> base_out;
+  double base_s = 0;
+  {
+    Context ctx(kTasks);
+    SpeculationPolicy off;
+    off.enabled = false;
+    ctx.set_speculation_policy(off);
+    Stopwatch w;
+    const Status status = run_job(&ctx, &base_out);
+    base_s = w.ElapsedSeconds();
+    check(status.ok(), "baseline job succeeds");
+  }
+
+  // Straggler with speculation OFF: the job must wait out the delay.
+  std::vector<uint64_t> off_out;
+  double off_s = 0;
+  {
+    Context ctx(kTasks);
+    SpeculationPolicy off;
+    off.enabled = false;
+    ctx.set_speculation_policy(off);
+    STARK_CHECK(fault::DefaultFailPoints()
+                    .ArmFromSpec("engine.task.run=delay:1000@nth:1")
+                    .ok());
+    Stopwatch w;
+    const Status status = run_job(&ctx, &off_out);
+    off_s = w.ElapsedSeconds();
+    fault::DefaultFailPoints().DisarmAll();
+    check(status.ok(), "straggler job (speculation off) succeeds");
+  }
+
+  // Straggler with aggressive speculation ON: a backup copy of the delayed
+  // task wins and the job returns long before the straggler wakes.
+  std::vector<uint64_t> on_out;
+  double on_s = 0;
+  const uint64_t wins_before = wins->Value();
+  const uint64_t speculated_before = speculated->Value();
+  {
+    Context ctx(kTasks);
+    SpeculationPolicy aggressive;
+    aggressive.enabled = true;
+    aggressive.quantile = 0.5;
+    aggressive.multiplier = 1.25;
+    aggressive.min_task_ms = 5;
+    ctx.set_speculation_policy(aggressive);
+    STARK_CHECK(fault::DefaultFailPoints()
+                    .ArmFromSpec("engine.task.run=delay:1000@nth:1")
+                    .ok());
+    Stopwatch w;
+    const Status status = run_job(&ctx, &on_out);
+    on_s = w.ElapsedSeconds();
+    fault::DefaultFailPoints().DisarmAll();
+    check(status.ok(), "straggler job (speculation on) succeeds");
+    // The Context dtor joins the still-sleeping original copy here; that
+    // wait is deliberately outside the timed window.
+  }
+  // Counter deltas are read only after the pool joined: the winning copy
+  // bumps speculation_wins after the commit that releases the driver.
+  const uint64_t wins_delta = wins->Value() - wins_before;
+  const uint64_t speculated_delta = speculated->Value() - speculated_before;
+
+  std::fprintf(stderr,
+               "[smoke] wall: base=%.3fs straggler(spec off)=%.3fs "
+               "straggler(spec on)=%.3fs; speculated=%llu wins=%llu\n",
+               base_s, off_s, on_s,
+               static_cast<unsigned long long>(speculated_delta),
+               static_cast<unsigned long long>(wins_delta));
+  check(base_out == off_out, "speculation-off results match baseline");
+  check(base_out == on_out, "speculation-on results match baseline");
+  check(off_s > 10 * base_s, "without speculation the straggler dominates");
+  check(on_s < 3 * base_s, "speculation recovers the tail latency");
+  check(speculated_delta >= 1, "a speculative copy was launched");
+  check(wins_delta >= 1, "a speculative copy won");
+
+  std::fprintf(stderr, "[smoke] %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace stark
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return stark::RunSmoke();
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -7,9 +7,11 @@
 /// Run with --trace=<file> to capture a Chrome trace (one span per
 /// partition-task) of everything the session executes; open the file in
 /// chrome://tracing or https://ui.perfetto.dev.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "engine/context.h"
@@ -44,6 +46,14 @@ void Prompt(bool pending) {
   std::fflush(stdout);
 }
 
+/// Ctrl-C cancels the running script instead of killing the shell: the
+/// handler only flips an atomic flag (async-signal-safe); the engine stops
+/// the in-flight job at its next task checkpoint and RunScript returns
+/// Status::Cancelled.
+std::shared_ptr<stark::CancelToken> g_cancel_token;
+
+void HandleSigint(int) { g_cancel_token->RequestCancel(); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,7 +86,12 @@ int main(int argc, char** argv) {
 
   Context ctx;
   piglet::Interpreter interpreter(&ctx, &std::cout);
+  g_cancel_token = std::make_shared<CancelToken>();
+  interpreter.set_cancel_token(g_cancel_token);
+  std::signal(SIGINT, HandleSigint);
   std::printf("%s", kBanner);
+  std::printf("Ctrl-C cancels the running statement (job stops at its next "
+              "checkpoint).\n");
 
   std::string pending;
   std::string line;
@@ -109,6 +124,7 @@ int main(int argc, char** argv) {
       if (!status.ok()) {
         std::printf("error: %s\n", status.ToString().c_str());
       }
+      if (g_cancel_token->requested()) g_cancel_token->Reset();
       Prompt(false);
       continue;
     }
@@ -134,6 +150,8 @@ int main(int argc, char** argv) {
       if (!status.ok()) {
         std::printf("error: %s\n", status.ToString().c_str());
       }
+      // Re-arm after an aborted script so the next statement runs fresh.
+      if (g_cancel_token->requested()) g_cancel_token->Reset();
       pending.clear();
     }
     Prompt(!pending.empty());

@@ -21,6 +21,8 @@ enum class StatusCode : int {
   kNotImplemented = 5,
   kOutOfRange = 6,
   kUnknownError = 7,
+  kCancelled = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// \brief Result of a fallible operation: either OK or a coded error message.
@@ -70,6 +72,17 @@ class Status {
   static Status UnknownError(std::string msg) {
     return Status(StatusCode::kUnknownError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -101,6 +114,8 @@ class Status {
       case StatusCode::kNotImplemented: return "NotImplemented";
       case StatusCode::kOutOfRange: return "OutOfRange";
       case StatusCode::kUnknownError: return "UnknownError";
+      case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "UnknownError";
   }

@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <exception>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace stark {
 
@@ -12,11 +15,12 @@ thread_local int current_worker_index = -1;
 
 int ThreadPool::CurrentWorkerIndex() { return current_worker_index; }
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads) : num_threads_(num_threads) {
   STARK_CHECK(num_threads >= 1);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this, i] { WorkerLoop(static_cast<int>(i)); });
+    const int index = next_worker_index_++;
+    threads_.emplace_back([this, index] { WorkerLoop(index); });
   }
 }
 
@@ -24,9 +28,22 @@ ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
+    // From here on no dying worker respawns a replacement (it checks
+    // shutdown_ under mu_), so threads_ is frozen and safe to walk
+    // unlocked below. Queued tasks still drain before workers exit.
   }
   cv_.notify_all();
   for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::SubmitDetached(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STARK_CHECK(!shutdown_);
+    queue_.push_back(std::move(fn));
+  }
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
@@ -43,7 +60,36 @@ void ThreadPool::WorkerLoop(int worker_index) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      task();
+    } catch (const WorkerKilledError&) {
+      // Simulated executor crash: this worker is gone. Requeue the
+      // interrupted task at the queue front so a surviving worker picks it
+      // up next, then replace the dead executor (unless the pool itself is
+      // shutting down, in which case the survivors drain the queue).
+      workers_died_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* const deaths =
+          obs::DefaultMetrics().GetCounter("engine.worker.deaths");
+      deaths->Increment();
+      bool respawned = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_front(std::move(task));
+        if (!shutdown_) {
+          const int index = next_worker_index_++;
+          threads_.emplace_back([this, index] { WorkerLoop(index); });
+          respawned = true;
+        }
+      }
+      cv_.notify_one();
+      if (respawned) {
+        workers_restarted_.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter* const restarts =
+            obs::DefaultMetrics().GetCounter("engine.worker.restarts");
+        restarts->Increment();
+      }
+      return;
+    }
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -62,6 +108,10 @@ Status ThreadPool::TryParallelFor(size_t n,
       return;
     } catch (const StatusError& e) {
       status = e.status();
+    } catch (const WorkerKilledError&) {
+      // Backstop: executor loss is only recoverable on the SubmitDetached
+      // path; here the task is bound to a future the caller waits on.
+      status = Status::UnknownError("worker killed outside a managed job");
     } catch (const std::exception& e) {
       status = Status::UnknownError(std::string("task threw: ") + e.what());
     } catch (...) {

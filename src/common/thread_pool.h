@@ -1,6 +1,13 @@
 /// \file thread_pool.h
 /// Fixed-size worker pool. In the sparklet engine each worker thread plays
 /// the role of a Spark executor: partitions are computed as tasks here.
+///
+/// The pool survives the loss of an executor: a task that throws
+/// WorkerKilledError (the fault layer's simulated executor crash) takes its
+/// worker thread down, but the pool requeues the interrupted task at the
+/// front of the queue and spawns a replacement worker, so the task re-runs
+/// on a surviving (or fresh) executor — the in-process analogue of Spark
+/// rescheduling tasks of a lost executor from lineage.
 #ifndef STARK_COMMON_THREAD_POOL_H_
 #define STARK_COMMON_THREAD_POOL_H_
 
@@ -20,6 +27,13 @@
 
 namespace stark {
 
+/// \brief Thrown by the `engine.worker.die` failpoint to simulate an
+/// executor crash. Deliberately NOT derived from std::exception so that the
+/// engine's task boundary (which converts std::exception into Status) does
+/// not absorb it: it unwinds through the task body into the pool's worker
+/// loop, which treats it as the death of that executor.
+struct WorkerKilledError {};
+
 /// \brief A simple FIFO thread pool with a blocking Submit/Wait interface.
 class ThreadPool {
  public:
@@ -31,20 +45,30 @@ class ThreadPool {
 
   /// Index of the pool worker executing the calling thread, or -1 when
   /// called from a non-worker thread (e.g. the driver). Task tracers use
-  /// this to attribute spans to executor lanes.
+  /// this to attribute spans to executor lanes. Replacement workers spawned
+  /// after an executor death get fresh indices (like new executor ids).
   static int CurrentWorkerIndex();
 
   /// Plain-value dispatch statistics (monotonic since construction).
   struct Stats {
     uint64_t tasks_executed = 0;
     uint64_t tasks_submitted = 0;
+    uint64_t workers_died = 0;
+    uint64_t workers_restarted = 0;
   };
   Stats GetStats() const {
     return {tasks_executed_.load(std::memory_order_relaxed),
-            tasks_submitted_.load(std::memory_order_relaxed)};
+            tasks_submitted_.load(std::memory_order_relaxed),
+            workers_died_.load(std::memory_order_relaxed),
+            workers_restarted_.load(std::memory_order_relaxed)};
   }
 
   /// Enqueues \p fn and returns a future for its completion.
+  ///
+  /// Note: packaged_task catches *all* exceptions into the future, so a
+  /// WorkerKilledError raised inside a Submit()ed task surfaces at the
+  /// future, not at the worker loop — executor-loss recovery only applies
+  /// to SubmitDetached() tasks. The engine's job layer uses SubmitDetached.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -60,6 +84,12 @@ class ThreadPool {
     return fut;
   }
 
+  /// Enqueues \p fn with no completion handle. The caller tracks completion
+  /// itself (the engine uses JobControl's done accounting). Unlike Submit,
+  /// a WorkerKilledError escaping \p fn reaches the worker loop, which
+  /// requeues this exact task and replaces the dead worker.
+  void SubmitDetached(std::function<void()> fn);
+
   /// Runs \p fn(i) for i in [0, n) across the pool and blocks until all
   /// complete, converting anything a task throws into a Status at the task
   /// boundary: the first failure is reported (a StatusError keeps its
@@ -74,7 +104,10 @@ class ThreadPool {
   /// failed.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
-  size_t num_threads() const { return threads_.size(); }
+  /// The configured degree of parallelism. Constant over the pool's life:
+  /// a dead worker is replaced one-for-one, so this many workers are live
+  /// (or being respawned) at any time.
+  size_t num_threads() const { return num_threads_; }
 
  private:
   void WorkerLoop(int worker_index);
@@ -83,9 +116,13 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  size_t num_threads_ = 0;
+  int next_worker_index_ = 0;  // guarded by mu_ after construction
+  std::vector<std::thread> threads_;  // append-only; guarded by mu_
   std::atomic<uint64_t> tasks_executed_{0};
   std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> workers_died_{0};
+  std::atomic<uint64_t> workers_restarted_{0};
 };
 
 }  // namespace stark

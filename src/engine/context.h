@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "engine/job_control.h"
 #include "fault/failpoint.h"
 #include "fault/retry.h"
 #include "obs/metrics.h"
@@ -34,20 +36,27 @@ namespace stark {
 /// recovery; (2) converts anything a task throws into a Status at the task
 /// boundary, so worker exceptions never unwind through the thread pool;
 /// (3) records one TaskSpan per *attempt* while tracing is enabled (plain
-/// dispatch plus one relaxed atomic load otherwise); and (4) hosts the
-/// `engine.task.run` fault-injection site (see docs/FAULT_INJECTION.md).
+/// dispatch plus one relaxed atomic load otherwise); (4) hosts the
+/// `engine.task.run` and `engine.worker.die` fault-injection sites (see
+/// docs/FAULT_INJECTION.md); and (5) runs each job under a JobControl —
+/// deadline + cooperative cancellation + speculative re-execution of
+/// stragglers (see job_control.h).
 class Context {
  public:
   /// \p parallelism 0 means "number of hardware threads". \p tracer null
   /// means the process-wide obs::DefaultTracer(). The retry policy is
   /// initialized from the environment (STARK_TASK_RETRIES etc.; defaults:
-  /// 3 attempts, no backoff).
+  /// 3 attempts, no backoff), as are the default job deadline
+  /// (STARK_JOB_DEADLINE_MS; 0 = none) and the speculation policy
+  /// (STARK_SPECULATION etc.; off by default).
   explicit Context(size_t parallelism = 0, obs::TaskTracer* tracer = nullptr)
       : parallelism_(parallelism != 0 ? parallelism
                                       : DefaultHardwareParallelism()),
         pool_(std::make_unique<ThreadPool>(parallelism_)),
         tracer_(tracer != nullptr ? tracer : &obs::DefaultTracer()),
-        retry_policy_(fault::RetryPolicy::FromEnv()) {}
+        retry_policy_(fault::RetryPolicy::FromEnv()),
+        job_deadline_ms_(DefaultJobDeadlineMs()),
+        speculation_policy_(SpeculationPolicy::FromEnv()) {}
 
   STARK_DISALLOW_COPY_AND_ASSIGN(Context);
 
@@ -64,16 +73,46 @@ class Context {
     retry_policy_ = policy;
   }
 
+  /// Deadline applied to every job launched by this context, in
+  /// milliseconds; 0 disables. A job past its deadline cancels
+  /// cooperatively and returns Status::DeadlineExceeded.
+  uint64_t job_deadline_ms() const { return job_deadline_ms_; }
+  void set_job_deadline_ms(uint64_t ms) { job_deadline_ms_ = ms; }
+
+  const SpeculationPolicy& speculation_policy() const {
+    return speculation_policy_;
+  }
+  void set_speculation_policy(const SpeculationPolicy& policy) {
+    speculation_policy_ = policy;
+  }
+
+  /// Ctrl-C-style cancellation: jobs poll the token at task checkpoints
+  /// and return Status::Cancelled once it is signalled. May be null.
+  const std::shared_ptr<CancelToken>& cancel_token() const {
+    return cancel_token_;
+  }
+  void set_cancel_token(std::shared_ptr<CancelToken> token) {
+    cancel_token_ = std::move(token);
+  }
+
   /// Runs \p fn(p) for p in [0, n) on the pool as one job of n
   /// partition-tasks labelled \p stage, retrying failed tasks per the
   /// retry policy. Returns the first permanent task failure as a Status
   /// (never throws through the pool); once a task fails permanently the
-  /// job is aborted and not-yet-started tasks are skipped.
+  /// job is cancelled and not-yet-started tasks are skipped (counted by
+  /// `engine.task.cancelled`).
+  ///
+  /// Each job runs under a JobControl: the deadline and cancel token are
+  /// polled by the driver and at task checkpoints; with speculation
+  /// enabled, stragglers get a second copy and the first finisher commits
+  /// via an atomic per-task claim. A worker killed by `engine.worker.die`
+  /// takes its task copy back to the queue, where a surviving worker
+  /// re-executes it.
   ///
   /// This is also the begin/end hook of the tracing layer: with tracing
   /// enabled each task attempt gets a span (job id, stage, partition,
-  /// worker, attempt number, queue-wait vs compute time, failure message)
-  /// and operator code can annotate record counts via
+  /// worker, attempt number, speculative flag, queue-wait vs compute time,
+  /// failure message) and operator code can annotate record counts via
   /// obs::CurrentTaskSpan().
   template <typename Fn>
   Status TryRunTasks(const char* stage, size_t n, const Fn& fn) {
@@ -81,97 +120,68 @@ class Context {
         obs::DefaultMetrics().GetCounter("engine.jobs");
     static obs::Counter* const tasks =
         obs::DefaultMetrics().GetCounter("engine.tasks");
-    static obs::Counter* const retries =
-        obs::DefaultMetrics().GetCounter("engine.task.retries");
-    static obs::Counter* const failures =
-        obs::DefaultMetrics().GetCounter("engine.task.failures");
     static obs::Counter* const jobs_failed =
         obs::DefaultMetrics().GetCounter("engine.jobs.failed");
-    static fault::FailPoint* const task_fp =
-        fault::DefaultFailPoints().Get("engine.task.run");
+    static obs::Counter* const speculated =
+        obs::DefaultMetrics().GetCounter("engine.task.speculated");
+    static std::atomic<uint64_t> generation{0};
     jobs->Increment();
     tasks->Add(n);
+    if (n == 0) return Status::OK();
     const fault::RetryPolicy policy = retry_policy_;  // stable for the job
-    obs::TaskTracer& tracer = *tracer_;
-    const bool traced = tracer.enabled();
-    const uint64_t job = traced ? tracer.BeginJob() : 0;
-    // ParallelFor enqueues every task up front, so the job start is the
-    // enqueue time of each task; queue wait = task start - job start.
-    const uint64_t queued = traced ? tracer.NowNanos() : 0;
+    const SpeculationPolicy spec = speculation_policy_;
+    obs::TaskTracer* const tracer = tracer_;
+    const bool traced = tracer->enabled();
+    const uint64_t job = traced ? tracer->BeginJob() : 0;
+    // Every task is enqueued up front, so the job start is the enqueue
+    // time of each task; queue wait = task start - job start.
+    const uint64_t queued = traced ? tracer->NowNanos() : 0;
 
-    std::mutex mu;
-    Status first_failure;
-    std::atomic<bool> aborted{false};
+    const auto control = std::make_shared<JobControl>(
+        n, job_deadline_ms_, cancel_token_,
+        generation.fetch_add(1, std::memory_order_relaxed) + 1);
 
-    const Status pool_status = pool_->TryParallelFor(n, [&](size_t p) {
-      if (aborted.load(std::memory_order_relaxed)) return;  // job is dead
-      const size_t max_attempts = policy.EffectiveAttempts();
-      for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
-        obs::TaskSpan span;
-        if (traced) {
-          span.job_id = job;
-          span.stage = stage;
-          span.partition = p;
-          span.worker = ThreadPool::CurrentWorkerIndex();
-          span.queued_ns = queued;
-          span.attempt = attempt;
-          span.start_ns = tracer.NowNanos();
-        }
-        Status task_status;
-        try {
-          fault::MaybeThrow(task_fp);
-          if (traced) {
-            obs::CurrentTaskSpanScope scope(&span);
-            fn(p);
-          } else {
-            fn(p);
-          }
-        } catch (const StatusError& e) {
-          task_status = e.status();
-        } catch (const std::exception& e) {
-          task_status = Status::UnknownError(e.what());
-        } catch (...) {
-          task_status = Status::UnknownError("non-std exception");
-        }
-        if (traced) {
-          span.end_ns = tracer.NowNanos();
-          span.ok = task_status.ok();
-          span.error = task_status.message();
-          tracer.Record(std::move(span));
-        }
-        if (task_status.ok()) return;
-        failures->Increment();
-        if (attempt >= max_attempts) {
-          // Permanent failure: record it and abort the rest of the job,
-          // like Spark cancelling a stage once a task exhausts
-          // spark.task.maxFailures.
-          aborted.store(true, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(mu);
-          if (first_failure.ok()) {
-            first_failure = Status(
-                task_status.code(),
-                std::string(stage) + " partition " + std::to_string(p) +
-                    " failed after " + std::to_string(attempt) +
-                    " attempt(s): " + task_status.message());
-          }
-          return;
-        }
-        retries->Increment();
-        const uint64_t backoff_ms = policy.BackoffMs(attempt);
-        if (backoff_ms > 0) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    if (n == 1) {
+      // Single-task fast path: run inline on the driver, no pool dispatch.
+      RunTaskCopy<Fn>(control, fn, 0, 1, policy, stage, traced, job, queued,
+                      tracer);
+      return ResolveJobStatus(*control, jobs_failed);
+    }
+
+    // fn is shared by all copies of all tasks, exactly as when the lambda
+    // lived on the driver's stack — but on the heap, so a queued copy that
+    // outlives this frame (possible only after cancellation, when it can
+    // no longer win a claim and run user code) touches valid memory.
+    const auto shared_fn = std::make_shared<Fn>(fn);
+    for (size_t p = 0; p < n; ++p) {
+      pool_->SubmitDetached(
+          [control, shared_fn, p, policy, stage, traced, job, queued,
+           tracer] {
+            RunTaskCopy<Fn>(control, *shared_fn, p, 1, policy, stage, traced,
+                            job, queued, tracer);
+          });
+    }
+
+    // Driver-side monitor: promote deadline/token to a latched cancel so
+    // workers skip queued tasks, and launch speculative copies for
+    // stragglers. A cancelled job settles as soon as no claimed copy is
+    // still inside user code — it does not wait out unclaimed sleepers.
+    constexpr auto kTick = std::chrono::milliseconds(2);
+    while (!control->WaitSettledFor(kTick)) {
+      control->ShouldStop();
+      if (spec.enabled) {
+        for (size_t p : control->SpeculationCandidates(spec)) {
+          speculated->Increment();
+          pool_->SubmitDetached(
+              [control, shared_fn, p, policy, stage, traced, job, queued,
+               tracer] {
+                RunTaskCopy<Fn>(control, *shared_fn, p, 2, policy, stage,
+                                traced, job, queued, tracer);
+              });
         }
       }
-    });
-    // The per-attempt try/catch above is exhaustive, so pool_status can
-    // only report a scheduling-level problem; keep it as a backstop.
-    Status result = pool_status;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      if (result.ok()) result = first_failure;
     }
-    if (!result.ok()) jobs_failed->Increment();
-    return result;
+    return ResolveJobStatus(*control, jobs_failed);
   }
 
   /// Throwing wrapper over TryRunTasks for value-returning actions: a
@@ -194,9 +204,169 @@ class Context {
         ->Set(static_cast<int64_t>(stats.tasks_submitted));
     m.GetGauge("engine.pool.tasks_executed")
         ->Set(static_cast<int64_t>(stats.tasks_executed));
+    m.GetGauge("engine.pool.workers_died")
+        ->Set(static_cast<int64_t>(stats.workers_died));
+    m.GetGauge("engine.pool.workers_restarted")
+        ->Set(static_cast<int64_t>(stats.workers_restarted));
   }
 
  private:
+  /// One execution of one copy of one task: the engine's task boundary.
+  /// `copy` is 1 for the original and 2 for a speculative duplicate. The
+  /// flow is: skip if the job is done/cancelled; pass the failpoint sites
+  /// (a WorkerKilledError unwinds into the pool, which requeues this exact
+  /// copy); *claim* the task — only the claim winner ever runs \p fn, which
+  /// is what makes speculative duplicates safe against task bodies that
+  /// write shared per-partition output slots; run \p fn under a TaskContext
+  /// (cooperative checkpoints) and a TaskSpan; commit exactly once.
+  template <typename Fn>
+  static void RunTaskCopy(const std::shared_ptr<JobControl>& control,
+                          const Fn& fn, size_t p, uint32_t copy,
+                          const fault::RetryPolicy& policy, const char* stage,
+                          bool traced, uint64_t job, uint64_t queued,
+                          obs::TaskTracer* tracer) {
+    static obs::Counter* const retries =
+        obs::DefaultMetrics().GetCounter("engine.task.retries");
+    static obs::Counter* const failures =
+        obs::DefaultMetrics().GetCounter("engine.task.failures");
+    static obs::Counter* const cancelled_tasks =
+        obs::DefaultMetrics().GetCounter("engine.task.cancelled");
+    static obs::Counter* const speculation_wins =
+        obs::DefaultMetrics().GetCounter("engine.task.speculation_wins");
+    static fault::FailPoint* const task_fp =
+        fault::DefaultFailPoints().Get("engine.task.run");
+    static fault::FailPoint* const die_fp =
+        fault::DefaultFailPoints().Get("engine.worker.die");
+
+    if (control->TaskDone(p)) return;  // a copy arrived after completion
+    if (control->ShouldStop()) {
+      // Job is cancelled or past its deadline: skip without starting.
+      if (control->CompleteTask(p, 0, false)) cancelled_tasks->Increment();
+      // A copy that was killed mid-claim and requeued still holds the
+      // claim bracket; close it so the driver can settle.
+      if (control->OwnsTask(p, copy)) control->EndClaimedRun();
+      return;
+    }
+    control->RecordTaskStart(p);
+
+    const size_t max_attempts = policy.EffectiveAttempts();
+    bool claimed = false;
+    for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      obs::TaskSpan span;
+      if (traced) {
+        span.job_id = job;
+        span.stage = stage;
+        span.partition = p;
+        span.worker = ThreadPool::CurrentWorkerIndex();
+        span.queued_ns = queued;
+        span.attempt = attempt;
+        span.speculative = copy > 1;
+        span.start_ns = tracer->NowNanos();
+      }
+      Status task_status;
+      uint64_t run_started_ns = 0;
+      try {
+        // Both sites fire *before* the claim on the first attempt, so a
+        // delay-injected straggler sleeps unclaimed and a speculative copy
+        // can win the task meanwhile.
+        fault::MaybeThrow(task_fp);
+        fault::MaybeKillWorker(die_fp);
+        if (!claimed && !control->ClaimTask(p, copy)) {
+          // Another copy owns this task: cooperative loser exit. The
+          // owner commits; this copy must not touch fn's outputs.
+          return;
+        }
+        claimed = true;
+        TaskContext task_ctx(control.get(), p, copy > 1);
+        CurrentTaskContextScope task_scope(&task_ctx);
+        // Post-claim stop check (ordered against Cancel by the seq_cst
+        // claim CAS): never start user code on a dead job.
+        task_ctx.ThrowIfCancelled();
+        run_started_ns = SteadyNowNs();
+        if (traced) {
+          obs::CurrentTaskSpanScope scope(&span);
+          fn(p);
+        } else {
+          fn(p);
+        }
+      } catch (const StatusError& e) {
+        task_status = e.status();
+      } catch (const WorkerKilledError&) {
+        throw;  // executor loss: unwind into the pool's worker loop
+      } catch (const std::exception& e) {
+        task_status = Status::UnknownError(e.what());
+      } catch (...) {
+        task_status = Status::UnknownError("non-std exception");
+      }
+      if (traced) {
+        span.end_ns = tracer->NowNanos();
+        span.ok = task_status.ok();
+        span.error = task_status.message();
+        tracer->Record(std::move(span));
+      }
+      if (task_status.ok()) {
+        if (control->CompleteTask(p, SteadyNowNs() - run_started_ns, true) &&
+            copy > 1) {
+          speculation_wins->Increment();
+        }
+        control->EndClaimedRun();
+        return;
+      }
+      failures->Increment();
+      if (control->Cancelled()) {
+        // The job is being torn down (deadline, cancel, or fail-fast
+        // abort): a failing or cooperatively-stopped attempt is not
+        // retried.
+        if (control->CompleteTask(p, 0, false)) cancelled_tasks->Increment();
+        if (claimed) control->EndClaimedRun();
+        return;
+      }
+      if (attempt >= max_attempts) {
+        // Permanent failure: record it and cancel the rest of the job,
+        // like Spark cancelling a stage once a task exhausts
+        // spark.task.maxFailures.
+        control->FailJob(Status(
+            task_status.code(),
+            std::string(stage) + " partition " + std::to_string(p) +
+                " failed after " + std::to_string(attempt) +
+                " attempt(s): " + task_status.message()));
+        control->CompleteTask(p, 0, false);
+        if (claimed) control->EndClaimedRun();
+        return;
+      }
+      retries->Increment();
+      // No backoff after the final attempt (handled above), and none once
+      // the job is already cancelled.
+      const uint64_t backoff_ms = policy.BackoffMs(attempt);
+      if (backoff_ms > 0 && !control->Cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      }
+    }
+  }
+
+  static Status ResolveJobStatus(const JobControl& control,
+                                 obs::Counter* jobs_failed) {
+    Status result = control.first_failure();
+    if (result.ok() && control.Cancelled()) result = control.cancel_status();
+    if (!result.ok()) jobs_failed->Increment();
+    return result;
+  }
+
+  static uint64_t SteadyNowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  static uint64_t DefaultJobDeadlineMs() {
+    const char* raw = std::getenv("STARK_JOB_DEADLINE_MS");
+    if (raw == nullptr || *raw == '\0') return 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw, &end, 10);
+    return end == raw ? 0 : static_cast<uint64_t>(v);
+  }
+
   static size_t DefaultHardwareParallelism() {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 2 : hw;
@@ -206,6 +376,9 @@ class Context {
   std::unique_ptr<ThreadPool> pool_;
   obs::TaskTracer* tracer_;
   fault::RetryPolicy retry_policy_;
+  uint64_t job_deadline_ms_;
+  SpeculationPolicy speculation_policy_;
+  std::shared_ptr<CancelToken> cancel_token_;
 };
 
 }  // namespace stark

@@ -1,8 +1,11 @@
 #include "fault/failpoint.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace stark {
@@ -40,6 +43,31 @@ Result<TriggerPolicy> TriggerPolicy::Parse(const std::string& spec) {
   TriggerPolicy policy;
   std::string kind, rest;
   SplitOnce(spec, ':', &kind, &rest);
+  if (kind == "delay") {
+    // delay:<ms>[@<trigger>] — the firing schedule is the part after '@'
+    // (default every:1, i.e. every hit sleeps).
+    const size_t at = rest.find('@');
+    std::string ms_str = rest.substr(0, at);
+    STARK_ASSIGN_OR_RETURN(policy.delay_ms, ParseU64(ms_str));
+    if (at == std::string::npos) {
+      policy.kind = Kind::kEvery;
+      policy.n = 1;
+    } else {
+      STARK_ASSIGN_OR_RETURN(TriggerPolicy trigger,
+                             Parse(rest.substr(at + 1)));
+      if (trigger.kind == Kind::kOff ||
+          trigger.action == Action::kDelay) {
+        return Status::InvalidArgument(
+            "delay trigger must be nth/every/prob: " + spec);
+      }
+      policy.kind = trigger.kind;
+      policy.n = trigger.n;
+      policy.probability = trigger.probability;
+      policy.seed = trigger.seed;
+    }
+    policy.action = Action::kDelay;
+    return policy;
+  }
   if (kind == "off") {
     if (!rest.empty()) {
       return Status::InvalidArgument("'off' takes no parameter: " + spec);
@@ -81,21 +109,31 @@ Result<TriggerPolicy> TriggerPolicy::Parse(const std::string& spec) {
 }
 
 std::string TriggerPolicy::ToString() const {
+  std::string trigger;
   switch (kind) {
     case Kind::kOff:
-      return "off";
+      trigger = "off";
+      break;
     case Kind::kNth:
-      return "nth:" + std::to_string(n);
+      trigger = "nth:" + std::to_string(n);
+      break;
     case Kind::kEvery:
-      return "every:" + std::to_string(n);
+      trigger = "every:" + std::to_string(n);
+      break;
     case Kind::kProbability: {
       char buf[64];
       std::snprintf(buf, sizeof(buf), "prob:%g:seed=%llu", probability,
                     static_cast<unsigned long long>(seed));
-      return buf;
+      trigger = buf;
+      break;
     }
   }
-  return "off";
+  if (action != Action::kDelay || kind == Kind::kOff) return trigger;
+  std::string out = "delay:" + std::to_string(delay_ms);
+  // every:1 is the implicit default trigger and round-trips as bare
+  // "delay:<ms>".
+  if (kind != Kind::kEvery || n != 1) out += "@" + trigger;
+  return out;
 }
 
 bool TriggerPolicy::Fires(uint64_t hit) const {
@@ -125,6 +163,7 @@ void FailPoint::Disarm() {
   std::lock_guard<std::mutex> lock(mu_);
   armed_.store(false, std::memory_order_relaxed);
   policy_.kind = TriggerPolicy::Kind::kOff;
+  policy_.action = TriggerPolicy::Action::kFail;
 }
 
 bool FailPoint::ShouldFire() {
@@ -253,8 +292,26 @@ FailPointRegistry& DefaultFailPoints() {
   return *registry;
 }
 
+namespace {
+
+/// Handles a fired delay action: sleeps the calling thread in place (no
+/// lock held) and counts the injected straggler. Returns true when the
+/// fire was a delay (i.e. already consumed).
+bool MaybeSleepDelay(FailPoint* fp) {
+  const TriggerPolicy policy = fp->policy();
+  if (policy.action != TriggerPolicy::Action::kDelay) return false;
+  static obs::Counter* const delayed =
+      obs::DefaultMetrics().GetCounter("engine.fault.delayed");
+  delayed->Increment();
+  std::this_thread::sleep_for(std::chrono::milliseconds(policy.delay_ms));
+  return true;
+}
+
+}  // namespace
+
 void MaybeThrow(FailPoint* fp) {
   if (!fp->ShouldFire()) return;
+  if (MaybeSleepDelay(fp)) return;
   static obs::Counter* const injected =
       obs::DefaultMetrics().GetCounter("engine.fault.injected");
   injected->Increment();
@@ -263,10 +320,22 @@ void MaybeThrow(FailPoint* fp) {
 
 Status MaybeStatus(FailPoint* fp) {
   if (!fp->ShouldFire()) return Status::OK();
+  if (MaybeSleepDelay(fp)) return Status::OK();
   static obs::Counter* const injected =
       obs::DefaultMetrics().GetCounter("engine.fault.injected");
   injected->Increment();
   return Status::IOError("injected fault at " + fp->name());
+}
+
+void MaybeKillWorker(FailPoint* fp) {
+  // Only pool workers can die; the driver thread has no executor to lose.
+  if (ThreadPool::CurrentWorkerIndex() < 0) return;
+  if (!fp->ShouldFire()) return;
+  if (MaybeSleepDelay(fp)) return;
+  static obs::Counter* const injected =
+      obs::DefaultMetrics().GetCounter("engine.fault.injected");
+  injected->Increment();
+  throw WorkerKilledError{};
 }
 
 }  // namespace fault

@@ -41,7 +41,8 @@ class InjectedFaultError : public std::runtime_error {
   std::string site_;
 };
 
-/// \brief When an armed fail point fires, as a function of its hit count.
+/// \brief When an armed fail point fires, as a function of its hit count —
+/// and what happens when it does (throw vs. delay).
 ///
 /// Spec grammar (used by STARK_FAILPOINTS, --failpoints= and Arm):
 ///   `nth:<n>`             fire exactly on the n-th hit (1-based), once;
@@ -50,14 +51,24 @@ class InjectedFaultError : public std::runtime_error {
 ///                         decided by a pure hash of (seed, hit index) so a
 ///                         schedule is reproducible across runs and thread
 ///                         interleavings;
+///   `delay:<ms>[@<trigger>]`
+///                         instead of throwing, sleep the firing hit for
+///                         <ms> milliseconds — a deterministic straggler
+///                         for speculation/deadline tests. The optional
+///                         @<trigger> is any of the schedules above
+///                         (default every:1), e.g. "delay:50@every:7";
 ///   `off`                 never fire (same as disarming).
 struct TriggerPolicy {
   enum class Kind { kOff, kNth, kEvery, kProbability };
+  /// What a firing hit does: throw/fail (default) or sleep for delay_ms.
+  enum class Action { kFail, kDelay };
 
   Kind kind = Kind::kOff;
   uint64_t n = 0;            ///< nth / every parameter.
   double probability = 0.0;  ///< prob parameter.
   uint64_t seed = 42;        ///< prob decision seed.
+  Action action = Action::kFail;
+  uint64_t delay_ms = 0;     ///< sleep length for Action::kDelay.
 
   /// Parses one policy spec, e.g. "nth:3" or "prob:0.25:seed=7".
   static Result<TriggerPolicy> Parse(const std::string& spec);
@@ -156,12 +167,21 @@ class FailPointRegistry {
 /// benchmarks, shell) honours the variable without wiring.
 FailPointRegistry& DefaultFailPoints();
 
-/// Task-path injection: throws InjectedFaultError when \p fp fires.
+/// Task-path injection: throws InjectedFaultError when \p fp fires with a
+/// fail action, or sleeps in place when it fires with a delay action.
 /// Sites resolve once: `static FailPoint* const fp = ...Get("name");`.
 void MaybeThrow(FailPoint* fp);
 
-/// I/O-path injection: returns IOError when \p fp fires, OK otherwise.
+/// I/O-path injection: returns IOError when \p fp fires with a fail
+/// action (a delay action sleeps and returns OK), OK otherwise.
 Status MaybeStatus(FailPoint* fp);
+
+/// Executor-loss injection (site `engine.worker.die`): when \p fp fires on
+/// a pool worker thread, throws WorkerKilledError so the thread pool kills
+/// that worker, requeues the interrupted task, and spawns a replacement.
+/// No-op on non-worker threads — the driver cannot lose itself. A delay
+/// action sleeps instead of killing.
+void MaybeKillWorker(FailPoint* fp);
 
 }  // namespace fault
 }  // namespace stark

@@ -90,6 +90,7 @@ std::string TaskTracer::ChromeTraceJson() const {
            ",\"records_out\":" + std::to_string(s.records_out) +
            ",\"attempt\":" + std::to_string(s.attempt) +
            ",\"ok\":" + (s.ok ? "true" : "false");
+    if (s.speculative) out += ",\"speculative\":true";
     if (!s.error.empty()) {
       out += ",\"error\":\"";
       AppendEscaped(&out, s.error);

@@ -39,6 +39,7 @@ struct TaskSpan {
   uint64_t records_in = 0;   ///< Elements read by the task (0 if unknown).
   uint64_t records_out = 0;  ///< Elements produced by the task.
   uint64_t attempt = 1;      ///< Execution attempt (1 = first run; >1 = retry).
+  bool speculative = false;  ///< True for a speculative straggler copy.
   bool ok = true;            ///< False when this attempt failed.
   std::string error;         ///< Failure message of a failed attempt.
   std::string detail;        ///< Optional operator annotation (e.g. the

@@ -64,6 +64,7 @@ struct Statement {
     kDump,        // DUMP r;
     kStore,       // STORE r INTO 'out.csv';
     kDescribe,    // DESCRIBE r;
+    kSet,         // SET job.deadline_ms 2000;
   };
   Kind kind;
   size_t line = 1;
@@ -95,6 +96,10 @@ struct Statement {
   size_t cluster_grid = 4;
 
   size_t limit = 0;                      // kLimit
+
+  std::string set_key;                   // kSet dotted key, e.g.
+                                         // "job.deadline_ms"
+  double set_value = 0;                  // kSet value
 };
 
 /// A parsed Piglet program: a statement sequence.

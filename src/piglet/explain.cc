@@ -122,6 +122,8 @@ std::string FormatStatement(const Statement& s) {
       return "STORE " + s.input + " INTO '" + s.path + "';";
     case Statement::Kind::kDescribe:
       return "DESCRIBE " + s.input + ";";
+    case Statement::Kind::kSet:
+      return "SET " + s.set_key + " " + FormatNumber(s.set_value) + ";";
   }
   return "?;";
 }

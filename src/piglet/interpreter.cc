@@ -175,6 +175,7 @@ bool ProducesRelation(Statement::Kind kind) {
     case Statement::Kind::kDump:
     case Statement::Kind::kStore:
     case Statement::Kind::kDescribe:
+    case Statement::Kind::kSet:
       return false;
     default:
       return true;
@@ -191,6 +192,8 @@ Status Interpreter::RunScriptAnalyze(const std::string& source,
   Stopwatch total;
   Status status = Status::OK();
   for (const Statement& stmt : program.statements) {
+    status = CheckCancelled();
+    if (!status.ok()) break;
     OperatorProfile prof;
     prof.statement = FormatStatement(stmt);
     const QueryStats::Snapshot before = analyze_stats_.Snap();
@@ -202,8 +205,13 @@ Status Interpreter::RunScriptAnalyze(const std::string& source,
       if (it != relations_.end()) {
         // Materialize now (cached) so this statement's evaluation cost and
         // pruning counters are attributed to it, not to a later consumer.
-        it->second.rdd = it->second.rdd.Cache();
-        prof.rows_out = it->second.rdd.Count();
+        try {
+          it->second.rdd = it->second.rdd.Cache();
+          prof.rows_out = it->second.rdd.Count();
+        } catch (const StatusError& e) {
+          status = e.status();
+          break;
+        }
         prof.produced_relation = true;
         prof.num_partitions = it->second.rdd.NumPartitions();
       }
@@ -219,7 +227,20 @@ Status Interpreter::RunScriptAnalyze(const std::string& source,
 
 Status Interpreter::Run(const Program& program) {
   for (const Statement& stmt : program.statements) {
+    STARK_RETURN_NOT_OK(CheckCancelled());
     STARK_RETURN_NOT_OK(Execute(stmt));
+  }
+  return Status::OK();
+}
+
+void Interpreter::set_cancel_token(std::shared_ptr<CancelToken> token) {
+  cancel_token_ = token;
+  ctx_->set_cancel_token(std::move(token));
+}
+
+Status Interpreter::CheckCancelled() const {
+  if (cancel_token_ != nullptr && cancel_token_->requested()) {
+    return Status::Cancelled("piglet: script cancelled");
   }
   return Status::OK();
 }
@@ -238,6 +259,18 @@ Result<const PigRelation*> Interpreter::Input(const Statement& stmt) const {
 }
 
 Status Interpreter::Execute(const Statement& stmt) {
+  // Actions materialize through the infallible RDD wrappers, which rethrow
+  // a terminal job Status (deadline, cancellation, exhausted retries) as
+  // StatusError; surface it as this statement's Status instead of letting
+  // it unwind past the shell's REPL loop.
+  try {
+    return ExecuteImpl(stmt);
+  } catch (const StatusError& e) {
+    return e.status();
+  }
+}
+
+Status Interpreter::ExecuteImpl(const Statement& stmt) {
   switch (stmt.kind) {
     case Statement::Kind::kLoad: {
       STARK_ASSIGN_OR_RETURN(PigRelation rel, ExecLoad(stmt));
@@ -305,8 +338,53 @@ Status Interpreter::Execute(const Statement& stmt) {
       return ExecStore(stmt);
     case Statement::Kind::kDescribe:
       return ExecDescribe(stmt);
+    case Statement::Kind::kSet:
+      return ExecSet(stmt);
   }
   return Status::UnknownError("piglet: unhandled statement");
+}
+
+Status Interpreter::ExecSet(const Statement& stmt) {
+  const std::string& key = stmt.set_key;
+  const double value = stmt.set_value;
+  if (key == "job.deadline_ms") {
+    if (value < 0) {
+      return Status::InvalidArgument("piglet: job.deadline_ms must be >= 0");
+    }
+    ctx_->set_job_deadline_ms(static_cast<uint64_t>(value));
+    return Status::OK();
+  }
+  if (key == "job.speculation") {
+    SpeculationPolicy policy = ctx_->speculation_policy();
+    policy.enabled = value != 0;
+    ctx_->set_speculation_policy(policy);
+    return Status::OK();
+  }
+  if (key == "job.speculation_multiplier") {
+    if (value < 1.0) {
+      return Status::InvalidArgument(
+          "piglet: job.speculation_multiplier must be >= 1");
+    }
+    SpeculationPolicy policy = ctx_->speculation_policy();
+    policy.multiplier = value;
+    ctx_->set_speculation_policy(policy);
+    return Status::OK();
+  }
+  if (key == "job.speculation_quantile") {
+    if (value < 0.0 || value > 1.0) {
+      return Status::InvalidArgument(
+          "piglet: job.speculation_quantile must be in [0, 1]");
+    }
+    SpeculationPolicy policy = ctx_->speculation_policy();
+    policy.quantile = value;
+    ctx_->set_speculation_policy(policy);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("piglet:" + std::to_string(stmt.line) +
+                                 ": unknown SET key '" + key +
+                                 "' (want job.deadline_ms, job.speculation, "
+                                 "job.speculation_multiplier, or "
+                                 "job.speculation_quantile)");
 }
 
 Result<PigRelation> Interpreter::ExecLoad(const Statement& stmt) {

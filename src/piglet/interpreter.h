@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/job_control.h"
 #include "engine/rdd.h"
 #include "partition/partitioner.h"
 #include "piglet/ast.h"
@@ -69,11 +70,18 @@ class Interpreter {
   /// Runs an already-parsed program.
   Status Run(const Program& program);
 
+  /// Installs a Ctrl-C-style cancellation token: checked between
+  /// statements (a cancelled script returns Status::Cancelled) and passed
+  /// to the Context so the job running *within* a statement stops at its
+  /// next task checkpoint. Pass nullptr to detach.
+  void set_cancel_token(std::shared_ptr<CancelToken> token);
+
   /// Looks up a relation produced by a previous statement (for embedding).
   Result<const PigRelation*> relation(const std::string& name) const;
 
  private:
   Status Execute(const Statement& stmt);
+  Status ExecuteImpl(const Statement& stmt);
   Result<PigRelation> ExecLoad(const Statement& stmt);
   Result<PigRelation> ExecSpatialize(const Statement& stmt);
   Result<PigRelation> ExecFilter(const Statement& stmt);
@@ -85,11 +93,16 @@ class Interpreter {
   Status ExecDump(const Statement& stmt);
   Status ExecStore(const Statement& stmt);
   Status ExecDescribe(const Statement& stmt);
+  Status ExecSet(const Statement& stmt);
+
+  /// Status::Cancelled when the installed token has been signalled.
+  Status CheckCancelled() const;
 
   Result<const PigRelation*> Input(const Statement& stmt) const;
 
   Context* ctx_;
   std::ostream* out_;
+  std::shared_ptr<CancelToken> cancel_token_;
   std::map<std::string, PigRelation> relations_;
   /// Non-null only while RunScriptAnalyze executes: spatial filters then
   /// report pruning counters here. A member (not a local) because filter

@@ -122,6 +122,10 @@ Result<std::vector<Token>> Tokenize(const std::string& source) {
         tokens.push_back({TokenType::kSemi, ";", 0, line});
         ++i;
         continue;
+      case '.':
+        tokens.push_back({TokenType::kDot, ".", 0, line});
+        ++i;
+        continue;
       default:
         return error(std::string("unexpected character '") + c + "'");
     }

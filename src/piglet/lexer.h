@@ -22,6 +22,7 @@ enum class TokenType {
   kLParen,   // (
   kRParen,   // )
   kSemi,     // ;
+  kDot,      // . (dotted config keys in SET, e.g. job.deadline_ms)
   kCompare,  // == != < <= > >=
   kEnd,      // end of input
 };

@@ -33,6 +33,8 @@ Statement CloneStatement(const Statement& s) {
   out.cluster_grid = s.cluster_grid;
   out.aggregate_column = s.aggregate_column;
   out.limit = s.limit;
+  out.set_key = s.set_key;
+  out.set_value = s.set_value;
   return out;
 }
 
@@ -46,9 +48,12 @@ Program CloneProgram(const Program& p) {
 }
 
 bool IsAssignment(const Statement& s) {
+  // SET is a side-effecting config statement with no target: like the
+  // sinks, it must never be dead-code-eliminated.
   return s.kind != Statement::Kind::kDump &&
          s.kind != Statement::Kind::kStore &&
-         s.kind != Statement::Kind::kDescribe;
+         s.kind != Statement::Kind::kDescribe &&
+         s.kind != Statement::Kind::kSet;
 }
 
 /// Statement indices that consume each relation name.

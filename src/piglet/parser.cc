@@ -92,6 +92,7 @@ class Parser {
     if (PeekKeyword("DUMP") || PeekKeyword("STORE") || PeekKeyword("DESCRIBE")) {
       return ParseOutputStatement();
     }
+    if (PeekKeyword("SET")) return ParseSetStatement();
     // target = OPERATOR ...
     Statement stmt;
     stmt.line = Peek().line;
@@ -223,6 +224,24 @@ class Parser {
       return stmt;
     }
     return Error("unknown operator '" + op + "'");
+  }
+
+  /// SET <ident>(.<ident>)* <number>;  — engine config knobs, e.g.
+  /// `SET job.deadline_ms 2000;` (Pig's own `set` statement shape).
+  Result<Statement> ParseSetStatement() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kSet;
+    stmt.line = Peek().line;
+    Next();  // SET
+    STARK_ASSIGN_OR_RETURN(stmt.set_key, ExpectIdent("config key"));
+    while (Peek().type == TokenType::kDot) {
+      Next();
+      STARK_ASSIGN_OR_RETURN(const std::string part,
+                             ExpectIdent("config key part"));
+      stmt.set_key += "." + part;
+    }
+    STARK_ASSIGN_OR_RETURN(stmt.set_value, ExpectNumber("config value"));
+    return stmt;
   }
 
   Result<Statement> ParseOutputStatement() {

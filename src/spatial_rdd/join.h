@@ -284,7 +284,11 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
         std::vector<Out>& sink = out[i];
         sink.clear();  // retry-idempotent: a re-run starts from scratch
         size_t prefilter_skips = 0;
+        size_t probed = 0;
         for (const L& l : left_parts[i]) {
+          // Cooperative checkpoint: long probe tasks stop here when their
+          // job is cancelled or past its deadline.
+          if ((probed++ & 1023u) == 0) ThrowIfTaskCancelled();
           const Envelope probe = l.first.envelope().Expanded(margin);
           if (use_index) {
             tree.Query(probe, [&](const Envelope&, const size_t& e) {
@@ -330,7 +334,9 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
       std::vector<Out>& sink = out[j];
       sink.clear();
       size_t prefilter_skips = 0;
+      size_t probed = 0;
       for (const R& r : right_parts[j]) {
+        if ((probed++ & 1023u) == 0) ThrowIfTaskCancelled();
         const Envelope probe = r.first.envelope().Expanded(margin);
         if (use_index) {
           tree.Query(probe, [&](const Envelope&, const size_t& e) {
@@ -422,6 +428,8 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
     if (use_index) {
       const RTree<size_t>& tree = *left_trees[task.left];
       for (size_t rix = task.begin; rix < task.end; ++rix) {
+        // Cooperative checkpoint for cancellation/deadline/speculation.
+        if (((rix - task.begin) & 1023u) == 0) ThrowIfTaskCancelled();
         const R& r = rv[rix];
         const Envelope probe = r.first.envelope().Expanded(margin);
         tree.Query(probe, [&](const Envelope&, const size_t& e) {
@@ -432,7 +440,9 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
       }
     } else {
       const bool prefilter = pred.Prunable();
+      size_t probed = 0;
       for (const L& l : lv) {
+        if ((probed++ & 1023u) == 0) ThrowIfTaskCancelled();
         const Envelope le = l.first.envelope().Expanded(margin);
         for (size_t rix = task.begin; rix < task.end; ++rix) {
           const R& r = rv[rix];
@@ -557,6 +567,8 @@ auto SpatialJoinProject(const IndexedSpatialRDD<V>& left,
     sink.clear();  // retry-idempotent: a re-run starts from scratch
     if (probe_trees) {
       for (size_t rix = task.begin; rix < task.end; ++rix) {
+        // Cooperative checkpoint for cancellation/deadline/speculation.
+        if (((rix - task.begin) & 1023u) == 0) ThrowIfTaskCancelled();
         const R& r = rv[rix];
         const Envelope probe = r.first.envelope().Expanded(margin);
         for (const TreePtr& tree : left_trees[task.left]) {
@@ -567,7 +579,9 @@ auto SpatialJoinProject(const IndexedSpatialRDD<V>& left,
       }
     } else {
       const std::vector<L>& lv = left_elems[task.left];
+      size_t probed = 0;
       for (const L& l : lv) {
+        if ((probed++ & 1023u) == 0) ThrowIfTaskCancelled();
         for (size_t rix = task.begin; rix < task.end; ++rix) {
           const R& r = rv[rix];
           if (pred.Eval(l.first, r.first)) sink.push_back(project(l, r));

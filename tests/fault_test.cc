@@ -95,11 +95,35 @@ TEST(TriggerPolicyTest, RejectsMalformedSpecs) {
 
 TEST(TriggerPolicyTest, ToStringRoundTrips) {
   for (const char* spec :
-       {"off", "nth:3", "every:7", "prob:0.25:seed=99"}) {
+       {"off", "nth:3", "every:7", "prob:0.25:seed=99", "delay:50",
+        "delay:50@nth:2", "delay:50@every:7", "delay:5@prob:0.5:seed=9"}) {
     auto policy = TriggerPolicy::Parse(spec);
     ASSERT_TRUE(policy.ok()) << spec;
     EXPECT_EQ(policy.ValueOrDie().ToString(), spec);
   }
+}
+
+TEST(TriggerPolicyTest, ParsesDelayPolicies) {
+  auto plain = TriggerPolicy::Parse("delay:50");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.ValueOrDie().action, TriggerPolicy::Action::kDelay);
+  EXPECT_EQ(plain.ValueOrDie().delay_ms, 50u);
+  // Bare delay fires on every hit.
+  EXPECT_EQ(plain.ValueOrDie().kind, TriggerPolicy::Kind::kEvery);
+  EXPECT_EQ(plain.ValueOrDie().n, 1u);
+
+  auto scheduled = TriggerPolicy::Parse("delay:50@every:7");
+  ASSERT_TRUE(scheduled.ok());
+  EXPECT_EQ(scheduled.ValueOrDie().action, TriggerPolicy::Action::kDelay);
+  EXPECT_EQ(scheduled.ValueOrDie().delay_ms, 50u);
+  EXPECT_EQ(scheduled.ValueOrDie().kind, TriggerPolicy::Kind::kEvery);
+  EXPECT_EQ(scheduled.ValueOrDie().n, 7u);
+
+  EXPECT_FALSE(TriggerPolicy::Parse("delay:").ok());
+  EXPECT_FALSE(TriggerPolicy::Parse("delay:x").ok());
+  EXPECT_FALSE(TriggerPolicy::Parse("delay:5@").ok());
+  EXPECT_FALSE(TriggerPolicy::Parse("delay:5@off").ok());
+  EXPECT_FALSE(TriggerPolicy::Parse("delay:5@delay:6").ok());
 }
 
 TEST(TriggerPolicyTest, NthFiresExactlyOnce) {

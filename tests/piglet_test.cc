@@ -11,6 +11,7 @@
 
 #include "clustering/dbscan.h"
 #include "common/serde.h"
+#include "fault/failpoint.h"
 #include "io/csv.h"
 #include "io/generator.h"
 #include "piglet/interpreter.h"
@@ -377,6 +378,77 @@ TEST_F(PigletInterpreterTest, UnknownColumnError) {
 TEST_F(PigletInterpreterTest, LoadMissingFileError) {
   auto status = interp_.RunScript("x = LOAD '/no/such/file.csv';");
   EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// SET statements and script cancellation
+// ---------------------------------------------------------------------------
+
+TEST_F(PigletInterpreterTest, SetJobDeadlineConfiguresContext) {
+  ASSERT_TRUE(interp_.RunScript("SET job.deadline_ms 250;").ok());
+  EXPECT_EQ(ctx_.job_deadline_ms(), 250u);
+  ASSERT_TRUE(interp_.RunScript("SET job.deadline_ms 0;").ok());
+  EXPECT_EQ(ctx_.job_deadline_ms(), 0u);
+}
+
+TEST_F(PigletInterpreterTest, SetSpeculationKnobsConfigureContext) {
+  ASSERT_TRUE(interp_
+                  .RunScript("SET job.speculation 1;\n"
+                             "SET job.speculation_multiplier 2;\n"
+                             "SET job.speculation_quantile 0.5;")
+                  .ok());
+  EXPECT_TRUE(ctx_.speculation_policy().enabled);
+  EXPECT_DOUBLE_EQ(ctx_.speculation_policy().multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(ctx_.speculation_policy().quantile, 0.5);
+  ASSERT_TRUE(interp_.RunScript("SET job.speculation 0;").ok());
+  EXPECT_FALSE(ctx_.speculation_policy().enabled);
+}
+
+TEST_F(PigletInterpreterTest, SetRejectsUnknownKeyAndBadValues) {
+  EXPECT_EQ(interp_.RunScript("SET job.bogus 1;").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(interp_.RunScript("SET job.deadline_ms -5;").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(interp_.RunScript("SET job.speculation_quantile 2;").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PigletInterpreterTest, SetSurvivesTheOptimizer) {
+  // SET has no target relation; dead-code elimination must keep it.
+  ASSERT_TRUE(
+      interp_.RunScriptOptimized("SET job.deadline_ms 123;").ok());
+  EXPECT_EQ(ctx_.job_deadline_ms(), 123u);
+}
+
+TEST_F(PigletInterpreterTest, DeadlineExceededSurfacesAsStatusNotCrash) {
+  // Collect() rethrows a terminal job Status as StatusError; the
+  // interpreter must catch it and return it as the statement's Status
+  // instead of letting it unwind past the shell's REPL loop.
+  fault::DefaultFailPoints().DisarmAll();
+  ASSERT_TRUE(fault::DefaultFailPoints()
+                  .ArmFromSpec("engine.task.run=delay:200@every:1")
+                  .ok());
+  const Status status = interp_.RunScript(
+      Script("SET job.deadline_ms 30;\nDUMP events;"));
+  fault::DefaultFailPoints().DisarmAll();
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  // Clearing the deadline makes the same statement succeed again.
+  ASSERT_TRUE(
+      interp_.RunScript("SET job.deadline_ms 0;\nDUMP events;").ok());
+}
+
+TEST_F(PigletInterpreterTest, CancelTokenStopsScriptBetweenStatements) {
+  auto token = std::make_shared<CancelToken>();
+  interp_.set_cancel_token(token);
+  token->RequestCancel();
+  const Status status = interp_.RunScript(Script("DESCRIBE events;"));
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+  // Nothing executed: the LOAD never defined the relation.
+  EXPECT_FALSE(interp_.relation("events").ok());
+
+  token->Reset();
+  EXPECT_TRUE(interp_.RunScript(Script("DESCRIBE events;")).ok());
+  interp_.set_cancel_token(nullptr);
 }
 
 }  // namespace
