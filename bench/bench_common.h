@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -114,6 +115,59 @@ class TraceFromEnv {
  private:
   std::string path_;
 };
+
+/// \brief Minimal flat JSON metric report shared by the bench binaries.
+///
+/// Every binary accepts `--json=<path>` (see JsonPathFromArgs) and, in its
+/// smoke/self-check mode, writes `{"metric": value, ...}` there — the raw
+/// material for the checked-in BENCH_*.json snapshots (workflow in
+/// docs/PERFORMANCE.md). Values are doubles; timings are in seconds.
+class JsonReport {
+ public:
+  void Add(std::string name, double value) {
+    entries_.emplace_back(std::move(name), value);
+  }
+
+  /// Writes the report; returns false (with a stderr warning) on I/O error.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write JSON report to %s\n",
+                   path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.6f%s\n", entries_[i].first.c_str(),
+                   entries_[i].second, i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] JSON report written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// Extracts the path from a `--json=<path>` argument, or "" when absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  const std::string prefix = "--json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return std::string();
+}
+
+/// True when `--smoke` is among the arguments.
+inline bool SmokeRequested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
 
 /// The benchmark universe used throughout the suite.
 inline Envelope BenchUniverse() { return Envelope(0, 0, 100, 100); }

@@ -4,7 +4,18 @@
 /// combination of partitioner (none / grid / BSP) and indexing mode
 /// (scan / live index). Shows the §2.1 claim that partition pruning
 /// "can decrease the number of data items to process significantly".
+///
+/// `bench_filter --smoke` runs a fast self-checking mode: scan, live-index
+/// and persistent-index filters must return identical counts, the packed
+/// index must actually be probed (engine.index.packed_probes > 0) and the
+/// prepared-geometry path exercised (spatial.prepared.misses > 0). Pass
+/// `--json=<path>` (with or without --smoke) to write median stage timings
+/// as a flat JSON report for the BENCH_*.json snapshots.
+#include <algorithm>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -145,7 +156,93 @@ void BM_Filter_WithinDistance_Bsp(benchmark::State& state) {
 }
 BENCHMARK(BM_Filter_WithinDistance_Bsp)->Unit(benchmark::kMillisecond);
 
+// ---- --smoke / --json mode ------------------------------------------------
+
+double MedianOf(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Fast self-checking run for CI plus optional JSON timing report.
+int RunSmoke(const std::string& json_path) {
+  // Shrink the workload unless the caller pinned a size explicitly.
+  setenv("STARK_BENCH_FILTER_N", "60000", /*overwrite=*/0);
+  const STObject query = Query();
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    std::fprintf(stderr, "[smoke] %s: %s\n", what, ok ? "ok" : "FAILED");
+    if (!ok) ++failures;
+  };
+
+  obs::Counter* packed_probes =
+      obs::DefaultMetrics().GetCounter("engine.index.packed_probes");
+  obs::Counter* prepared_misses =
+      obs::DefaultMetrics().GetCounter("spatial.prepared.misses");
+  const uint64_t probes_before = packed_probes->Value();
+  const uint64_t misses_before = prepared_misses->Value();
+
+  // The three execution modes of §2.2 must agree exactly.
+  const size_t scan = GridPartitioned().Intersects(query).Count();
+  const size_t live = GridPartitioned().LiveIndex(10).Intersects(query).Count();
+  auto indexed_rdd = GridPartitioned().Index(10);
+  indexed_rdd.trees().Count();  // materialize the persistent trees
+  const size_t indexed = indexed_rdd.Intersects(query).Count();
+  std::fprintf(stderr, "[smoke] results: scan=%zu live=%zu indexed=%zu\n",
+               scan, live, indexed);
+  check(scan == live, "scan matches live index");
+  check(scan == indexed, "scan matches persistent index");
+  check(packed_probes->Value() > probes_before,
+        "packed index probed (engine.index.packed_probes advanced)");
+  check(prepared_misses->Value() > misses_before,
+        "prepared refinement exercised (spatial.prepared.misses advanced)");
+
+  // Median-of-3 stage timings, interleaved so noise hits all modes alike.
+  std::vector<double> scan_s, live_s, indexed_s;
+  for (int i = 0; i < 3; ++i) {
+    Stopwatch w;
+    GridPartitioned().Intersects(query).Count();
+    scan_s.push_back(w.ElapsedSeconds());
+    w.Restart();
+    GridPartitioned().LiveIndex(10).Intersects(query).Count();
+    live_s.push_back(w.ElapsedSeconds());
+    w.Restart();
+    indexed_rdd.Intersects(query).Count();
+    indexed_s.push_back(w.ElapsedSeconds());
+  }
+  std::fprintf(stderr,
+               "[smoke] median filter time: scan=%.4fs live=%.4fs "
+               "indexed=%.4fs\n",
+               MedianOf(scan_s), MedianOf(live_s), MedianOf(indexed_s));
+
+  if (!json_path.empty()) {
+    bench::JsonReport report;
+    report.Add("filter.n", static_cast<double>(N()));
+    report.Add("filter.results", static_cast<double>(scan));
+    report.Add("filter.scan_s", MedianOf(scan_s));
+    report.Add("filter.live_index_s", MedianOf(live_s));
+    report.Add("filter.persistent_index_s", MedianOf(indexed_s));
+    report.Add("filter.packed_probes",
+               static_cast<double>(packed_probes->Value() - probes_before));
+    report.Add("filter.prepared_misses",
+               static_cast<double>(prepared_misses->Value() - misses_before));
+    report.WriteTo(json_path);
+  }
+
+  std::fprintf(stderr, "[smoke] %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace stark
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json = stark::bench::JsonPathFromArgs(argc, argv);
+  if (stark::bench::SmokeRequested(argc, argv) || !json.empty()) {
+    return stark::RunSmoke(json);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -2,12 +2,27 @@
 /// Experiment E6: the three indexing modes of §2.2 — no indexing, live
 /// indexing (tree built on every evaluation), and persistent indexing
 /// (tree built once / loaded from disk) — plus an R-tree order sweep.
+///
+/// `bench_indexing_modes --smoke` runs the packed-vs-classic microbench
+/// guard: STR bulk load + 10k window probes on the packed SoA tree must run
+/// within 1.25x of the classic pointer tree (min of 3 interleaved runs; in
+/// practice the packed tree wins) and both must return identical candidate
+/// sets on sampled queries. `--json=<path>` writes the timings.
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "index/packed_rtree.h"
+#include "index/rtree.h"
 #include "partition/grid_partitioner.h"
 #include "spatial_rdd/spatial_rdd.h"
 
@@ -112,7 +127,133 @@ void BM_IndexMode_Persistent_LoadAndQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexMode_Persistent_LoadAndQuery)->Unit(benchmark::kMillisecond);
 
+// ---- --smoke / --json mode: packed-vs-classic microbench guard ------------
+
+constexpr size_t kProbeCount = 10'000;
+constexpr size_t kMicrobenchOrder = 10;
+
+std::vector<Envelope> ProbeWindows(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Envelope> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const double x = rng.Uniform(0.0, 98.0);
+    const double y = rng.Uniform(0.0, 98.0);
+    const double w = rng.Uniform(0.1, 2.0);
+    const double h = rng.Uniform(0.1, 2.0);
+    out.push_back(Envelope(x, y, x + w, y + h));
+  }
+  return out;
+}
+
+/// One timed round: bulk load + all probes; returns (seconds, total hits).
+template <typename BuildFn, typename ProbeFn>
+std::pair<double, size_t> TimeRound(const BuildFn& build,
+                                    const ProbeFn& probe,
+                                    const std::vector<Envelope>& windows) {
+  Stopwatch w;
+  auto tree = build();
+  size_t hits = 0;
+  for (const Envelope& window : windows) hits += probe(tree, window);
+  return {w.ElapsedSeconds(), hits};
+}
+
+int RunSmoke(const std::string& json_path) {
+  setenv("STARK_BENCH_INDEX_N", "100000", /*overwrite=*/0);
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    std::fprintf(stderr, "[smoke] %s: %s\n", what, ok ? "ok" : "FAILED");
+    if (!ok) ++failures;
+  };
+
+  auto points = bench::BenchPoints(N());
+  std::vector<std::pair<Envelope, size_t>> entries;
+  entries.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries.emplace_back(points[i].envelope(), i);
+  }
+  const std::vector<Envelope> windows = ProbeWindows(kProbeCount, 2026);
+
+  auto build_classic = [&entries]() {
+    RTree<size_t> tree(kMicrobenchOrder);
+    tree.BulkLoad(entries);
+    return tree;
+  };
+  auto build_packed = [&entries]() {
+    return PackedRTree<size_t>(kMicrobenchOrder, entries);
+  };
+  auto probe = [](const auto& tree, const Envelope& window) {
+    size_t hits = 0;
+    tree.Query(window, [&hits](const Envelope&, const size_t&) { ++hits; });
+    return hits;
+  };
+
+  // Identical candidates on sampled queries (multisets, both trees).
+  {
+    RTree<size_t> classic = build_classic();
+    PackedRTree<size_t> packed = build_packed();
+    bool identical = true;
+    for (size_t q = 0; q < windows.size(); q += 97) {
+      std::multiset<size_t> a, b;
+      classic.Query(windows[q],
+                    [&a](const Envelope&, const size_t& id) { a.insert(id); });
+      packed.Query(windows[q],
+                   [&b](const Envelope&, const size_t& id) { b.insert(id); });
+      if (a != b) {
+        identical = false;
+        break;
+      }
+    }
+    check(identical, "packed and classic candidates identical");
+  }
+
+  // Min of 3 interleaved rounds: build + 10k probes, each tree.
+  double classic_s = 1e30, packed_s = 1e30;
+  size_t classic_hits = 0, packed_hits = 0;
+  for (int round = 0; round < 3; ++round) {
+    const auto [cs, ch] = TimeRound(build_classic, probe, windows);
+    const auto [ps, ph] = TimeRound(build_packed, probe, windows);
+    classic_s = std::min(classic_s, cs);
+    packed_s = std::min(packed_s, ps);
+    classic_hits = ch;
+    packed_hits = ph;
+  }
+  std::fprintf(stderr,
+               "[smoke] bulk-load + %zu probes (n=%zu, order=%zu): "
+               "classic=%.4fs packed=%.4fs (ratio %.3f)\n",
+               kProbeCount, entries.size(), kMicrobenchOrder, classic_s,
+               packed_s, packed_s / classic_s);
+  check(classic_hits == packed_hits, "identical total hit counts");
+  check(packed_s <= 1.25 * classic_s,
+        "packed within 1.25x of classic (build + probes)");
+
+  if (!json_path.empty()) {
+    bench::JsonReport report;
+    report.Add("indexing.n", static_cast<double>(entries.size()));
+    report.Add("indexing.probes", static_cast<double>(kProbeCount));
+    report.Add("indexing.order", static_cast<double>(kMicrobenchOrder));
+    report.Add("indexing.classic_build_probe_s", classic_s);
+    report.Add("indexing.packed_build_probe_s", packed_s);
+    report.Add("indexing.packed_over_classic_ratio", packed_s / classic_s);
+    report.Add("indexing.total_hits", static_cast<double>(packed_hits));
+    report.WriteTo(json_path);
+  }
+
+  std::fprintf(stderr, "[smoke] %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace stark
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json = stark::bench::JsonPathFromArgs(argc, argv);
+  if (stark::bench::SmokeRequested(argc, argv) || !json.empty()) {
+    return stark::RunSmoke(json);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

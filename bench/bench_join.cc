@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -192,8 +193,9 @@ double MedianSeconds(const std::vector<double>& samples) {
   return sorted[sorted.size() / 2];
 }
 
-/// Fast self-checking run for CI: strategy agreement + the broadcast claim.
-int RunSmoke() {
+/// Fast self-checking run for CI: strategy agreement, the broadcast claim,
+/// and the packed-index/prepared-geometry plumbing (PR 5).
+int RunSmoke(const std::string& json_path) {
   // Shrink the workload unless the caller pinned sizes explicitly.
   setenv("STARK_BENCH_JOIN_N", "20000", /*overwrite=*/0);
   setenv("STARK_BENCH_JOIN_POLYS", "800", /*overwrite=*/0);
@@ -204,8 +206,19 @@ int RunSmoke() {
     if (!ok) ++failures;
   };
 
+  obs::Counter* packed_probes =
+      obs::DefaultMetrics().GetCounter("engine.index.packed_probes");
+  obs::Counter* prepared_misses =
+      obs::DefaultMetrics().GetCounter("spatial.prepared.misses");
+  const uint64_t probes_before = packed_probes->Value();
+  const uint64_t misses_before = prepared_misses->Value();
+
   const size_t live = CountJoin(PointsPartitioned(), PolygonsPartitioned(),
                                 pred, 10);
+  check(packed_probes->Value() > probes_before,
+        "live join probed the packed index (packed_probes advanced)");
+  check(prepared_misses->Value() > misses_before,
+        "live join prepared probe geometries (prepared.misses advanced)");
   const size_t nested = CountJoin(PointsPartitioned(), PolygonsPartitioned(),
                                   pred, 0);
   const size_t cached = CountJoinCached(PointsIndexed(),
@@ -245,6 +258,20 @@ int RunSmoke() {
                pair_med, bcast_med);
   check(bcast_med < pair_med, "broadcast beats pair enumeration");
 
+  if (!json_path.empty()) {
+    bench::JsonReport report;
+    report.Add("join.n_points", static_cast<double>(NPoints()));
+    report.Add("join.n_polygons", static_cast<double>(NPolys()));
+    report.Add("join.results", static_cast<double>(live));
+    report.Add("join.pair_enumeration_s", pair_med);
+    report.Add("join.broadcast_s", bcast_med);
+    report.Add("join.packed_probes",
+               static_cast<double>(packed_probes->Value() - probes_before));
+    report.Add("join.prepared_misses",
+               static_cast<double>(prepared_misses->Value() - misses_before));
+    report.WriteTo(json_path);
+  }
+
   std::fprintf(stderr, "[smoke] %s\n", failures == 0 ? "PASS" : "FAIL");
   return failures == 0 ? 0 : 1;
 }
@@ -253,8 +280,9 @@ int RunSmoke() {
 }  // namespace stark
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) return stark::RunSmoke();
+  const std::string json = stark::bench::JsonPathFromArgs(argc, argv);
+  if (stark::bench::SmokeRequested(argc, argv) || !json.empty()) {
+    return stark::RunSmoke(json);
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

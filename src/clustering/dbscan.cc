@@ -1,8 +1,10 @@
 #include "clustering/dbscan.h"
 
 #include <deque>
+#include <utility>
+#include <vector>
 
-#include "index/rtree.h"
+#include "index/packed_rtree.h"
 
 namespace stark {
 
@@ -14,15 +16,14 @@ DbscanResult DbscanLocal(const std::vector<Coordinate>& points,
   result.core.assign(n, 0);
   if (n == 0) return result;
 
-  RTree<size_t> tree(16);
-  {
-    std::vector<std::pair<Envelope, size_t>> entries;
-    entries.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      entries.emplace_back(Envelope(points[i]), i);
-    }
-    tree.BulkLoad(std::move(entries));
+  // The point set is fixed for the whole run, so the packed (read-only)
+  // tree serves the eps-neighborhood queries out of flat SoA arrays.
+  std::vector<std::pair<Envelope, size_t>> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries.emplace_back(Envelope(points[i]), i);
   }
+  PackedRTree<size_t> tree(16, std::move(entries));
 
   const double eps = params.eps;
   const double eps2 = eps * eps;

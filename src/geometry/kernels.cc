@@ -90,6 +90,19 @@ double SignedRingArea(const Ring& ring) {
   return area / 2.0;
 }
 
+size_t FilterEnvelopesBatch(const EnvelopeSoA& envs, const Envelope& query,
+                            std::vector<uint32_t>* out) {
+  if (query.IsEmpty() || envs.empty()) return 0;
+  const size_t base = out->size();
+  out->resize(base + envs.size());
+  const size_t n = FilterEnvelopesBatch(
+      envs.min_x.data(), envs.min_y.data(), envs.max_x.data(),
+      envs.max_y.data(), envs.size(), query.min_x(), query.min_y(),
+      query.max_x(), query.max_y(), out->data() + base);
+  out->resize(base + n);
+  return n;
+}
+
 Coordinate RingCentroid(const Ring& ring) {
   const double area = SignedRingArea(ring);
   if (std::abs(area) < 1e-30) {

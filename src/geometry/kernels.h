@@ -4,9 +4,12 @@
 #ifndef STARK_GEOMETRY_KERNELS_H_
 #define STARK_GEOMETRY_KERNELS_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "geometry/coordinate.h"
+#include "geometry/envelope.h"
 
 namespace stark {
 
@@ -47,6 +50,72 @@ double SignedRingArea(const Ring& ring);
 /// Centroid of a closed ring by the standard area-weighted formula. Falls
 /// back to the vertex mean for degenerate (zero-area) rings.
 Coordinate RingCentroid(const Ring& ring);
+
+// ---------------------------------------------------------------------------
+// Batched envelope kernels (SoA hot path)
+// ---------------------------------------------------------------------------
+
+/// Structure-of-arrays envelope storage: four parallel coordinate arrays
+/// instead of an array of Envelope structs. The packed R-tree and the
+/// batched filter kernel below read these with unit stride, so a leaf scan
+/// touches four dense cache lines instead of pointer-chased nodes.
+struct EnvelopeSoA {
+  std::vector<double> min_x, min_y, max_x, max_y;
+
+  size_t size() const { return min_x.size(); }
+  bool empty() const { return min_x.empty(); }
+
+  void Reserve(size_t n) {
+    min_x.reserve(n);
+    min_y.reserve(n);
+    max_x.reserve(n);
+    max_y.reserve(n);
+  }
+
+  void PushBack(const Envelope& e) {
+    min_x.push_back(e.min_x());
+    min_y.push_back(e.min_y());
+    max_x.push_back(e.max_x());
+    max_y.push_back(e.max_y());
+  }
+
+  Envelope Get(size_t i) const {
+    return Envelope(min_x[i], min_y[i], max_x[i], max_y[i]);
+  }
+};
+
+/// \brief Branchless AABB filter over SoA envelope arrays.
+///
+/// Writes the indices of all envelopes intersecting the query window
+/// [qmin_x,qmax_x]x[qmin_y,qmax_y] into \p out_indices (which must have room
+/// for \p count entries) and returns how many matched. Decision-equivalent
+/// to Envelope::Intersects for every finite envelope: the test is written in
+/// the negated !(a > b) form so an empty (inverted) stored envelope never
+/// matches. The loop body is branch-free — the hit bit is accumulated into
+/// the output cursor instead of taken as a branch — so the CPU never
+/// mispredicts on selectivity changes.
+inline size_t FilterEnvelopesBatch(const double* min_x, const double* min_y,
+                                   const double* max_x, const double* max_y,
+                                   size_t count, double qmin_x, double qmin_y,
+                                   double qmax_x, double qmax_y,
+                                   uint32_t* out_indices) {
+  size_t n = 0;
+  for (size_t i = 0; i < count; ++i) {
+    // Non-short-circuit & keeps the compare chain free of branches.
+    const bool hit =
+        !(min_x[i] > qmax_x) & !(max_x[i] < qmin_x) & !(min_y[i] > qmax_y) &
+        !(max_y[i] < qmin_y);
+    out_indices[n] = static_cast<uint32_t>(i);
+    n += static_cast<size_t>(hit);
+  }
+  return n;
+}
+
+/// Convenience overload over EnvelopeSoA; appends matches to \p out.
+/// Returns the number of matches. An empty \p query matches nothing,
+/// mirroring Envelope::Intersects.
+size_t FilterEnvelopesBatch(const EnvelopeSoA& envs, const Envelope& query,
+                            std::vector<uint32_t>* out);
 
 }  // namespace stark
 

@@ -1,0 +1,103 @@
+/// \file prepared.h
+/// Prepared geometries (in the JTS PreparedGeometry tradition): a geometry
+/// plus cached evaluation structure — the decomposition into simple parts,
+/// ring edge lists laid out as structure-of-arrays, and a precomputed
+/// interior point — so refining many candidates against the *same* query or
+/// join-build geometry stops re-walking raw coordinate vectors per pair.
+///
+/// Guarantee: every predicate method returns results bit-identical to the
+/// corresponding plain entry point in predicates.h (the accelerated paths
+/// replicate the exact arithmetic; everything else delegates to the shared
+/// kernels). The differential fuzz suite in tests/prepared_geometry_test.cc
+/// enforces this.
+///
+/// Lifetime: a PreparedGeometry holds a pointer to the Geometry it was
+/// built from; the Geometry must outlive it. Caches are therefore scoped to
+/// one task/query (see docs/PERFORMANCE.md, "Invalidation rules").
+#ifndef STARK_GEOMETRY_PREPARED_H_
+#define STARK_GEOMETRY_PREPARED_H_
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "geometry/geometry.h"
+
+namespace stark {
+
+/// \brief One geometry with precomputed refinement structure.
+class PreparedGeometry {
+ public:
+  /// Prepares \p geo. Keeps a pointer; \p geo must outlive this object.
+  explicit PreparedGeometry(const Geometry& geo);
+  ~PreparedGeometry();
+
+  PreparedGeometry(PreparedGeometry&&) noexcept;
+  PreparedGeometry& operator=(PreparedGeometry&&) noexcept;
+  STARK_DISALLOW_COPY_AND_ASSIGN(PreparedGeometry);
+
+  const Geometry& geometry() const;
+
+  /// Cached bounding box (same object as geometry().envelope()).
+  const Envelope& envelope() const;
+
+  /// Precomputed interior/representative point (the geometry centroid).
+  const Coordinate& InteriorPoint() const;
+
+  /// Equivalent to Intersects(other, geometry()) — and, by symmetry of the
+  /// kernels, to Intersects(geometry(), other).
+  bool IntersectedBy(const Geometry& other) const;
+
+  /// Equivalent to Contains(geometry(), other).
+  bool Contains(const Geometry& other) const;
+
+  /// Equivalent to Contains(other, geometry()).
+  bool ContainedBy(const Geometry& other) const;
+
+  /// Equivalent to Distance(other, geometry()) — identical doubles, same
+  /// part iteration order.
+  double DistanceFrom(const Geometry& other) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// \brief Pointer-keyed cache of PreparedGeometry instances.
+///
+/// Keys are Geometry addresses, so the cache is only valid while the keyed
+/// geometries stay alive and unmoved — use one cache per task over a stable
+/// snapshot (e.g. the broadcast small side) and drop it with the task.
+/// Counts hits (repeat lookups) and misses (preparations) for the
+/// spatial.prepared.{hits,misses} counters.
+class PreparedGeometryCache {
+ public:
+  PreparedGeometryCache() = default;
+  STARK_DISALLOW_COPY_AND_ASSIGN(PreparedGeometryCache);
+
+  /// Returns the prepared form of \p geo, preparing it on first use. The
+  /// reference stays valid for the life of the cache.
+  const PreparedGeometry& Get(const Geometry& geo) {
+    auto it = cache_.find(&geo);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    return cache_.emplace(&geo, PreparedGeometry(geo)).first->second;
+  }
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<const Geometry*, PreparedGeometry> cache_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace stark
+
+#endif  // STARK_GEOMETRY_PREPARED_H_

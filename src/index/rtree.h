@@ -9,13 +9,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
-#include <functional>
 #include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
 #include "geometry/envelope.h"
+#include "index/packed_rtree.h"
 
 namespace stark {
 
@@ -50,11 +51,14 @@ class RTree {
   void Insert(const Envelope& env, T value) {
     Node* leaf = ChooseLeaf(root_.get(), env);
     leaf->entries.push_back(Entry{env, std::move(value)});
-    leaf->env.ExpandToInclude(env);
     ++size_;
+    // Grow every ancestor by exactly the new envelope *before* splitting:
+    // each was the tight union of its subtree, so the grown envelope is the
+    // tight union again, and splits below only repartition that union.
+    for (Node* n = leaf; n != nullptr; n = n->parent) {
+      n->env.ExpandToInclude(env);
+    }
     HandleOverflow(leaf);
-    // Re-tighten envelopes along the root path cheaply: root envelope.
-    AdjustUpward(leaf, env);
   }
 
   /// Bulk-loads entries with the Sort-Tile-Recursive algorithm. Replaces
@@ -117,22 +121,26 @@ class RTree {
     root_->parent = nullptr;
   }
 
-  /// Invokes \p fn for every entry whose envelope intersects \p query.
-  void Query(const Envelope& query,
-             const std::function<void(const Envelope&, const T&)>& fn) const {
+  /// Invokes `fn(const Envelope&, const T&)` for every entry whose envelope
+  /// intersects \p query. Templated: the visitor is inlined, no
+  /// std::function indirection.
+  template <typename Visitor>
+  void Query(const Envelope& query, Visitor&& fn) const {
     QueryNode(root_.get(), query, fn);
   }
 
   /// Collects pointers to all candidate values for \p query.
   std::vector<const T*> QueryCandidates(const Envelope& query) const {
     std::vector<const T*> out;
-    QueryNode(root_.get(), query,
-              [&out](const Envelope&, const T& v) { out.push_back(&v); });
+    auto collect = [&out](const Envelope&, const T& v) { out.push_back(&v); };
+    QueryNode(root_.get(), query, collect);
     return out;
   }
 
-  /// Invokes \p fn on every entry (tree-order traversal).
-  void ForEach(const std::function<void(const Envelope&, const T&)>& fn) const {
+  /// Invokes `fn(const Envelope&, const T&)` on every entry (tree-order
+  /// traversal).
+  template <typename Visitor>
+  void ForEach(Visitor&& fn) const {
     ForEachNode(root_.get(), fn);
   }
 
@@ -142,9 +150,9 @@ class RTree {
   /// entry's value; envelope distance is used as the lower bound for
   /// pruning, so exact_distance must never be smaller than the distance to
   /// the entry's envelope.
+  template <typename DistFn>
   std::vector<std::pair<double, const T*>> Knn(
-      const Coordinate& query, size_t k,
-      const std::function<double(const T&)>& exact_distance) const {
+      const Coordinate& query, size_t k, DistFn&& exact_distance) const {
     std::vector<std::pair<double, const T*>> result;
     if (k == 0 || size_ == 0) return result;
 
@@ -193,6 +201,30 @@ class RTree {
     return d;
   }
 
+  /// \brief Re-packs the tree's entries into an immutable PackedRTree.
+  ///
+  /// This is how live-index mode upgrades to the packed layout at probe
+  /// time: insert incrementally, then freeze once the index is read-mostly.
+  /// Candidate sets are identical (both trees report exactly the entries
+  /// whose envelopes intersect the query). Requires T to be copyable.
+  PackedRTree<T> Freeze() const {
+    std::vector<std::pair<Envelope, T>> entries;
+    entries.reserve(size_);
+    ForEach([&entries](const Envelope& env, const T& v) {
+      entries.emplace_back(env, v);
+    });
+    return PackedRTree<T>(order_, std::move(entries));
+  }
+
+  /// \brief Structural invariant check, used by tests.
+  ///
+  /// Verifies that every node's envelope is the *tight* union of its
+  /// children/entries (not merely a superset), parent links are consistent,
+  /// and no node exceeds the order. Returns true when all hold.
+  bool CheckInvariants() const {
+    return CheckNode(root_.get(), nullptr);
+  }
+
  private:
   struct Node;
 
@@ -233,10 +265,19 @@ class RTree {
     return node;
   }
 
-  void AdjustUpward(Node* node, const Envelope& env) {
-    for (Node* n = node; n != nullptr; n = n->parent) {
-      n->env.ExpandToInclude(env);
+  bool CheckNode(const Node* node, const Node* parent) const {
+    if (node->parent != parent) return false;
+    if (node->FanOut() > order_) return false;
+    Envelope tight;
+    if (node->leaf) {
+      for (const Entry& e : node->entries) tight.ExpandToInclude(e.env);
+    } else {
+      for (const auto& c : node->children) {
+        if (!CheckNode(c.get(), node)) return false;
+        tight.ExpandToInclude(c->env);
+      }
     }
+    return tight == node->env;
   }
 
   void HandleOverflow(Node* node) {
@@ -371,9 +412,8 @@ class RTree {
     }
   }
 
-  void QueryNode(const Node* node, const Envelope& query,
-                 const std::function<void(const Envelope&, const T&)>& fn)
-      const {
+  template <typename Visitor>
+  void QueryNode(const Node* node, const Envelope& query, Visitor& fn) const {
     if (!node->env.Intersects(query)) return;
     if (node->leaf) {
       for (const Entry& e : node->entries) {
@@ -386,9 +426,8 @@ class RTree {
     }
   }
 
-  void ForEachNode(const Node* node,
-                   const std::function<void(const Envelope&, const T&)>& fn)
-      const {
+  template <typename Visitor>
+  void ForEachNode(const Node* node, Visitor& fn) const {
     if (node->leaf) {
       for (const Entry& e : node->entries) fn(e.env, e.value);
       return;

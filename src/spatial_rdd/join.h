@@ -33,8 +33,11 @@
 #include <vector>
 
 #include "engine/context.h"
+#include "geometry/prepared.h"
+#include "index/packed_rtree.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "spatial_rdd/query_stats.h"
 #include "spatial_rdd/spatial_rdd.h"
 
 namespace stark {
@@ -212,6 +215,25 @@ inline void AnnotateSpan(const std::string& detail, size_t records_in,
   }
 }
 
+/// Suffix describing the packed-index / prepared-geometry work a task did,
+/// appended to its span detail (e.g. " packed_probes=128 prepared=500/3").
+inline std::string IndexDetail(size_t packed_probes, size_t prepared_hits,
+                               size_t prepared_misses) {
+  return " packed_probes=" + std::to_string(packed_probes) +
+         " prepared=" + std::to_string(prepared_hits) + "/" +
+         std::to_string(prepared_misses);
+}
+
+/// Flushes task-local packed/prepared counters into the global metric set
+/// (once per task — the granularity rule).
+inline void FlushIndexMetrics(size_t packed_probes, size_t prepared_hits,
+                              size_t prepared_misses) {
+  const IndexMetricSet& m = GlobalIndexMetrics();
+  m.packed_probes->Add(packed_probes);
+  m.prepared_hits->Add(prepared_hits);
+  m.prepared_misses->Add(prepared_misses);
+}
+
 }  // namespace join_internal
 
 /// \brief Joins two spatial RDDs on \p pred and emits project(l, r) for
@@ -259,6 +281,13 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
   // ---- Broadcast strategy -------------------------------------------------
   // One side fits under the threshold: flatten it, index it once, and probe
   // it from every partition of the other side — no pair enumeration at all.
+  // The small side's geometries are stable for the whole join, so each task
+  // refines through a PreparedGeometryCache keyed on them: one preparation
+  // per distinct small geometry per task, reuse for every repeat candidate.
+  // Custom withinDistance functions bypass preparation (the kernels never
+  // see the geometry).
+  const bool custom_fn =
+      pred.type == PredicateType::kWithinDistance && pred.distance != nullptr;
   if (options.broadcast_threshold > 0 &&
       std::min(total_l, total_r) <= options.broadcast_threshold) {
     metrics.broadcast_joins->Increment();
@@ -269,14 +298,14 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
       for (auto& part : right_parts) {
         for (auto& r : part) small.push_back(std::move(r));
       }
-      RTree<size_t> tree(use_index ? options.index_order : size_t{4});
+      PackedRTree<size_t> tree;
       if (use_index) {
         std::vector<std::pair<Envelope, size_t>> entries;
         entries.reserve(small.size());
         for (size_t e = 0; e < small.size(); ++e) {
           entries.emplace_back(small[e].first.envelope(), e);
         }
-        tree.BulkLoad(std::move(entries));
+        tree = PackedRTree<size_t>(options.index_order, std::move(entries));
         metrics.tree_builds->Increment();
       }
       std::vector<std::vector<Out>> out(nl);
@@ -285,6 +314,13 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
         sink.clear();  // retry-idempotent: a re-run starts from scratch
         size_t prefilter_skips = 0;
         size_t probed = 0;
+        size_t packed_probes = 0;
+        PreparedGeometryCache cache;
+        auto refine = [&](const L& l, const R& r) {
+          return custom_fn ? pred.Eval(l.first, r.first)
+                           : EvalWithPreparedRight(pred, l.first, r.first,
+                                                   cache.Get(r.first.geo()));
+        };
         for (const L& l : left_parts[i]) {
           // Cooperative checkpoint: long probe tasks stop here when their
           // job is cancelled or past its deadline.
@@ -292,24 +328,26 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
           const Envelope probe = l.first.envelope().Expanded(margin);
           if (use_index) {
             tree.Query(probe, [&](const Envelope&, const size_t& e) {
-              if (pred.Eval(l.first, small[e].first)) {
-                sink.push_back(project(l, small[e]));
-              }
+              if (refine(l, small[e])) sink.push_back(project(l, small[e]));
             });
+            ++packed_probes;
           } else {
             for (const R& r : small) {
               if (pred.Prunable() && !probe.Intersects(r.first.envelope())) {
                 ++prefilter_skips;
                 continue;
               }
-              if (pred.Eval(l.first, r.first)) sink.push_back(project(l, r));
+              if (refine(l, r)) sink.push_back(project(l, r));
             }
           }
         }
-        ji::AnnotateSpan("L" + std::to_string(i) + "xR* (broadcast)",
+        ji::AnnotateSpan("L" + std::to_string(i) + "xR* (broadcast)" +
+                             ji::IndexDetail(packed_probes, cache.hits(),
+                                             cache.misses()),
                          left_parts[i].size(), sink.size());
         metrics.prefilter_skips->Add(prefilter_skips);
         metrics.results->Add(sink.size());
+        ji::FlushIndexMetrics(packed_probes, cache.hits(), cache.misses());
       });
       return MakeRDDFromPartitions(ctx, std::move(out));
     }
@@ -319,14 +357,14 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
     for (auto& part : left_parts) {
       for (auto& l : part) small.push_back(std::move(l));
     }
-    RTree<size_t> tree(use_index ? options.index_order : size_t{4});
+    PackedRTree<size_t> tree;
     if (use_index) {
       std::vector<std::pair<Envelope, size_t>> entries;
       entries.reserve(small.size());
       for (size_t e = 0; e < small.size(); ++e) {
         entries.emplace_back(small[e].first.envelope(), e);
       }
-      tree.BulkLoad(std::move(entries));
+      tree = PackedRTree<size_t>(options.index_order, std::move(entries));
       metrics.tree_builds->Increment();
     }
     std::vector<std::vector<Out>> out(nr);
@@ -335,29 +373,38 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
       sink.clear();
       size_t prefilter_skips = 0;
       size_t probed = 0;
+      size_t packed_probes = 0;
+      PreparedGeometryCache cache;
+      auto refine = [&](const L& l, const R& r) {
+        return custom_fn ? pred.Eval(l.first, r.first)
+                         : EvalWithPreparedLeft(pred, l.first, r.first,
+                                                cache.Get(l.first.geo()));
+      };
       for (const R& r : right_parts[j]) {
         if ((probed++ & 1023u) == 0) ThrowIfTaskCancelled();
         const Envelope probe = r.first.envelope().Expanded(margin);
         if (use_index) {
           tree.Query(probe, [&](const Envelope&, const size_t& e) {
-            if (pred.Eval(small[e].first, r.first)) {
-              sink.push_back(project(small[e], r));
-            }
+            if (refine(small[e], r)) sink.push_back(project(small[e], r));
           });
+          ++packed_probes;
         } else {
           for (const L& l : small) {
             if (pred.Prunable() && !probe.Intersects(l.first.envelope())) {
               ++prefilter_skips;
               continue;
             }
-            if (pred.Eval(l.first, r.first)) sink.push_back(project(l, r));
+            if (refine(l, r)) sink.push_back(project(l, r));
           }
         }
       }
-      ji::AnnotateSpan("L*xR" + std::to_string(j) + " (broadcast)",
+      ji::AnnotateSpan("L*xR" + std::to_string(j) + " (broadcast)" +
+                           ji::IndexDetail(packed_probes, cache.hits(),
+                                           cache.misses()),
                        right_parts[j].size(), sink.size());
       metrics.prefilter_skips->Add(prefilter_skips);
       metrics.results->Add(sink.size());
+      ji::FlushIndexMetrics(packed_probes, cache.hits(), cache.misses());
     });
     return MakeRDDFromPartitions(ctx, std::move(out));
   }
@@ -392,20 +439,19 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
     (void)j;
     left_used[i] = 1;
   }
-  std::vector<std::unique_ptr<RTree<size_t>>> left_trees(nl);
+  std::vector<std::unique_ptr<PackedRTree<size_t>>> left_trees(nl);
   if (use_index) {
     size_t builds = 0;
     for (size_t i = 0; i < nl; ++i) builds += left_used[i] ? 1 : 0;
     ctx->RunTasks("spatial.join.build", nl, [&](size_t i) {
       if (!left_used[i]) return;
-      auto tree = std::make_unique<RTree<size_t>>(options.index_order);
       std::vector<std::pair<Envelope, size_t>> entries;
       entries.reserve(left_parts[i].size());
       for (size_t e = 0; e < left_parts[i].size(); ++e) {
         entries.emplace_back(left_parts[i][e].first.envelope(), e);
       }
-      tree->BulkLoad(std::move(entries));
-      left_trees[i] = std::move(tree);
+      left_trees[i] = std::make_unique<PackedRTree<size_t>>(
+          options.index_order, std::move(entries));
     });
     metrics.tree_builds->Add(builds);
   }
@@ -425,18 +471,26 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
     std::vector<Out>& sink = out[t];
     sink.clear();  // retry-idempotent: a re-run starts from scratch
     size_t prefilter_skips = 0;
+    size_t packed_probes = 0;
+    size_t prep_hits = 0;
+    size_t prep_misses = 0;
     if (use_index) {
-      const RTree<size_t>& tree = *left_trees[task.left];
+      const PackedRTree<size_t>& tree = *left_trees[task.left];
       for (size_t rix = task.begin; rix < task.end; ++rix) {
         // Cooperative checkpoint for cancellation/deadline/speculation.
         if (((rix - task.begin) & 1023u) == 0) ThrowIfTaskCancelled();
         const R& r = rv[rix];
         const Envelope probe = r.first.envelope().Expanded(margin);
+        // The probe row is the fixed operand for every candidate this
+        // query returns — prepare it lazily via a bound predicate.
+        BoundPredicate bound(pred, r.first,
+                             BoundPredicate::Side::kCandidateLeft);
         tree.Query(probe, [&](const Envelope&, const size_t& e) {
-          if (pred.Eval(lv[e].first, r.first)) {
-            sink.push_back(project(lv[e], r));
-          }
+          if (bound.Eval(lv[e].first)) sink.push_back(project(lv[e], r));
         });
+        ++packed_probes;
+        prep_hits += bound.prepared_hits();
+        prep_misses += bound.prepared_misses();
       }
     } else {
       const bool prefilter = pred.Prunable();
@@ -444,20 +498,26 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
       for (const L& l : lv) {
         if ((probed++ & 1023u) == 0) ThrowIfTaskCancelled();
         const Envelope le = l.first.envelope().Expanded(margin);
+        BoundPredicate bound(pred, l.first,
+                             BoundPredicate::Side::kCandidateRight);
         for (size_t rix = task.begin; rix < task.end; ++rix) {
           const R& r = rv[rix];
           if (prefilter && !le.Intersects(r.first.envelope())) {
             ++prefilter_skips;
             continue;
           }
-          if (pred.Eval(l.first, r.first)) sink.push_back(project(l, r));
+          if (bound.Eval(r.first)) sink.push_back(project(l, r));
         }
+        prep_hits += bound.prepared_hits();
+        prep_misses += bound.prepared_misses();
       }
     }
-    ji::AnnotateSpan(ji::TaskDetail(task, rv.size()), task.end - task.begin,
-                     sink.size());
+    ji::AnnotateSpan(ji::TaskDetail(task, rv.size()) +
+                         ji::IndexDetail(packed_probes, prep_hits, prep_misses),
+                     task.end - task.begin, sink.size());
     metrics.prefilter_skips->Add(prefilter_skips);
     metrics.results->Add(sink.size());
+    ji::FlushIndexMetrics(packed_probes, prep_hits, prep_misses);
   });
 
   return MakeRDDFromPartitions(ctx, std::move(out));
@@ -565,32 +625,46 @@ auto SpatialJoinProject(const IndexedSpatialRDD<V>& left,
     const std::vector<R>& rv = right_parts[task.right];
     std::vector<Out>& sink = out[t];
     sink.clear();  // retry-idempotent: a re-run starts from scratch
+    size_t packed_probes = 0;
+    size_t prep_hits = 0;
+    size_t prep_misses = 0;
     if (probe_trees) {
       for (size_t rix = task.begin; rix < task.end; ++rix) {
         // Cooperative checkpoint for cancellation/deadline/speculation.
         if (((rix - task.begin) & 1023u) == 0) ThrowIfTaskCancelled();
         const R& r = rv[rix];
         const Envelope probe = r.first.envelope().Expanded(margin);
+        BoundPredicate bound(pred, r.first,
+                             BoundPredicate::Side::kCandidateLeft);
         for (const TreePtr& tree : left_trees[task.left]) {
           tree->Query(probe, [&](const Envelope&, const L& l) {
-            if (pred.Eval(l.first, r.first)) sink.push_back(project(l, r));
+            if (bound.Eval(l.first)) sink.push_back(project(l, r));
           });
+          ++packed_probes;
         }
+        prep_hits += bound.prepared_hits();
+        prep_misses += bound.prepared_misses();
       }
     } else {
       const std::vector<L>& lv = left_elems[task.left];
       size_t probed = 0;
       for (const L& l : lv) {
         if ((probed++ & 1023u) == 0) ThrowIfTaskCancelled();
+        BoundPredicate bound(pred, l.first,
+                             BoundPredicate::Side::kCandidateRight);
         for (size_t rix = task.begin; rix < task.end; ++rix) {
           const R& r = rv[rix];
-          if (pred.Eval(l.first, r.first)) sink.push_back(project(l, r));
+          if (bound.Eval(r.first)) sink.push_back(project(l, r));
         }
+        prep_hits += bound.prepared_hits();
+        prep_misses += bound.prepared_misses();
       }
     }
-    ji::AnnotateSpan(ji::TaskDetail(task, rv.size()), task.end - task.begin,
-                     sink.size());
+    ji::AnnotateSpan(ji::TaskDetail(task, rv.size()) +
+                         ji::IndexDetail(packed_probes, prep_hits, prep_misses),
+                     task.end - task.begin, sink.size());
     metrics.results->Add(sink.size());
+    ji::FlushIndexMetrics(packed_probes, prep_hits, prep_misses);
   });
 
   return MakeRDDFromPartitions(ctx, std::move(out));

@@ -9,9 +9,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "geometry/prepared.h"
+#include "index/packed_rtree.h"
+#include "spatial_rdd/query_stats.h"
 #include "spatial_rdd/spatial_rdd.h"
 
 namespace stark {
@@ -39,18 +43,18 @@ RDD<std::pair<std::pair<STObject, V>, std::vector<KnnMatch<W>>>> KnnJoin(
   const size_t nl = left.NumPartitions();
   const size_t nr = right.NumPartitions();
 
-  // Materialize and index the right side once.
+  // Materialize and index the right side once (straight into the packed
+  // layout — kNN traversal walks SoA node arrays, no pointer chasing).
   std::vector<std::vector<R>> right_parts = right.rdd().CollectPartitions();
-  std::vector<std::unique_ptr<RTree<size_t>>> right_trees(nr);
+  std::vector<std::unique_ptr<PackedRTree<size_t>>> right_trees(nr);
   ctx->pool().ParallelFor(nr, [&](size_t j) {
-    auto tree = std::make_unique<RTree<size_t>>(index_order);
     std::vector<std::pair<Envelope, size_t>> entries;
     entries.reserve(right_parts[j].size());
     for (size_t e = 0; e < right_parts[j].size(); ++e) {
       entries.emplace_back(right_parts[j][e].first.envelope(), e);
     }
-    tree->BulkLoad(std::move(entries));
-    right_trees[j] = std::move(tree);
+    right_trees[j] =
+        std::make_unique<PackedRTree<size_t>>(index_order, std::move(entries));
   });
 
   // Right-partition extents for pruning (fall back to tree bounds when the
@@ -65,8 +69,25 @@ RDD<std::pair<std::pair<STObject, V>, std::vector<KnnMatch<W>>>> KnnJoin(
   std::vector<std::vector<L>> left_parts = left.rdd().CollectPartitions();
   std::vector<std::vector<Out>> out(nl);
   ctx->pool().ParallelFor(nl, [&](size_t i) {
+    size_t packed_probes = 0;
+    size_t prep_hits = 0;
+    size_t prep_misses = 0;
     out[i].reserve(left_parts[i].size());
     for (L& l : left_parts[i]) {
+      // Each left element's geometry is interrogated once per candidate;
+      // prepare it lazily so elements whose partitions all get pruned (or
+      // that find no candidates) never pay for preparation.
+      // DistanceFrom(rg) == Distance(rg, l.geo) — identical doubles.
+      std::optional<PreparedGeometry> prep;
+      auto exact = [&](const Geometry& rg) {
+        if (!prep.has_value()) {
+          prep.emplace(l.first.geo());
+          ++prep_misses;
+        } else {
+          ++prep_hits;
+        }
+        return prep->DistanceFrom(rg);
+      };
       // Branch-and-bound admissibility: geometry distance is always >= the
       // distance between the geometries' envelopes, so envelope-based
       // bounds never over-prune. The in-tree bound is anchored at the left
@@ -95,12 +116,13 @@ RDD<std::pair<std::pair<STObject, V>, std::vector<KnnMatch<W>>>> KnnJoin(
         }
         if (left_is_point) {
           auto hits = right_trees[j]->Knn(c, k, [&](const size_t& e) {
-            return Distance(right_parts[j][e].first.geo(), l.first.geo());
+            return exact(right_parts[j][e].first.geo());
           });
+          ++packed_probes;
           for (auto& [dist, e] : hits) merge(dist, right_parts[j][*e]);
         } else {
           for (const R& r : right_parts[j]) {
-            merge(Distance(r.first.geo(), l.first.geo()), r);
+            merge(exact(r.first.geo()), r);
           }
         }
         std::sort(best.begin(), best.end(),
@@ -113,6 +135,10 @@ RDD<std::pair<std::pair<STObject, V>, std::vector<KnnMatch<W>>>> KnnJoin(
       }
       out[i].emplace_back(std::move(l), std::move(best));
     }
+    const IndexMetricSet& index_metrics = GlobalIndexMetrics();
+    index_metrics.packed_probes->Add(packed_probes);
+    index_metrics.prepared_hits->Add(prep_hits);
+    index_metrics.prepared_misses->Add(prep_misses);
   });
   return MakeRDDFromPartitions(ctx, std::move(out));
 }

@@ -107,6 +107,31 @@ inline const FilterMetricSet& GlobalFilterMetrics() {
   return metrics;
 }
 
+/// Counters for the packed index / prepared-geometry hot path (PR 5):
+/// - engine.index.packed_probes: PackedRTree Query/Knn probes issued by the
+///   spatial layer (one per query window or kNN search, not per node).
+/// - spatial.prepared.hits/misses: PreparedGeometry reuse vs construction
+///   during refinement — misses is one per distinct geometry actually
+///   refined against in a task, hits are the repeat evaluations it saved.
+/// Bumped batched per task like the filter metrics (never per element).
+struct IndexMetricSet {
+  obs::Counter* packed_probes;
+  obs::Counter* prepared_hits;
+  obs::Counter* prepared_misses;
+};
+
+inline const IndexMetricSet& GlobalIndexMetrics() {
+  static const IndexMetricSet metrics = [] {
+    obs::MetricsRegistry& m = obs::DefaultMetrics();
+    return IndexMetricSet{
+        m.GetCounter("engine.index.packed_probes"),
+        m.GetCounter("spatial.prepared.hits"),
+        m.GetCounter("spatial.prepared.misses"),
+    };
+  }();
+  return metrics;
+}
+
 }  // namespace stark
 
 #endif  // STARK_SPATIAL_RDD_QUERY_STATS_H_

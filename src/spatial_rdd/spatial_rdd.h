@@ -17,7 +17,9 @@
 #include "core/st_serde.h"
 #include "core/stobject.h"
 #include "engine/rdd.h"
+#include "index/packed_rtree.h"
 #include "index/rtree.h"
+#include "obs/trace.h"
 #include "partition/partitioner.h"
 #include "spatial_rdd/predicate.h"
 #include "spatial_rdd/query_stats.h"
@@ -35,11 +37,16 @@ class SpatialRDD;
 /// the index is rebuilt whenever a partition is processed; persistent
 /// indexing caches the trees and can save them to disk and load them back
 /// in another program run.
+///
+/// The partition trees are *packed* R-trees (PackedRTree): STR bulk-loaded
+/// straight into the flat SoA layout, probed with the iterative templated
+/// traversal. Incrementally built RTree instances enter this layout via
+/// RTree::Freeze().
 template <typename V>
 class IndexedSpatialRDD {
  public:
   using Element = std::pair<STObject, V>;
-  using TreePtr = std::shared_ptr<const RTree<Element>>;
+  using TreePtr = std::shared_ptr<const PackedRTree<Element>>;
 
   IndexedSpatialRDD(RDD<TreePtr> trees,
                     std::shared_ptr<std::vector<Envelope>> extents,
@@ -87,12 +94,18 @@ class IndexedSpatialRDD {
                                               std::vector<TreePtr> trees) {
           std::vector<Element> out;
           size_t candidates = 0;
+          size_t packed_probes = 0;
+          // The query geometry is refined against every candidate: bind it
+          // once so it is prepared on the first candidate and reused after.
+          BoundPredicate bound(pred, query,
+                               BoundPredicate::Side::kCandidateLeft);
           auto refine = [&](const Element& e) {
             ++candidates;
-            if (pred.Eval(e.first, query)) out.push_back(e);
+            if (bound.Eval(e.first)) out.push_back(e);
           };
           for (const TreePtr& tree : trees) {
             if (prunable) {
+              ++packed_probes;
               tree->Query(probe, [&](const Envelope&, const Element& e) {
                 refine(e);
               });
@@ -111,6 +124,18 @@ class IndexedSpatialRDD {
           if (!trees.empty()) global.partitions_scanned->Increment();
           global.candidates->Add(candidates);
           global.results->Add(out.size());
+          const IndexMetricSet& index_metrics = GlobalIndexMetrics();
+          index_metrics.packed_probes->Add(packed_probes);
+          index_metrics.prepared_hits->Add(bound.prepared_hits());
+          index_metrics.prepared_misses->Add(bound.prepared_misses());
+          if (obs::TaskSpan* span = obs::CurrentTaskSpan()) {
+            span->detail = "packed_probes=" + std::to_string(packed_probes) +
+                           " prepared=" +
+                           std::to_string(bound.prepared_hits()) + "/" +
+                           std::to_string(bound.prepared_misses());
+            span->records_in = candidates;
+            span->records_out = out.size();
+          }
           return out;
         });
   }
@@ -143,18 +168,37 @@ class IndexedSpatialRDD {
         trees_.MapPartitionsWithIndex([query, qc, k, fn](
                                           size_t, std::vector<TreePtr> ts) {
           std::vector<std::pair<double, Element>> out;
+          // Lazily prepare the query geometry for the exact-distance
+          // callback: one preparation per task, shared by every candidate
+          // the branch-and-bound search actually measures.
+          std::optional<PreparedGeometry> prepared;
+          size_t prepared_hits = 0;
+          size_t prepared_misses = 0;
+          size_t packed_probes = 0;
           for (const TreePtr& tree : ts) {
             if (fn) {
               tree->ForEach([&](const Envelope&, const Element& e) {
                 out.emplace_back(SanitizeDistance(fn(e.first, query)), e);
               });
             } else {
-              auto hits = tree->Knn(qc, k, [&query](const Element& e) {
-                return Distance(e.first.geo(), query.geo());
+              ++packed_probes;
+              auto hits = tree->Knn(qc, k, [&](const Element& e) {
+                if (!prepared.has_value()) {
+                  prepared.emplace(query.geo());
+                  ++prepared_misses;
+                } else {
+                  ++prepared_hits;
+                }
+                // DistanceFrom(other) computes Distance(other, query.geo).
+                return prepared->DistanceFrom(e.first.geo());
               });
               for (auto& [dist, elem] : hits) out.emplace_back(dist, *elem);
             }
           }
+          const IndexMetricSet& index_metrics = GlobalIndexMetrics();
+          index_metrics.packed_probes->Add(packed_probes);
+          index_metrics.prepared_hits->Add(prepared_hits);
+          index_metrics.prepared_misses->Add(prepared_misses);
           if (fn && out.size() > k) {
             std::partial_sort(out.begin(),
                               out.begin() + static_cast<ptrdiff_t>(k),
@@ -258,9 +302,8 @@ class IndexedSpatialRDD {
         entries.emplace_back(env,
                              Element{std::move(obj), std::move(value)});
       }
-      auto tree = std::make_shared<RTree<Element>>(order);
-      tree->BulkLoad(std::move(entries));
-      parts[p].push_back(std::move(tree));
+      parts[p].push_back(
+          std::make_shared<PackedRTree<Element>>(order, std::move(entries)));
     }
     RDD<TreePtr> trees = MakeRDDFromPartitions(ctx, std::move(parts));
     return IndexedSpatialRDD<V>(trees.Cache(), std::move(extents), order);
@@ -367,8 +410,12 @@ class SpatialRDD {
     return source.MapPartitionsWithIndex(
         [query, pred, stats](size_t, std::vector<Element> items) {
           std::vector<Element> out;
+          // Prepared refinement: the query geometry is prepared on the
+          // first element and reused for the rest of the partition.
+          BoundPredicate bound(pred, query,
+                               BoundPredicate::Side::kCandidateLeft);
           for (auto& e : items) {
-            if (pred.Eval(e.first, query)) out.push_back(std::move(e));
+            if (bound.Eval(e.first)) out.push_back(std::move(e));
           }
           if (stats) {
             if (!items.empty()) ++stats->partitions_scanned;
@@ -379,6 +426,9 @@ class SpatialRDD {
           if (!items.empty()) global.partitions_scanned->Increment();
           global.candidates->Add(items.size());
           global.results->Add(out.size());
+          const IndexMetricSet& index_metrics = GlobalIndexMetrics();
+          index_metrics.prepared_hits->Add(bound.prepared_hits());
+          index_metrics.prepared_misses->Add(bound.prepared_misses());
           return out;
         });
   }
@@ -472,9 +522,10 @@ class SpatialRDD {
             Envelope env = e.first.envelope();
             entries.emplace_back(env, std::move(e));
           }
-          auto tree = std::make_shared<RTree<Element>>(order);
-          tree->BulkLoad(std::move(entries));
-          return std::vector<TreePtr>{std::move(tree)};
+          // STR bulk load straight into the packed SoA layout — no interim
+          // pointer tree.
+          return std::vector<TreePtr>{std::make_shared<PackedRTree<Element>>(
+              order, std::move(entries))};
         });
   }
 

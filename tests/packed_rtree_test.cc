@@ -1,0 +1,269 @@
+// Differential testing of the packed (flat SoA) R-tree against the classic
+// pointer-based RTree and a brute-force oracle: same candidates for window
+// queries, same kNN distances, same depth/bounds — across orders, random
+// mixed-geometry populations, duplicates, and degenerate sizes. Also unit
+// tests of the branchless FilterEnvelopesBatch kernel the leaf scans use.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/envelope.h"
+#include "geometry/geometry.h"
+#include "geometry/kernels.h"
+#include "geometry/predicates.h"
+#include "index/packed_rtree.h"
+#include "index/rtree.h"
+#include "test_util.h"
+
+namespace stark {
+namespace {
+
+using test::RandomEnvelope;
+using test::RandomPopulation;
+
+std::vector<std::pair<Envelope, size_t>> EntriesFor(
+    const std::vector<Geometry>& pop) {
+  std::vector<std::pair<Envelope, size_t>> entries;
+  entries.reserve(pop.size());
+  for (size_t id = 0; id < pop.size(); ++id) {
+    entries.emplace_back(pop[id].envelope(), id);
+  }
+  return entries;
+}
+
+std::multiset<size_t> BruteForceCandidates(
+    const std::vector<std::pair<Envelope, size_t>>& entries,
+    const Envelope& query) {
+  std::multiset<size_t> out;
+  for (const auto& [env, id] : entries) {
+    if (query.Intersects(env)) out.insert(id);
+  }
+  return out;
+}
+
+template <typename Tree>
+std::multiset<size_t> TreeCandidates(const Tree& tree, const Envelope& query) {
+  std::multiset<size_t> out;
+  tree.Query(query, [&out](const Envelope&, const size_t& id) {
+    out.insert(id);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Window queries: packed vs classic vs brute force
+// ---------------------------------------------------------------------------
+
+TEST(PackedRTreeTest, QueryMatchesClassicAndBruteForceAcrossOrders) {
+  const std::vector<Geometry> pop = RandomPopulation(/*seed=*/20260807, 400);
+  const auto entries = EntriesFor(pop);
+
+  for (size_t order : {2u, 3u, 5u, 10u, 32u}) {
+    RTree<size_t> classic(order);
+    classic.BulkLoad(entries);
+    PackedRTree<size_t> packed(order, entries);
+    ASSERT_EQ(packed.size(), pop.size());
+    ASSERT_EQ(packed.Depth(), classic.Depth()) << "order " << order;
+    ASSERT_EQ(packed.bounds().min_x(), classic.bounds().min_x());
+    ASSERT_EQ(packed.bounds().max_y(), classic.bounds().max_y());
+
+    Rng rng(1000 + order);
+    size_t nonempty = 0;
+    for (int q = 0; q < 150; ++q) {
+      const Envelope query = RandomEnvelope(&rng, 25.0);
+      const std::multiset<size_t> expected =
+          BruteForceCandidates(entries, query);
+      ASSERT_EQ(TreeCandidates(packed, query), expected)
+          << "order " << order << " query " << q;
+      ASSERT_EQ(TreeCandidates(classic, query), expected)
+          << "order " << order << " query " << q;
+      if (!expected.empty()) ++nonempty;
+    }
+    EXPECT_GT(nonempty, 100u) << "order " << order;
+  }
+}
+
+TEST(PackedRTreeTest, QueryCandidatesAndForEachCoverEveryEntry) {
+  const std::vector<Geometry> pop = RandomPopulation(/*seed=*/77, 123);
+  PackedRTree<size_t> packed(8, EntriesFor(pop));
+
+  // The universe query sees everything, as does ForEach.
+  const Envelope all(-1e9, -1e9, 1e9, 1e9);
+  EXPECT_EQ(packed.QueryCandidates(all).size(), pop.size());
+
+  std::multiset<size_t> seen;
+  packed.ForEach([&seen, &pop](const Envelope& env, const size_t& id) {
+    seen.insert(id);
+    EXPECT_TRUE(env == pop[id].envelope()) << id;
+  });
+  EXPECT_EQ(seen.size(), pop.size());
+}
+
+TEST(PackedRTreeTest, EmptyAndTinyTrees) {
+  PackedRTree<size_t> empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.Depth(), 1u);
+  EXPECT_TRUE(empty.bounds().IsEmpty());
+  EXPECT_TRUE(empty.QueryCandidates(Envelope(0, 0, 1, 1)).empty());
+  EXPECT_TRUE(empty.Knn({0, 0}, 3, [](const size_t&) { return 0.0; }).empty());
+
+  // One entry: root is a leaf.
+  std::vector<std::pair<Envelope, size_t>> one;
+  one.emplace_back(Envelope(1, 1, 2, 2), 42u);
+  PackedRTree<size_t> single(4, one);
+  EXPECT_EQ(single.size(), 1u);
+  EXPECT_EQ(single.Depth(), 1u);
+  EXPECT_EQ(single.num_leaf_nodes(), 1u);
+  auto hits = single.QueryCandidates(Envelope(0, 0, 3, 3));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(*hits[0], 42u);
+  EXPECT_TRUE(single.QueryCandidates(Envelope(5, 5, 6, 6)).empty());
+}
+
+TEST(PackedRTreeTest, DuplicateEnvelopesAllReported) {
+  std::vector<std::pair<Envelope, size_t>> entries;
+  const Envelope dup(3, 3, 4, 4);
+  for (size_t i = 0; i < 37; ++i) entries.emplace_back(dup, i);
+  PackedRTree<size_t> packed(4, entries);
+  const auto got = TreeCandidates(packed, Envelope(0, 0, 10, 10));
+  EXPECT_EQ(got.size(), 37u);
+  for (size_t i = 0; i < 37; ++i) EXPECT_EQ(got.count(i), 1u) << i;
+}
+
+// ---------------------------------------------------------------------------
+// kNN: packed vs classic vs brute force
+// ---------------------------------------------------------------------------
+
+TEST(PackedRTreeTest, KnnMatchesClassicAndBruteForce) {
+  const std::vector<Geometry> pop = RandomPopulation(/*seed=*/909, 250);
+  const auto entries = EntriesFor(pop);
+  RTree<size_t> classic(7);
+  classic.BulkLoad(entries);
+  PackedRTree<size_t> packed(7, entries);
+
+  Rng rng(606);
+  for (int q = 0; q < 60; ++q) {
+    const Coordinate c{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    const Geometry probe = Geometry::MakePoint(c);
+    const size_t k = 1 + static_cast<size_t>(q % 12);
+
+    auto packed_hits = packed.Knn(c, k, [&](const size_t& id) {
+      return Distance(pop[id], probe);
+    });
+    auto classic_hits = classic.Knn(c, k, [&](const size_t& id) {
+      return Distance(pop[id], probe);
+    });
+
+    // Brute-force k smallest exact distances.
+    std::vector<double> all;
+    all.reserve(pop.size());
+    for (const Geometry& g : pop) all.push_back(Distance(g, probe));
+    std::sort(all.begin(), all.end());
+    all.resize(std::min(k, all.size()));
+
+    ASSERT_EQ(packed_hits.size(), all.size()) << "query " << q;
+    ASSERT_EQ(classic_hits.size(), all.size()) << "query " << q;
+    for (size_t i = 0; i < all.size(); ++i) {
+      // Ties may order arbitrarily, but the distance sequence is unique.
+      EXPECT_DOUBLE_EQ(packed_hits[i].first, all[i]) << "query " << q;
+      EXPECT_DOUBLE_EQ(classic_hits[i].first, all[i]) << "query " << q;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Freeze(): classic incremental tree -> packed tree
+// ---------------------------------------------------------------------------
+
+TEST(PackedRTreeTest, FreezeOfIncrementalTreeAnswersIdentically) {
+  const std::vector<Geometry> pop = RandomPopulation(/*seed=*/313, 300);
+  const auto entries = EntriesFor(pop);
+  RTree<size_t> incremental(5);
+  for (const auto& [env, id] : entries) incremental.Insert(env, id);
+  ASSERT_TRUE(incremental.CheckInvariants());
+  const PackedRTree<size_t> frozen = incremental.Freeze();
+  ASSERT_EQ(frozen.size(), incremental.size());
+
+  Rng rng(515);
+  for (int q = 0; q < 100; ++q) {
+    const Envelope query = RandomEnvelope(&rng, 30.0);
+    ASSERT_EQ(TreeCandidates(frozen, query),
+              BruteForceCandidates(entries, query))
+        << "query " << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FilterEnvelopesBatch kernel
+// ---------------------------------------------------------------------------
+
+TEST(PackedRTreeTest, FilterEnvelopesBatchMatchesEnvelopeIntersects) {
+  Rng rng(2468);
+  EnvelopeSoA soa;
+  std::vector<Envelope> envs;
+  for (int i = 0; i < 500; ++i) {
+    const Envelope e = RandomEnvelope(&rng, 15.0);
+    envs.push_back(e);
+    soa.PushBack(e);
+  }
+  for (int q = 0; q < 200; ++q) {
+    const Envelope query = RandomEnvelope(&rng, 40.0);
+    std::vector<uint32_t> got;
+    FilterEnvelopesBatch(soa, query, &got);
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < envs.size(); ++i) {
+      if (query.Intersects(envs[i])) expected.push_back(i);
+    }
+    ASSERT_EQ(got, expected) << "query " << q;
+  }
+}
+
+TEST(PackedRTreeTest, FilterEnvelopesBatchHandlesEmptyAndNaN) {
+  // The contract is consistency with Envelope::Intersects, including for
+  // the empty sentinel (never matches: its +inf/-inf bounds fail the
+  // comparisons) and all-NaN boxes (every comparison is false, so the
+  // negated form matches — same answer Envelope::Intersects gives).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<Envelope> envs = {
+      Envelope(0, 0, 1, 1),
+      Envelope(),  // empty sentinel
+      Envelope(nan, nan, nan, nan),
+  };
+  EnvelopeSoA soa;
+  for (const Envelope& e : envs) soa.PushBack(e);
+
+  std::vector<uint32_t> out;
+  // Empty query intersects nothing (matches Envelope::Intersects).
+  EXPECT_EQ(FilterEnvelopesBatch(soa, Envelope(), &out), 0u);
+  out.clear();
+  const Envelope query(-1, -1, 2, 2);
+  const size_t n = FilterEnvelopesBatch(soa, query, &out);
+  std::vector<uint32_t> expected;
+  for (uint32_t i = 0; i < envs.size(); ++i) {
+    // Element-wise comparison form, as the kernel computes it (the
+    // Envelope::Intersects entry point short-circuits empties first, which
+    // the empty sentinel's ordering makes equivalent).
+    const Envelope& e = envs[i];
+    const bool hit = !(e.min_x() > query.max_x()) &&
+                     !(e.max_x() < query.min_x()) &&
+                     !(e.min_y() > query.max_y()) &&
+                     !(e.max_y() < query.min_y());
+    if (hit) expected.push_back(i);
+  }
+  ASSERT_EQ(n, expected.size());
+  EXPECT_EQ(out, expected);
+  // The real (non-NaN) envelopes agree with Envelope::Intersects exactly.
+  EXPECT_TRUE(query.Intersects(envs[0]));
+  EXPECT_FALSE(query.Intersects(envs[1]));
+  EXPECT_EQ(out[0], 0u);
+}
+
+}  // namespace
+}  // namespace stark

@@ -174,6 +174,33 @@ TEST(RTreeTest, DepthGrowsWithSize) {
   EXPECT_GT(big.Depth(), 2u);
 }
 
+TEST(RTreeTest, InsertKeepsEnvelopesTight) {
+  // Regression for the Insert envelope-tightening bug: ancestors are now
+  // expanded before overflow splits, so every node's envelope must equal
+  // the exact union of its children at all times. The old AdjustUpward
+  // ordering left stale (over-wide or under-wide) interior envelopes after
+  // a split, which CheckInvariants flags.
+  for (uint64_t seed : {7u, 21u, 99u}) {
+    for (size_t order : {2u, 3u, 5u, 10u}) {
+      RTree<size_t> tree(order);
+      const auto data = RandomBoxes(300, seed);
+      size_t step = 0;
+      for (const auto& [env, id] : data) {
+        tree.Insert(env, id);
+        if (++step % 50 == 0) {
+          ASSERT_TRUE(tree.CheckInvariants())
+              << "seed " << seed << " order " << order << " after " << step;
+        }
+      }
+      ASSERT_TRUE(tree.CheckInvariants()) << "seed " << seed << " order "
+                                          << order;
+      // Invariants must also survive the bulk-load path.
+      tree.BulkLoad(data);
+      ASSERT_TRUE(tree.CheckInvariants()) << "bulk, seed " << seed;
+    }
+  }
+}
+
 TEST(RTreeTest, BulkLoadReplacesContents) {
   RTree<size_t> tree(4);
   tree.Insert(Envelope(0, 0, 1, 1), 999);

@@ -4,9 +4,18 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/envelope.h"
+#include "geometry/geometry.h"
 
 namespace stark {
 namespace test {
@@ -17,6 +26,101 @@ namespace test {
 inline std::string UniqueTempPath(const std::string& stem) {
   return ::testing::TempDir() + "/" + stem + "." +
          std::to_string(::getpid());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded random-geometry generators, shared by the predicate fuzz suite and
+// the packed-index / prepared-geometry differential tests so every suite
+// exercises the same mixed population shapes.
+// ---------------------------------------------------------------------------
+
+/// Side length of the square universe the generators draw from.
+inline constexpr double kFuzzUniverse = 100.0;
+
+inline Coordinate RandomCoord(Rng* rng) {
+  return Coordinate{rng->Uniform(0.0, kFuzzUniverse),
+                    rng->Uniform(0.0, kFuzzUniverse)};
+}
+
+inline Envelope RandomEnvelope(Rng* rng, double max_extent) {
+  const Coordinate c = RandomCoord(rng);
+  // Strictly positive extents: MakeBox of the envelope must be a valid
+  // (non-degenerate) polygon ring.
+  const double w = rng->Uniform(0.05, max_extent);
+  const double h = rng->Uniform(0.05, max_extent);
+  return Envelope(c.x, c.y, c.x + w, c.y + h);
+}
+
+/// A simple (non-self-intersecting) polygon: vertices on a star around a
+/// center, angles sorted, radius varying per vertex.
+inline Geometry RandomStarPolygon(Rng* rng) {
+  const Coordinate center = RandomCoord(rng);
+  const double base_radius = rng->Uniform(0.5, 8.0);
+  const int n = static_cast<int>(rng->UniformInt(3, 9));
+  std::vector<double> angles;
+  for (int i = 0; i < n; ++i) angles.push_back(rng->Uniform(0.0, 6.2831853));
+  std::sort(angles.begin(), angles.end());
+  Ring shell;
+  for (int i = 0; i < n; ++i) {
+    const double r = base_radius * rng->Uniform(0.4, 1.0);
+    shell.push_back(Coordinate{center.x + r * std::cos(angles[i]),
+                               center.y + r * std::sin(angles[i])});
+  }
+  auto polygon = Geometry::MakePolygon(std::move(shell));
+  // Degenerate draws (collinear / duplicate vertices) fall back to a box
+  // so the population size stays fixed.
+  if (!polygon.ok()) {
+    return Geometry::MakeBox(Envelope(center.x - 1, center.y - 1,
+                                      center.x + 1, center.y + 1));
+  }
+  return polygon.ValueOrDie();
+}
+
+/// One random geometry of a mixed type: point, box, star polygon,
+/// linestring, or multipoint.
+inline Geometry RandomGeometry(Rng* rng) {
+  switch (rng->UniformInt(0, 4)) {
+    case 0:
+      return Geometry::MakePoint(RandomCoord(rng));
+    case 1:
+      return Geometry::MakeBox(RandomEnvelope(rng, 10.0));
+    case 2:
+      return RandomStarPolygon(rng);
+    case 3: {
+      const int n = static_cast<int>(rng->UniformInt(2, 6));
+      std::vector<Coordinate> coords;
+      const Coordinate start = RandomCoord(rng);
+      coords.push_back(start);
+      for (int i = 1; i < n; ++i) {
+        coords.push_back(Coordinate{start.x + rng->Uniform(-6.0, 6.0),
+                                    start.y + rng->Uniform(-6.0, 6.0)});
+      }
+      auto line = Geometry::MakeLineString(std::move(coords));
+      if (!line.ok()) return Geometry::MakePoint(start);
+      return line.ValueOrDie();
+    }
+    default: {
+      const int n = static_cast<int>(rng->UniformInt(2, 5));
+      std::vector<Coordinate> coords;
+      const Coordinate anchor = RandomCoord(rng);
+      for (int i = 0; i < n; ++i) {
+        coords.push_back(Coordinate{anchor.x + rng->Uniform(-4.0, 4.0),
+                                    anchor.y + rng->Uniform(-4.0, 4.0)});
+      }
+      auto mp = Geometry::MakeMultiPoint(std::move(coords));
+      if (!mp.ok()) return Geometry::MakePoint(anchor);
+      return mp.ValueOrDie();
+    }
+  }
+}
+
+/// A reproducible mixed population of \p count geometries.
+inline std::vector<Geometry> RandomPopulation(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<Geometry> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(RandomGeometry(&rng));
+  return out;
 }
 
 }  // namespace test
