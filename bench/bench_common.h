@@ -12,10 +12,14 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "common/stopwatch.h"
 #include "fault/failpoint.h"
 #include "io/generator.h"
+#include "obs/json_util.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
 #include "obs/trace.h"
 
 namespace stark {
@@ -82,6 +86,10 @@ class TraceFromEnv {
       path_ = path;
       obs::DefaultTracer().Enable();
     }
+    // STARK_METRICS_EXPORT=<path>: continuous OpenMetrics snapshots over
+    // the benchmark run; the exporter writes a final snapshot when this
+    // guard is destroyed at process exit.
+    exporter_ = obs::MetricsExporter::FromEnv();
     for (const fault::FailPoint* fp : fault::DefaultFailPoints().List()) {
       if (fp->armed()) {
         std::fprintf(stderr,
@@ -114,6 +122,7 @@ class TraceFromEnv {
 
  private:
   std::string path_;
+  std::unique_ptr<obs::MetricsExporter> exporter_;
 };
 
 /// \brief Minimal flat JSON metric report shared by the bench binaries.
@@ -128,6 +137,23 @@ class JsonReport {
     entries_.emplace_back(std::move(name), value);
   }
 
+  /// Embeds the engine-metrics delta accumulated since \p before was
+  /// snapped: every counter that moved during the benchmark becomes a
+  /// "metrics.<name>" entry. Lets the checked-in BENCH_*.json snapshots
+  /// carry retries/cache-hits/pruning alongside the timings, so a perf
+  /// regression can be told apart from a behavior change.
+  void AddMetricsDelta(const obs::MetricsRegistry::Snapshot& before) {
+    const obs::MetricsRegistry::Snapshot after = obs::DefaultMetrics().Snap();
+    for (const auto& [name, value] : after.counters) {
+      uint64_t prior = 0;
+      const auto it = before.counters.find(name);
+      if (it != before.counters.end()) prior = it->second;
+      if (value > prior) {
+        Add("metrics." + name, static_cast<double>(value - prior));
+      }
+    }
+  }
+
   /// Writes the report; returns false (with a stderr warning) on I/O error.
   bool WriteTo(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -138,7 +164,8 @@ class JsonReport {
     }
     std::fprintf(f, "{\n");
     for (size_t i = 0; i < entries_.size(); ++i) {
-      std::fprintf(f, "  \"%s\": %.6f%s\n", entries_[i].first.c_str(),
+      std::fprintf(f, "  %s: %.6f%s\n",
+                   obs::JsonQuoted(entries_[i].first).c_str(),
                    entries_[i].second, i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "}\n");

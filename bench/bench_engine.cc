@@ -141,6 +141,11 @@ constexpr int kTaskMs = 50;  // per-task work (sleep stands in for CPU);
                              // the armed delay of 1000ms is 20x this.
 
 int RunSmoke() {
+  // STARK_METRICS_EXPORT=<path>: continuous OpenMetrics snapshots over the
+  // smoke run; the CI observability job validates the final file with
+  // tools/openmetrics_check. The destructor writes the last snapshot.
+  const std::unique_ptr<obs::MetricsExporter> exporter =
+      obs::MetricsExporter::FromEnv();
   fault::DefaultFailPoints().DisarmAll();
   int failures = 0;
   auto check = [&failures](bool ok, const char* what) {

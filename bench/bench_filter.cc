@@ -20,6 +20,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
 #include "partition/bsp_partitioner.h"
 #include "partition/grid_partitioner.h"
 #include "spatial_rdd/spatial_rdd.h"
@@ -167,6 +169,8 @@ double MedianOf(std::vector<double> samples) {
 int RunSmoke(const std::string& json_path) {
   // Shrink the workload unless the caller pinned a size explicitly.
   setenv("STARK_BENCH_FILTER_N", "60000", /*overwrite=*/0);
+  const obs::MetricsRegistry::Snapshot metrics_before =
+      obs::DefaultMetrics().Snap();
   const STObject query = Query();
   int failures = 0;
   auto check = [&failures](bool ok, const char* what) {
@@ -214,6 +218,38 @@ int RunSmoke(const std::string& json_path) {
                "indexed=%.4fs\n",
                MedianOf(scan_s), MedianOf(live_s), MedianOf(indexed_s));
 
+  // Observability overhead guard: running the same filter with the query
+  // profiler collecting and the flight recorder on must stay within 5% of
+  // the fully-dark run (min-of-5, alternated so thermal/cache drift hits
+  // both sides alike; min is the noise-robust statistic for "how fast can
+  // this go"). A small absolute slack keeps sub-millisecond jitter from
+  // failing the ratio on fast machines.
+  obs::FlightRecorder& flight = obs::DefaultFlightRecorder();
+  std::vector<double> obs_on_s, obs_off_s;
+  for (int i = 0; i < 5; ++i) {
+    {
+      obs::ProfileCollector collector("overhead-guard");
+      obs::ProfileCollectorScope scope(&collector);
+      flight.Enable();
+      Stopwatch w;
+      GridPartitioned().Intersects(query).Count();
+      obs_on_s.push_back(w.ElapsedSeconds());
+    }
+    flight.Disable();
+    Stopwatch w;
+    GridPartitioned().Intersects(query).Count();
+    obs_off_s.push_back(w.ElapsedSeconds());
+    flight.Enable();
+  }
+  const double on_min = *std::min_element(obs_on_s.begin(), obs_on_s.end());
+  const double off_min = *std::min_element(obs_off_s.begin(), obs_off_s.end());
+  std::fprintf(stderr,
+               "[smoke] observability overhead: on=%.4fs off=%.4fs (%+.1f%%)\n",
+               on_min, off_min,
+               off_min > 0 ? (on_min / off_min - 1.0) * 100.0 : 0.0);
+  check(on_min <= off_min * 1.05 + 0.002,
+        "profiler+flight recorder overhead <= 5%");
+
   if (!json_path.empty()) {
     bench::JsonReport report;
     report.Add("filter.n", static_cast<double>(N()));
@@ -225,6 +261,9 @@ int RunSmoke(const std::string& json_path) {
                static_cast<double>(packed_probes->Value() - probes_before));
     report.Add("filter.prepared_misses",
                static_cast<double>(prepared_misses->Value() - misses_before));
+    report.Add("filter.obs_on_s", on_min);
+    report.Add("filter.obs_off_s", off_min);
+    report.AddMetricsDelta(metrics_before);
     report.WriteTo(json_path);
   }
 

@@ -16,7 +16,9 @@
 
 #include "engine/context.h"
 #include "fault/failpoint.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
 #include "obs/trace.h"
 #include "piglet/explain.h"
 #include "piglet/interpreter.h"
@@ -38,6 +40,10 @@ Example:
 \a <statements>  EXPLAIN ANALYZE: runs them and prints per-operator stats.
 \m               dumps engine metrics (counters/gauges/histograms).
 \f               dumps fault-injection sites (policy, hits, fires).
+\r <file>        dumps the flight recorder (task-lifecycle ring) as JSON.
+SET obs.profile 1;  prints a per-job QueryProfile tree after each script.
+Env: STARK_METRICS_EXPORT=<path> exports OpenMetrics text continuously;
+     STARK_FLIGHT_RECORDER=<path> auto-dumps the ring on job failure.
 Type \q to quit.
 )";
 
@@ -82,6 +88,13 @@ int main(int argc, char** argv) {
     obs::DefaultTracer().Enable();
     std::printf("tracing to %s (Chrome trace_event JSON)\n",
                 trace_path.c_str());
+  }
+  // STARK_METRICS_EXPORT=<path>: background OpenMetrics snapshots for the
+  // whole session (final export on exit via the destructor).
+  std::unique_ptr<obs::MetricsExporter> exporter =
+      obs::MetricsExporter::FromEnv();
+  if (exporter != nullptr) {
+    std::printf("exporting OpenMetrics to %s\n", exporter->path().c_str());
   }
 
   Context ctx;
@@ -138,6 +151,26 @@ int main(int argc, char** argv) {
       const std::string report = fault::DefaultFailPoints().Report();
       std::printf("%s", report.empty() ? "no fail points resolved yet\n"
                                        : report.c_str());
+      Prompt(false);
+      continue;
+    }
+    if (line.rfind("\\r", 0) == 0) {
+      // Flight recorder dump: \r <file> writes JSON there; bare \r prints
+      // a summary of what the ring currently holds.
+      std::string path = line.size() > 3 ? line.substr(3) : std::string();
+      obs::FlightRecorder& flight = obs::DefaultFlightRecorder();
+      if (path.empty()) {
+        std::printf("flight recorder: %llu event(s) recorded, capacity %zu\n",
+                    static_cast<unsigned long long>(flight.total_recorded()),
+                    flight.capacity());
+      } else {
+        const Status status = flight.Dump(path, "shell request");
+        if (!status.ok()) {
+          std::printf("error: %s\n", status.ToString().c_str());
+        } else {
+          std::printf("flight recorder dumped to %s\n", path.c_str());
+        }
+      }
       Prompt(false);
       continue;
     }

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -20,7 +21,9 @@
 #include "engine/job_control.h"
 #include "fault/failpoint.h"
 #include "fault/retry.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace stark {
@@ -132,10 +135,15 @@ class Context {
     const SpeculationPolicy spec = speculation_policy_;
     obs::TaskTracer* const tracer = tracer_;
     const bool traced = tracer->enabled();
+    // Profiling piggybacks on the tracing span plumbing: when a
+    // ProfileCollector is installed on this (driver) thread, tasks fill in
+    // the same TaskSpan structs and fold them into the job's accounting.
+    const bool profiled = obs::CurrentProfileCollector() != nullptr;
     const uint64_t job = traced ? tracer->BeginJob() : 0;
     // Every task is enqueued up front, so the job start is the enqueue
     // time of each task; queue wait = task start - job start.
     const uint64_t queued = traced ? tracer->NowNanos() : 0;
+    const uint64_t job_started_ns = SteadyNowNs();
 
     const auto control = std::make_shared<JobControl>(
         n, job_deadline_ms_, cancel_token_,
@@ -143,9 +151,9 @@ class Context {
 
     if (n == 1) {
       // Single-task fast path: run inline on the driver, no pool dispatch.
-      RunTaskCopy<Fn>(control, fn, 0, 1, policy, stage, traced, job, queued,
-                      tracer);
-      return ResolveJobStatus(*control, jobs_failed);
+      RunTaskCopy<Fn>(control, fn, 0, 1, policy, stage, traced, profiled,
+                      job, queued, tracer);
+      return FinishJob(control, stage, profiled, job_started_ns, jobs_failed);
     }
 
     // fn is shared by all copies of all tasks, exactly as when the lambda
@@ -155,10 +163,10 @@ class Context {
     const auto shared_fn = std::make_shared<Fn>(fn);
     for (size_t p = 0; p < n; ++p) {
       pool_->SubmitDetached(
-          [control, shared_fn, p, policy, stage, traced, job, queued,
-           tracer] {
+          [control, shared_fn, p, policy, stage, traced, profiled, job,
+           queued, tracer] {
             RunTaskCopy<Fn>(control, *shared_fn, p, 1, policy, stage, traced,
-                            job, queued, tracer);
+                            profiled, job, queued, tracer);
           });
     }
 
@@ -172,16 +180,23 @@ class Context {
       if (spec.enabled) {
         for (size_t p : control->SpeculationCandidates(spec)) {
           speculated->Increment();
+          if (profiled) {
+            control->accounting().speculated.fetch_add(
+                1, std::memory_order_relaxed);
+          }
+          obs::DefaultFlightRecorder().RecordTask(
+              obs::FlightEventKind::kSpeculate, control->generation(), p, 2,
+              0, ThreadPool::CurrentWorkerIndex(), 0, stage);
           pool_->SubmitDetached(
-              [control, shared_fn, p, policy, stage, traced, job, queued,
-               tracer] {
+              [control, shared_fn, p, policy, stage, traced, profiled, job,
+               queued, tracer] {
                 RunTaskCopy<Fn>(control, *shared_fn, p, 2, policy, stage,
-                                traced, job, queued, tracer);
+                                traced, profiled, job, queued, tracer);
               });
         }
       }
     }
-    return ResolveJobStatus(*control, jobs_failed);
+    return FinishJob(control, stage, profiled, job_started_ns, jobs_failed);
   }
 
   /// Throwing wrapper over TryRunTasks for value-returning actions: a
@@ -223,8 +238,8 @@ class Context {
   static void RunTaskCopy(const std::shared_ptr<JobControl>& control,
                           const Fn& fn, size_t p, uint32_t copy,
                           const fault::RetryPolicy& policy, const char* stage,
-                          bool traced, uint64_t job, uint64_t queued,
-                          obs::TaskTracer* tracer) {
+                          bool traced, bool profiled, uint64_t job,
+                          uint64_t queued, obs::TaskTracer* tracer) {
     static obs::Counter* const retries =
         obs::DefaultMetrics().GetCounter("engine.task.retries");
     static obs::Counter* const failures =
@@ -233,15 +248,31 @@ class Context {
         obs::DefaultMetrics().GetCounter("engine.task.cancelled");
     static obs::Counter* const speculation_wins =
         obs::DefaultMetrics().GetCounter("engine.task.speculation_wins");
+    static obs::Counter* const slow_tasks =
+        obs::DefaultMetrics().GetCounter("engine.task.slow");
     static fault::FailPoint* const task_fp =
         fault::DefaultFailPoints().Get("engine.task.run");
     static fault::FailPoint* const die_fp =
         fault::DefaultFailPoints().Get("engine.worker.die");
+    obs::FlightRecorder& flight = obs::DefaultFlightRecorder();
+    const uint64_t gen = control->generation();
+    const int worker = ThreadPool::CurrentWorkerIndex();
+    // Spans exist whenever someone consumes them: the tracer (per-attempt
+    // export) or the profiler (accounting folded into the job on success).
+    const bool observe = traced || profiled;
 
     if (control->TaskDone(p)) return;  // a copy arrived after completion
     if (control->ShouldStop()) {
       // Job is cancelled or past its deadline: skip without starting.
-      if (control->CompleteTask(p, 0, false)) cancelled_tasks->Increment();
+      if (control->CompleteTask(p, 0, false)) {
+        cancelled_tasks->Increment();
+        if (profiled) {
+          control->accounting().cancelled.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        flight.RecordTask(obs::FlightEventKind::kCancel, gen, p, copy, 0,
+                          worker, 0, stage);
+      }
       // A copy that was killed mid-claim and requeued still holds the
       // claim bracket; close it so the driver can settle.
       if (control->OwnsTask(p, copy)) control->EndClaimedRun();
@@ -253,15 +284,15 @@ class Context {
     bool claimed = false;
     for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
       obs::TaskSpan span;
-      if (traced) {
+      if (observe) {
         span.job_id = job;
         span.stage = stage;
         span.partition = p;
-        span.worker = ThreadPool::CurrentWorkerIndex();
+        span.worker = worker;
         span.queued_ns = queued;
         span.attempt = attempt;
         span.speculative = copy > 1;
-        span.start_ns = tracer->NowNanos();
+        span.start_ns = traced ? tracer->NowNanos() : 0;
       }
       Status task_status;
       uint64_t run_started_ns = 0;
@@ -277,13 +308,15 @@ class Context {
           return;
         }
         claimed = true;
+        flight.RecordTask(obs::FlightEventKind::kClaim, gen, p, copy,
+                          static_cast<uint32_t>(attempt), worker, 0, stage);
         TaskContext task_ctx(control.get(), p, copy > 1);
         CurrentTaskContextScope task_scope(&task_ctx);
         // Post-claim stop check (ordered against Cancel by the seq_cst
         // claim CAS): never start user code on a dead job.
         task_ctx.ThrowIfCancelled();
         run_started_ns = SteadyNowNs();
-        if (traced) {
+        if (observe) {
           obs::CurrentTaskSpanScope scope(&span);
           fn(p);
         } else {
@@ -292,7 +325,11 @@ class Context {
       } catch (const StatusError& e) {
         task_status = e.status();
       } catch (const WorkerKilledError&) {
-        throw;  // executor loss: unwind into the pool's worker loop
+        // Executor loss: unwind into the pool's worker loop, which requeues
+        // this exact copy on a surviving worker.
+        flight.RecordTask(obs::FlightEventKind::kWorkerDeath, gen, p, copy,
+                          static_cast<uint32_t>(attempt), worker, 0, stage);
+        throw;
       } catch (const std::exception& e) {
         task_status = Status::UnknownError(e.what());
       } catch (...) {
@@ -302,22 +339,58 @@ class Context {
         span.end_ns = tracer->NowNanos();
         span.ok = task_status.ok();
         span.error = task_status.message();
-        tracer->Record(std::move(span));
       }
       if (task_status.ok()) {
-        if (control->CompleteTask(p, SteadyNowNs() - run_started_ns, true) &&
-            copy > 1) {
+        const uint64_t duration_ns = SteadyNowNs() - run_started_ns;
+        // All observation (span, flight event, accounting fold, slow log)
+        // must land BEFORE CompleteTask: the moment the last task
+        // completes, the driver settles the job, reads the accounting into
+        // the ProfileNode, and may return to the caller — anything recorded
+        // after CompleteTask can be missed by that read.
+        flight.RecordTask(obs::FlightEventKind::kFinish, gen, p, copy,
+                          static_cast<uint32_t>(attempt), worker, duration_ns,
+                          stage);
+        if (profiled) {
+          JobControl::Accounting& acc = control->accounting();
+          acc.rows_in.fetch_add(span.records_in, std::memory_order_relaxed);
+          acc.rows_out.fetch_add(span.records_out, std::memory_order_relaxed);
+          acc.bytes.fetch_add(span.bytes, std::memory_order_relaxed);
+          acc.candidates.fetch_add(span.candidates,
+                                   std::memory_order_relaxed);
+          acc.refined.fetch_add(span.refined, std::memory_order_relaxed);
+        }
+        const double slow_ms = obs::GlobalSlowLog().slow_task_ms();
+        if (slow_ms > 0 &&
+            static_cast<double>(duration_ns) > slow_ms * 1e6) {
+          slow_tasks->Increment();
+          std::fprintf(stderr,
+                       "[stark] slow task: %s partition %zu took %.1f ms "
+                       "(threshold %.1f ms)\n",
+                       stage, p, static_cast<double>(duration_ns) / 1e6,
+                       slow_ms);
+        }
+        if (traced) tracer->Record(std::move(span));
+        if (control->CompleteTask(p, duration_ns, true) && copy > 1) {
           speculation_wins->Increment();
         }
         control->EndClaimedRun();
         return;
       }
+      if (traced) tracer->Record(std::move(span));
       failures->Increment();
       if (control->Cancelled()) {
         // The job is being torn down (deadline, cancel, or fail-fast
         // abort): a failing or cooperatively-stopped attempt is not
         // retried.
-        if (control->CompleteTask(p, 0, false)) cancelled_tasks->Increment();
+        if (control->CompleteTask(p, 0, false)) {
+          cancelled_tasks->Increment();
+          if (profiled) {
+            control->accounting().cancelled.fetch_add(
+                1, std::memory_order_relaxed);
+          }
+          flight.RecordTask(obs::FlightEventKind::kCancel, gen, p, copy,
+                            static_cast<uint32_t>(attempt), worker, 0, stage);
+        }
         if (claimed) control->EndClaimedRun();
         return;
       }
@@ -325,6 +398,9 @@ class Context {
         // Permanent failure: record it and cancel the rest of the job,
         // like Spark cancelling a stage once a task exhausts
         // spark.task.maxFailures.
+        flight.RecordTask(obs::FlightEventKind::kTaskFail, gen, p, copy,
+                          static_cast<uint32_t>(attempt), worker, 0,
+                          task_status.message().c_str());
         control->FailJob(Status(
             task_status.code(),
             std::string(stage) + " partition " + std::to_string(p) +
@@ -335,6 +411,13 @@ class Context {
         return;
       }
       retries->Increment();
+      if (profiled) {
+        control->accounting().retries.fetch_add(1,
+                                                std::memory_order_relaxed);
+      }
+      flight.RecordTask(obs::FlightEventKind::kRetry, gen, p, copy,
+                        static_cast<uint32_t>(attempt), worker, 0,
+                        task_status.message().c_str());
       // No backoff after the final attempt (handled above), and none once
       // the job is already cancelled.
       const uint64_t backoff_ms = policy.BackoffMs(attempt);
@@ -350,6 +433,50 @@ class Context {
     if (result.ok() && control.Cancelled()) result = control.cancel_status();
     if (!result.ok()) jobs_failed->Increment();
     return result;
+  }
+
+  /// Shared job epilogue (single-task fast path and pooled path): resolves
+  /// the job status, dumps the flight recorder when the job died, and
+  /// appends the job's ProfileNode to the driver's collector.
+  static Status FinishJob(const std::shared_ptr<JobControl>& control,
+                          const char* stage, bool profiled,
+                          uint64_t job_started_ns, obs::Counter* jobs_failed) {
+    const Status status = ResolveJobStatus(*control, jobs_failed);
+    const double wall_ms =
+        static_cast<double>(SteadyNowNs() - job_started_ns) / 1e6;
+    if (!status.ok()) {
+      obs::FlightRecorder& flight = obs::DefaultFlightRecorder();
+      flight.RecordTask(obs::FlightEventKind::kJobFail, control->generation(),
+                        0, 0, 0, ThreadPool::CurrentWorkerIndex(),
+                        control->num_tasks(), stage);
+      flight.AutoDump(std::string(stage) + ": " + status.ToString());
+    }
+    if (profiled) {
+      obs::ProfileCollector* collector = obs::CurrentProfileCollector();
+      if (collector != nullptr) {
+        obs::ProfileNode node;
+        node.label = stage;
+        node.kind = obs::ProfileNodeKind::kJob;
+        node.wall_ms = wall_ms;
+        node.partitions = control->num_tasks();
+        const JobControl::Accounting& acc = control->accounting();
+        node.rows_in = acc.rows_in.load(std::memory_order_relaxed);
+        node.rows_out = acc.rows_out.load(std::memory_order_relaxed);
+        node.bytes = acc.bytes.load(std::memory_order_relaxed);
+        node.candidates = acc.candidates.load(std::memory_order_relaxed);
+        node.refined = acc.refined.load(std::memory_order_relaxed);
+        node.retries = acc.retries.load(std::memory_order_relaxed);
+        node.speculated = acc.speculated.load(std::memory_order_relaxed);
+        node.cancelled = acc.cancelled.load(std::memory_order_relaxed);
+        node.failed = !status.ok();
+        if (node.failed) node.error = status.ToString();
+        obs::Histogram durations;
+        for (uint64_t d : control->CompletedDurations()) durations.Record(d);
+        node.task_ns = durations.Snap();
+        collector->RecordJob(std::move(node));
+      }
+    }
+    return status;
   }
 
   static uint64_t SteadyNowNs() {

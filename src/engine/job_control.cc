@@ -162,6 +162,11 @@ bool JobControl::CompleteTask(size_t p, uint64_t duration_ns,
   return true;
 }
 
+std::vector<uint64_t> JobControl::CompletedDurations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_ns_;
+}
+
 bool JobControl::AllDone() const {
   std::lock_guard<std::mutex> lock(mu_);
   return remaining_ == 0;

@@ -160,6 +160,29 @@ class JobControl {
   /// until >= quantile of tasks completed, or after cancellation.
   std::vector<size_t> SpeculationCandidates(const SpeculationPolicy& policy);
 
+  // --- Profile accounting -------------------------------------------------
+
+  /// Relaxed per-job totals accumulated by task epilogues when a
+  /// ProfileCollector is installed and read once by the driver epilogue.
+  /// Kept here (not in the collector) because tasks outlive neither the
+  /// job nor this struct, and the driver-side collector is single-threaded.
+  struct Accounting {
+    std::atomic<uint64_t> rows_in{0};
+    std::atomic<uint64_t> rows_out{0};
+    std::atomic<uint64_t> bytes{0};
+    std::atomic<uint64_t> candidates{0};
+    std::atomic<uint64_t> refined{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> speculated{0};
+    std::atomic<uint64_t> cancelled{0};
+  };
+  Accounting& accounting() { return accounting_; }
+
+  /// Copy of the successful-run durations recorded so far (the same
+  /// samples the speculation median uses); feeds the profile's per-task
+  /// histogram.
+  std::vector<uint64_t> CompletedDurations() const;
+
  private:
   friend class TaskContext;
 
@@ -182,6 +205,8 @@ class JobControl {
   const std::shared_ptr<CancelToken> token_;
 
   std::vector<TaskState> tasks_;
+
+  Accounting accounting_;
 
   std::atomic<bool> cancelled_{false};
 

@@ -342,6 +342,7 @@ class RDD {
       if (obs::TaskSpan* span = obs::CurrentTaskSpan()) {
         span->records_in = in.size();
         span->records_out = in.size();
+        span->bytes = in.size() * sizeof(T);
       }
       for (auto& x : in) {
         const size_t t = target(x);

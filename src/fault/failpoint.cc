@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace stark {
@@ -168,11 +169,27 @@ void FailPoint::Disarm() {
 
 bool FailPoint::ShouldFire() {
   if (!armed_.load(std::memory_order_relaxed)) return false;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (policy_.kind == TriggerPolicy::Kind::kOff) return false;
-  const uint64_t hit = ++hits_;
-  if (!policy_.Fires(hit)) return false;
-  ++fires_;
+  uint64_t hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (policy_.kind == TriggerPolicy::Kind::kOff) return false;
+    hit = ++hits_;
+    if (!policy_.Fires(hit)) return false;
+    ++fires_;
+  }
+  // Every fired injection leaves a breadcrumb in the flight recorder, so a
+  // post-mortem dump shows which fault preceded the failure. With
+  // STARK_FLIGHT_DUMP_ON_FAULT=1 the fire itself also triggers a dump.
+  obs::DefaultFlightRecorder().RecordTask(
+      obs::FlightEventKind::kFault, 0, 0, 0, 0,
+      ThreadPool::CurrentWorkerIndex(), hit, name().c_str());
+  static const bool dump_on_fault = [] {
+    const char* raw = std::getenv("STARK_FLIGHT_DUMP_ON_FAULT");
+    return raw != nullptr && *raw != '\0' && *raw != '0';
+  }();
+  if (dump_on_fault) {
+    obs::DefaultFlightRecorder().AutoDump("failpoint " + name() + " fired");
+  }
   return true;
 }
 

@@ -1,0 +1,55 @@
+/// \file json_util.h
+/// Shared JSON string escaping for every obs exporter (metrics JSON, Chrome
+/// traces, query profiles, flight-recorder dumps) and the bench JsonReport.
+/// One implementation so a metric or stage name containing quotes,
+/// backslashes or control characters can never produce invalid JSON from
+/// one exporter but not another.
+#ifndef STARK_OBS_JSON_UTIL_H_
+#define STARK_OBS_JSON_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace stark {
+namespace obs {
+
+/// Appends \p s to \p out with full JSON string escaping: quote, backslash,
+/// the two-character escapes \b \f \n \r \t, and \u00xx for the remaining
+/// control characters.
+inline void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Returns \p s as a quoted, escaped JSON string literal.
+inline std::string JsonQuoted(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  AppendJsonEscaped(&out, s);
+  out += '"';
+  return out;
+}
+
+}  // namespace obs
+}  // namespace stark
+
+#endif  // STARK_OBS_JSON_UTIL_H_

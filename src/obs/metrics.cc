@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstdio>
 
+#include "obs/json_util.h"
+
 namespace stark {
 namespace obs {
 
@@ -11,25 +13,6 @@ namespace {
 /// Bit width of \p v: 0 for 0, otherwise 1 + floor(log2(v)).
 size_t BucketIndex(uint64_t v) {
   return static_cast<size_t>(std::bit_width(v));
-}
-
-void AppendEscaped(std::string* out, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
 }
 
 }  // namespace
@@ -145,27 +128,24 @@ std::string MetricsRegistry::Json() const {
   for (const auto& [name, v] : s.counters) {
     if (!first) out += ',';
     first = false;
-    out += '"';
-    AppendEscaped(&out, name);
-    out += "\":" + std::to_string(v);
+    out += JsonQuoted(name);
+    out += ":" + std::to_string(v);
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, v] : s.gauges) {
     if (!first) out += ',';
     first = false;
-    out += '"';
-    AppendEscaped(&out, name);
-    out += "\":" + std::to_string(v);
+    out += JsonQuoted(name);
+    out += ":" + std::to_string(v);
   }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : s.histograms) {
     if (!first) out += ',';
     first = false;
-    out += '"';
-    AppendEscaped(&out, name);
-    out += "\":{\"count\":" + std::to_string(h.count) +
+    out += JsonQuoted(name);
+    out += ":{\"count\":" + std::to_string(h.count) +
            ",\"sum\":" + std::to_string(h.sum) +
            ",\"min\":" + std::to_string(h.min) +
            ",\"max\":" + std::to_string(h.max) +

@@ -1,0 +1,349 @@
+#include "obs/openmetrics.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace stark {
+namespace obs {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+/// Registry names are dotted ("engine.tasks.retried"); OpenMetrics names
+/// allow only [a-zA-Z0-9_:]. Sanitize and namespace under stark_.
+std::string MetricName(const std::string& raw) {
+  std::string out = "stark_";
+  for (char c : raw) out += IsNameChar(c) ? c : '_';
+  return out;
+}
+
+void AppendU64Sample(std::string* out, const std::string& name, uint64_t v) {
+  *out += name;
+  *out += ' ';
+  *out += std::to_string(v);
+  *out += '\n';
+}
+
+/// Inclusive upper bound of log2 bucket \p i (values with bit width i):
+/// 2^i - 1. Bucket 0 holds only the value 0.
+uint64_t BucketUpperBound(size_t i) {
+  if (i >= 64) return UINT64_MAX;
+  return (i == 0) ? 0 : ((uint64_t{1} << i) - 1);
+}
+
+}  // namespace
+
+std::string RenderOpenMetrics(const MetricsRegistry::Snapshot& snap) {
+  std::string out;
+  for (const auto& [raw, value] : snap.counters) {
+    const std::string name = MetricName(raw);
+    out += "# TYPE " + name + " counter\n";
+    AppendU64Sample(&out, name + "_total", value);
+  }
+  for (const auto& [raw, value] : snap.gauges) {
+    const std::string name = MetricName(raw);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& [raw, h] : snap.histograms) {
+    const std::string name = MetricName(raw);
+    out += "# TYPE " + name + " histogram\n";
+    size_t top = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h.buckets[i] != 0) top = i;
+    }
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= top; ++i) {
+      cumulative += h.buckets[i];
+      out += name + "_bucket{le=\"" + std::to_string(BucketUpperBound(i)) +
+             "\"} " + std::to_string(cumulative) + '\n';
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + '\n';
+    AppendU64Sample(&out, name + "_sum", h.sum);
+    AppendU64Sample(&out, name + "_count", h.count);
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  if (std::isdigit(static_cast<unsigned char>(name[0]))) return false;
+  for (char c : name) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+struct FamilyState {
+  std::string name;
+  std::string type;
+  bool saw_inf_bucket = false;
+  bool saw_count = false;
+  double last_le = -1.0;
+  uint64_t last_bucket_count = 0;
+  uint64_t inf_bucket_count = 0;
+  uint64_t count_value = 0;
+};
+
+std::string CheckFamilyComplete(const FamilyState& f) {
+  if (f.type == "histogram" && !f.name.empty()) {
+    if (!f.saw_inf_bucket) {
+      return "histogram " + f.name + " has no le=\"+Inf\" bucket";
+    }
+    if (f.saw_count && f.inf_bucket_count != f.count_value) {
+      return "histogram " + f.name + " +Inf bucket (" +
+             std::to_string(f.inf_bucket_count) + ") != _count (" +
+             std::to_string(f.count_value) + ")";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string ValidateOpenMetrics(const std::string& text) {
+  auto fail = [](size_t line_no, const std::string& what) {
+    return "line " + std::to_string(line_no) + ": " + what;
+  };
+  if (text.empty() || text.back() != '\n') {
+    return "exposition must end with a newline";
+  }
+
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  if (lines.empty() || lines.back() != "# EOF") {
+    return "last line must be exactly '# EOF'";
+  }
+
+  FamilyState family;
+  bool saw_eof = false;
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    const size_t line_no = ln + 1;
+    if (saw_eof) return fail(line_no, "content after # EOF");
+    if (line.empty()) return fail(line_no, "empty line");
+
+    if (line[0] == '#') {
+      if (line == "# EOF") {
+        saw_eof = true;
+        continue;
+      }
+      // "# TYPE <name> <type>" or "# HELP <name> <text>".
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const size_t sp = rest.find(' ');
+        if (sp == std::string::npos) return fail(line_no, "malformed TYPE");
+        const std::string name = rest.substr(0, sp);
+        const std::string type = rest.substr(sp + 1);
+        if (!ValidMetricName(name)) {
+          return fail(line_no, "invalid metric name '" + name + "'");
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "unknown") {
+          return fail(line_no, "unknown metric type '" + type + "'");
+        }
+        const std::string incomplete = CheckFamilyComplete(family);
+        if (!incomplete.empty()) return fail(line_no, incomplete);
+        family = FamilyState{};
+        family.name = name;
+        family.type = type;
+        continue;
+      }
+      if (line.rfind("# HELP ", 0) == 0) continue;
+      return fail(line_no, "unrecognized comment line");
+    }
+
+    // Sample line: name[{labels}] value
+    size_t name_end = 0;
+    while (name_end < line.size() && IsNameChar(line[name_end])) ++name_end;
+    const std::string name = line.substr(0, name_end);
+    if (!ValidMetricName(name)) {
+      return fail(line_no, "invalid sample metric name");
+    }
+
+    std::string le_value;
+    size_t value_start = name_end;
+    if (value_start < line.size() && line[value_start] == '{') {
+      const size_t close = line.find('}', value_start);
+      if (close == std::string::npos) {
+        return fail(line_no, "unterminated label set");
+      }
+      const std::string labels = line.substr(value_start + 1,
+                                             close - value_start - 1);
+      // Strict single-label parse: we only ever emit le="...".
+      if (labels.rfind("le=\"", 0) != 0 || labels.back() != '"') {
+        return fail(line_no, "unsupported label set '" + labels + "'");
+      }
+      le_value = labels.substr(4, labels.size() - 5);
+      value_start = close + 1;
+    }
+    if (value_start >= line.size() || line[value_start] != ' ') {
+      return fail(line_no, "expected single space before value");
+    }
+    const std::string value_str = line.substr(value_start + 1);
+    if (value_str.empty() || value_str.find(' ') != std::string::npos) {
+      return fail(line_no, "malformed sample value");
+    }
+    char* end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &end);
+    if (end != value_str.c_str() + value_str.size()) {
+      return fail(line_no, "non-numeric sample value '" + value_str + "'");
+    }
+
+    if (family.name.empty()) {
+      return fail(line_no, "sample before any # TYPE line");
+    }
+    if (family.type == "counter") {
+      if (name != family.name + "_total") {
+        return fail(line_no, "counter sample must be " + family.name +
+                                 "_total, got " + name);
+      }
+      if (value < 0) return fail(line_no, "negative counter value");
+    } else if (family.type == "gauge") {
+      if (name != family.name) {
+        return fail(line_no, "gauge sample name mismatch");
+      }
+    } else if (family.type == "histogram") {
+      if (name == family.name + "_bucket") {
+        if (le_value.empty()) {
+          return fail(line_no, "histogram bucket missing le label");
+        }
+        double le = 0.0;
+        if (le_value == "+Inf") {
+          family.saw_inf_bucket = true;
+          family.inf_bucket_count = static_cast<uint64_t>(value);
+          le = 1e308;
+        } else {
+          char* le_end = nullptr;
+          le = std::strtod(le_value.c_str(), &le_end);
+          if (le_end != le_value.c_str() + le_value.size()) {
+            return fail(line_no, "non-numeric le '" + le_value + "'");
+          }
+          if (family.saw_inf_bucket) {
+            return fail(line_no, "bucket after +Inf bucket");
+          }
+        }
+        if (le <= family.last_le) {
+          return fail(line_no, "le values must increase");
+        }
+        if (value < static_cast<double>(family.last_bucket_count)) {
+          return fail(line_no, "bucket counts must be cumulative");
+        }
+        family.last_le = le;
+        family.last_bucket_count = static_cast<uint64_t>(value);
+      } else if (name == family.name + "_sum") {
+        if (value < 0) return fail(line_no, "negative histogram sum");
+      } else if (name == family.name + "_count") {
+        family.saw_count = true;
+        family.count_value = static_cast<uint64_t>(value);
+      } else {
+        return fail(line_no, "unexpected histogram sample '" + name + "'");
+      }
+    } else {
+      if (name != family.name && !HasSuffix(name, "_total")) {
+        return fail(line_no, "sample does not match family " + family.name);
+      }
+    }
+  }
+  if (!saw_eof) return "missing # EOF";
+  const std::string incomplete = CheckFamilyComplete(family);
+  if (!incomplete.empty()) {
+    return fail(lines.size(), incomplete);
+  }
+  return "";
+}
+
+MetricsExporter::MetricsExporter(MetricsRegistry* registry, std::string path,
+                                 int interval_ms)
+    : registry_(registry),
+      path_(std::move(path)),
+      interval_ms_(interval_ms < 10 ? 10 : interval_ms) {
+  ExportOnce();  // file exists as soon as the exporter does
+  thread_ = std::thread(&MetricsExporter::Loop, this);
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  ExportOnce();  // final export reflects end-of-run values
+}
+
+bool MetricsExporter::ExportOnce() {
+  const std::string text = RenderOpenMetrics(registry_->Snap());
+  const std::string tmp = path_ + ".tmp";
+  const Status status =
+      WriteFileBytes(tmp, std::vector<char>(text.begin(), text.end()));
+  if (!status.ok()) {
+    std::fprintf(stderr, "metrics export to %s failed: %s\n", tmp.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::fprintf(stderr, "metrics export rename to %s failed\n",
+                 path_.c_str());
+    return false;
+  }
+  return true;
+}
+
+void MetricsExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    ExportOnce();
+    lock.lock();
+  }
+}
+
+std::unique_ptr<MetricsExporter> MetricsExporter::FromEnv() {
+  const char* path = std::getenv("STARK_METRICS_EXPORT");
+  if (path == nullptr || *path == '\0') return nullptr;
+  int interval_ms = 1000;
+  if (const char* raw = std::getenv("STARK_METRICS_INTERVAL_MS")) {
+    char* end = nullptr;
+    const long v = std::strtol(raw, &end, 10);
+    if (end != raw && *end == '\0' && v > 0) {
+      interval_ms = static_cast<int>(v);
+    }
+  }
+  return std::unique_ptr<MetricsExporter>(
+      new MetricsExporter(&DefaultMetrics(), path, interval_ms));
+}
+
+}  // namespace obs
+}  // namespace stark

@@ -1,0 +1,80 @@
+/// \file openmetrics.h
+/// OpenMetrics / Prometheus text rendering of the metrics registry, a
+/// strict line-format validator for it, and a background exporter thread
+/// that snapshots the registry to a file on an interval so a scraper (or a
+/// human with `watch cat`) can follow a running engine live.
+///
+/// Mapping: registry names are sanitized to [a-zA-Z0-9_:] and prefixed
+/// `stark_`; counters gain the mandated `_total` suffix; log2 histograms
+/// become cumulative `_bucket{le="2^i - 1"}` series plus `_sum`/`_count`
+/// and the required `le="+Inf"` bucket. The exposition ends with `# EOF`
+/// (OpenMetrics) so truncated writes are detectable.
+#ifndef STARK_OBS_OPENMETRICS_H_
+#define STARK_OBS_OPENMETRICS_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+
+namespace stark {
+namespace obs {
+
+/// Renders \p snap in OpenMetrics text format (ends with "# EOF\n").
+std::string RenderOpenMetrics(const MetricsRegistry::Snapshot& snap);
+
+/// Strict line-format check of an OpenMetrics exposition: metric-name and
+/// label syntax, HELP/TYPE before samples, counter `_total` suffix,
+/// histogram bucket monotonicity and a final `+Inf` bucket matching
+/// `_count`, numeric sample values, and the terminal `# EOF`. Returns an
+/// empty string when valid, else a "line N: <problem>" description of the
+/// first violation.
+std::string ValidateOpenMetrics(const std::string& text);
+
+/// \brief Background thread that writes RenderOpenMetrics(registry) to a
+/// file every interval (atomically: temp file + rename). Stops — after one
+/// final export, so the file always reflects process end — on destruction
+/// or Stop().
+class MetricsExporter {
+ public:
+  MetricsExporter(MetricsRegistry* registry, std::string path,
+                  int interval_ms);
+  ~MetricsExporter();
+  STARK_DISALLOW_COPY_AND_ASSIGN(MetricsExporter);
+
+  const std::string& path() const { return path_; }
+
+  /// Joins the thread after one final export. Idempotent.
+  void Stop();
+
+  /// Synchronous one-shot export (also used by the thread). Returns false
+  /// and logs to stderr when the file cannot be written.
+  bool ExportOnce();
+
+  /// Creates an exporter for DefaultMetrics() when STARK_METRICS_EXPORT is
+  /// set (interval from STARK_METRICS_INTERVAL_MS, default 1000, floored
+  /// at 10); returns nullptr otherwise.
+  static std::unique_ptr<MetricsExporter> FromEnv();
+
+ private:
+  void Loop();
+
+  MetricsRegistry* const registry_;
+  const std::string path_;
+  const int interval_ms_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace stark
+
+#endif  // STARK_OBS_OPENMETRICS_H_

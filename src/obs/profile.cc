@@ -1,0 +1,193 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json_util.h"
+
+namespace stark {
+namespace obs {
+
+namespace {
+
+thread_local ProfileCollector* g_collector = nullptr;
+
+const char* KindName(ProfileNodeKind kind) {
+  switch (kind) {
+    case ProfileNodeKind::kScript: return "script";
+    case ProfileNodeKind::kStatement: return "statement";
+    case ProfileNodeKind::kJob: return "job";
+  }
+  return "?";
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  return buf;
+}
+
+void AppendNodeJson(const ProfileNode& n, std::string* out) {
+  *out += "{\"label\":" + JsonQuoted(n.label) +
+          ",\"kind\":" + JsonQuoted(KindName(n.kind)) +
+          ",\"wall_ms\":" + FormatMs(n.wall_ms) +
+          ",\"partitions\":" + std::to_string(n.partitions) +
+          ",\"rows_in\":" + std::to_string(n.rows_in) +
+          ",\"rows_out\":" + std::to_string(n.rows_out) +
+          ",\"bytes\":" + std::to_string(n.bytes) +
+          ",\"candidates\":" + std::to_string(n.candidates) +
+          ",\"refined\":" + std::to_string(n.refined) +
+          ",\"retries\":" + std::to_string(n.retries) +
+          ",\"speculated\":" + std::to_string(n.speculated) +
+          ",\"cancelled\":" + std::to_string(n.cancelled);
+  if (n.failed) {
+    *out += ",\"failed\":true,\"error\":" + JsonQuoted(n.error);
+  }
+  if (n.task_ns.count > 0) {
+    *out += ",\"task_ns\":{\"count\":" + std::to_string(n.task_ns.count) +
+            ",\"sum\":" + std::to_string(n.task_ns.sum) +
+            ",\"min\":" + std::to_string(n.task_ns.min) +
+            ",\"max\":" + std::to_string(n.task_ns.max) +
+            ",\"p50\":" + std::to_string(n.task_ns.ApproxPercentile(0.5)) +
+            ",\"p99\":" + std::to_string(n.task_ns.ApproxPercentile(0.99)) +
+            "}";
+  }
+  *out += ",\"children\":[";
+  bool first = true;
+  for (const ProfileNode& c : n.children) {
+    if (!first) *out += ',';
+    first = false;
+    AppendNodeJson(c, out);
+  }
+  *out += "]}";
+}
+
+void AppendNodeTree(const ProfileNode& n, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += KindName(n.kind);
+  *out += ' ';
+  *out += n.label;
+  *out += "  [" + FormatMs(n.wall_ms) + " ms";
+  if (n.kind == ProfileNodeKind::kJob) {
+    *out += ", parts=" + std::to_string(n.partitions) +
+            ", rows=" + std::to_string(n.rows_in) + "/" +
+            std::to_string(n.rows_out);
+    if (n.bytes > 0) *out += ", bytes=" + std::to_string(n.bytes);
+    if (n.candidates > 0) {
+      *out += ", cand=" + std::to_string(n.candidates) + "/" +
+              std::to_string(n.refined);
+    }
+    if (n.retries > 0) *out += ", retries=" + std::to_string(n.retries);
+    if (n.speculated > 0) *out += ", spec=" + std::to_string(n.speculated);
+    if (n.cancelled > 0) *out += ", cancelled=" + std::to_string(n.cancelled);
+    if (n.task_ns.count > 0) {
+      *out += ", task p50=" +
+              FormatMs(static_cast<double>(n.task_ns.ApproxPercentile(0.5)) /
+                       1e6) +
+              " ms p99=" +
+              FormatMs(static_cast<double>(n.task_ns.ApproxPercentile(0.99)) /
+                       1e6) +
+              " ms";
+    }
+  }
+  if (n.failed) *out += ", FAILED: " + n.error;
+  *out += "]\n";
+  for (const ProfileNode& c : n.children) AppendNodeTree(c, depth + 1, out);
+}
+
+}  // namespace
+
+uint64_t ProfileNode::TotalRowsOut() const {
+  uint64_t total = rows_out;
+  for (const ProfileNode& c : children) total += c.TotalRowsOut();
+  return total;
+}
+
+double ProfileNode::TotalWallMs() const {
+  double total = wall_ms;
+  for (const ProfileNode& c : children) total += c.TotalWallMs();
+  return total;
+}
+
+ProfileCollector::ProfileCollector(std::string label) {
+  root_.label = std::move(label);
+  root_.kind = ProfileNodeKind::kScript;
+  stack_.push_back(&root_);
+}
+
+ProfileNode* ProfileCollector::Push(std::string label, ProfileNodeKind kind) {
+  ProfileNode* top = stack_.back();
+  // Children of interior stack nodes are only ever appended through this
+  // collector, and Push reserves nothing beyond — but vector growth would
+  // invalidate pointers held by deeper frames. Statements are pushed one at
+  // a time and popped before the next begins, so only the top frame's
+  // children vector grows while a deeper pointer exists; keep it that way.
+  top->children.emplace_back();
+  ProfileNode* node = &top->children.back();
+  node->label = std::move(label);
+  node->kind = kind;
+  stack_.push_back(node);
+  return node;
+}
+
+void ProfileCollector::Pop() {
+  if (stack_.size() > 1) stack_.pop_back();
+}
+
+void ProfileCollector::RecordJob(ProfileNode node) {
+  stack_.back()->children.push_back(std::move(node));
+}
+
+ProfileCollector* CurrentProfileCollector() { return g_collector; }
+
+ProfileCollectorScope::ProfileCollectorScope(ProfileCollector* collector)
+    : prev_(g_collector) {
+  g_collector = collector;
+}
+
+ProfileCollectorScope::~ProfileCollectorScope() { g_collector = prev_; }
+
+ProfileNodeScope::ProfileNodeScope(ProfileCollector* collector,
+                                   std::string label, ProfileNodeKind kind)
+    : collector_(collector), node_(nullptr) {
+  if (collector_ != nullptr) {
+    node_ = collector_->Push(std::move(label), kind);
+  }
+}
+
+ProfileNodeScope::~ProfileNodeScope() {
+  if (collector_ != nullptr) collector_->Pop();
+}
+
+std::string ProfileJson(const ProfileNode& node) {
+  std::string out;
+  AppendNodeJson(node, &out);
+  return out;
+}
+
+std::string FormatProfileTree(const ProfileNode& node) {
+  std::string out;
+  AppendNodeTree(node, 0, &out);
+  return out;
+}
+
+SlowLogConfig::SlowLogConfig() {
+  if (const char* raw = std::getenv("STARK_SLOW_TASK_MS")) {
+    char* end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end != raw && v >= 0.0) set_slow_task_ms(v);
+  }
+  if (const char* raw = std::getenv("STARK_SLOW_QUERY_MS")) {
+    char* end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end != raw && v >= 0.0) set_slow_query_ms(v);
+  }
+}
+
+SlowLogConfig& GlobalSlowLog() {
+  static SlowLogConfig* config = new SlowLogConfig();
+  return *config;
+}
+
+}  // namespace obs
+}  // namespace stark

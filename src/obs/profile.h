@@ -1,0 +1,167 @@
+/// \file profile.h
+/// Hierarchical query profiles. A ProfileCollector is installed on the
+/// driver thread (thread-local, like the ambient cancel token) and every
+/// `Context::TryRunTasks` job that runs underneath it appends one
+/// ProfileNode describing the operator it executed: stage kind, partition
+/// count, rows in/out, bytes shuffled, spatial candidate/refined counts,
+/// retry/speculation/cancel totals, wall time and the per-task duration
+/// histogram. Piglet nests those job nodes under per-statement nodes, so
+/// `EXPLAIN ANALYZE` can show a whole script as an operator tree with
+/// per-operator cost — the substrate a cost-based optimizer reads from.
+///
+/// Costs: with no collector installed, the per-job overhead is one
+/// thread-local load. With one installed, tasks additionally fill in the
+/// same TaskSpan structs tracing uses and the job epilogue folds them into
+/// plain structs on the driver thread — no extra locking on the task path.
+#ifndef STARK_OBS_PROFILE_H_
+#define STARK_OBS_PROFILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+
+namespace stark {
+namespace obs {
+
+/// What level of the query tree a node describes.
+enum class ProfileNodeKind : uint8_t {
+  kScript = 0,     ///< a whole Piglet script (root)
+  kStatement = 1,  ///< one Piglet statement ("B = FILTER A BY ...")
+  kJob = 2,        ///< one TryRunTasks job (stage) under a statement
+};
+
+/// One operator-tree node. Plain values — filled in by the engine, read by
+/// formatters; never shared across threads while mutable.
+struct ProfileNode {
+  std::string label;  ///< stage name for jobs, statement text for statements
+  ProfileNodeKind kind = ProfileNodeKind::kJob;
+
+  double wall_ms = 0.0;      ///< end-to-end driver-side wall time
+  size_t partitions = 0;     ///< tasks launched (primary copies)
+  uint64_t rows_in = 0;      ///< records read by tasks (span records_in)
+  uint64_t rows_out = 0;     ///< records produced by tasks
+  uint64_t bytes = 0;        ///< bytes serialized/shuffled by tasks
+  uint64_t candidates = 0;   ///< spatial index candidates probed
+  uint64_t refined = 0;      ///< candidates surviving exact refinement
+  uint64_t retries = 0;      ///< failed attempts that were retried
+  uint64_t speculated = 0;   ///< speculative backup copies launched
+  uint64_t cancelled = 0;    ///< task copies stopped by cancel/deadline
+  bool failed = false;       ///< job resolved non-OK
+  std::string error;         ///< status message when failed
+
+  /// Per-task successful-run durations (ns), log2-bucketed.
+  Histogram::Snapshot task_ns;
+
+  std::vector<ProfileNode> children;
+
+  /// Recursive totals including this node's own values.
+  uint64_t TotalRowsOut() const;
+  double TotalWallMs() const;
+};
+
+/// \brief Driver-side sink for profile nodes.
+///
+/// Jobs append to the node currently on top of the collector's stack;
+/// Piglet pushes a statement node before interpreting a statement and pops
+/// it after, which is how job nodes become children of statements. The
+/// collector lives on one driver thread; it is not shared across threads.
+class ProfileCollector {
+ public:
+  explicit ProfileCollector(std::string label = "query");
+  STARK_DISALLOW_COPY_AND_ASSIGN(ProfileCollector);
+
+  /// Root of the tree collected so far.
+  const ProfileNode& root() const { return root_; }
+  ProfileNode& mutable_root() { return root_; }
+
+  /// Opens a child node under the current top; subsequent jobs nest inside
+  /// it until the matching Pop. Returns the node (stable until Pop).
+  ProfileNode* Push(std::string label, ProfileNodeKind kind);
+  void Pop();
+
+  /// Appends a finished job node under the current top.
+  void RecordJob(ProfileNode node);
+
+ private:
+  ProfileNode root_;
+  std::vector<ProfileNode*> stack_;  // top = stack_.back()
+};
+
+/// The collector installed on this thread, or nullptr when profiling is
+/// off. Engine code checks this once per job.
+ProfileCollector* CurrentProfileCollector();
+
+/// Installs \p collector on this thread for the scope's lifetime (restores
+/// the previous one on destruction, so scopes nest).
+class ProfileCollectorScope {
+ public:
+  explicit ProfileCollectorScope(ProfileCollector* collector);
+  ~ProfileCollectorScope();
+  STARK_DISALLOW_COPY_AND_ASSIGN(ProfileCollectorScope);
+
+ private:
+  ProfileCollector* prev_;
+};
+
+/// Push/Pop pair as an RAII scope (used by Piglet around each statement).
+class ProfileNodeScope {
+ public:
+  ProfileNodeScope(ProfileCollector* collector, std::string label,
+                   ProfileNodeKind kind);
+  ~ProfileNodeScope();
+  STARK_DISALLOW_COPY_AND_ASSIGN(ProfileNodeScope);
+
+  /// Null when no collector was installed.
+  ProfileNode* node() const { return node_; }
+
+ private:
+  ProfileCollector* collector_;
+  ProfileNode* node_;
+};
+
+/// JSON rendering of \p node (recursive object with a "children" array).
+std::string ProfileJson(const ProfileNode& node);
+
+/// Indented one-node-per-line tree, e.g. for EXPLAIN ANALYZE:
+///   statement: B = FILTER ...        12.4 ms
+///     job spatial.filter  parts=8 rows=5000/312 ...
+std::string FormatProfileTree(const ProfileNode& node);
+
+/// \brief Thresholds for the slow-task / slow-query log.
+///
+/// When a task's successful run exceeds slow_task_ms, or a profiled query's
+/// wall time exceeds slow_query_ms, a one-line report goes to stderr and
+/// `engine.task.slow` / `engine.query.slow` is incremented. 0 disables.
+/// Initialized from STARK_SLOW_TASK_MS / STARK_SLOW_QUERY_MS; Piglet's
+/// `SET obs.slow_task_ms / obs.slow_query_ms` override at runtime.
+class SlowLogConfig {
+ public:
+  SlowLogConfig();
+
+  double slow_task_ms() const { return AsMs(slow_task_us_); }
+  double slow_query_ms() const { return AsMs(slow_query_us_); }
+  void set_slow_task_ms(double ms) { slow_task_us_.store(ToUs(ms)); }
+  void set_slow_query_ms(double ms) { slow_query_us_.store(ToUs(ms)); }
+
+ private:
+  static int64_t ToUs(double ms) { return static_cast<int64_t>(ms * 1000.0); }
+  double AsMs(const std::atomic<int64_t>& us) const {
+    return static_cast<double>(us.load(std::memory_order_relaxed)) / 1000.0;
+  }
+
+  std::atomic<int64_t> slow_task_us_{0};
+  std::atomic<int64_t> slow_query_us_{0};
+};
+
+/// Process-wide slow-log thresholds (env-initialized on first use).
+SlowLogConfig& GlobalSlowLog();
+
+}  // namespace obs
+}  // namespace stark
+
+#endif  // STARK_OBS_PROFILE_H_

@@ -1,9 +1,11 @@
 #include "obs/trace.h"
 
 #include <cstdio>
+#include <set>
 
 #include "common/serde.h"
 #include "common/thread_pool.h"
+#include "obs/json_util.h"
 
 namespace stark {
 namespace obs {
@@ -13,21 +15,7 @@ namespace {
 thread_local TaskSpan* current_task_span = nullptr;
 
 void AppendEscaped(std::string* out, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
+  AppendJsonEscaped(out, s);
 }
 
 std::string Micros(uint64_t ns) {
@@ -75,6 +63,25 @@ std::string TaskTracer::ChromeTraceJson() const {
   // tid 0 is the driver thread; worker w maps to tid w + 1.
   std::string out = "{\"traceEvents\":[";
   bool first = true;
+  // Metadata events first, so the trace viewer labels pid/tid rows
+  // ("stark driver", "stark worker 3") instead of showing bare numbers.
+  // An empty trace stays empty: no spans means no rows to label.
+  if (!spans.empty() || !phases.empty()) {
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"args\":{\"name\":\"stark\"}}";
+    first = false;
+    std::set<int> tids;
+    for (const TaskSpan& s : spans) tids.insert(s.worker + 1);
+    for (const PhaseEvent& e : phases) tids.insert(e.worker + 1);
+    tids.insert(0);
+    for (int tid : tids) {
+      const std::string label =
+          tid == 0 ? "driver" : "worker " + std::to_string(tid - 1);
+      out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+             std::to_string(tid) + ",\"args\":{\"name\":" + JsonQuoted(label) +
+             "}}";
+    }
+  }
   for (const TaskSpan& s : spans) {
     if (!first) out += ',';
     first = false;
@@ -90,6 +97,11 @@ std::string TaskTracer::ChromeTraceJson() const {
            ",\"records_out\":" + std::to_string(s.records_out) +
            ",\"attempt\":" + std::to_string(s.attempt) +
            ",\"ok\":" + (s.ok ? "true" : "false");
+    if (s.bytes > 0) out += ",\"bytes\":" + std::to_string(s.bytes);
+    if (s.candidates > 0) {
+      out += ",\"candidates\":" + std::to_string(s.candidates) +
+             ",\"refined\":" + std::to_string(s.refined);
+    }
     if (s.speculative) out += ",\"speculative\":true";
     if (!s.error.empty()) {
       out += ",\"error\":\"";

@@ -38,6 +38,9 @@ struct TaskSpan {
   uint64_t end_ns = 0;       ///< When it finished.
   uint64_t records_in = 0;   ///< Elements read by the task (0 if unknown).
   uint64_t records_out = 0;  ///< Elements produced by the task.
+  uint64_t bytes = 0;        ///< Bytes serialized/shuffled (0 if none).
+  uint64_t candidates = 0;   ///< Spatial index candidates probed.
+  uint64_t refined = 0;      ///< Candidates surviving exact refinement.
   uint64_t attempt = 1;      ///< Execution attempt (1 = first run; >1 = retry).
   bool speculative = false;  ///< True for a speculative straggler copy.
   bool ok = true;            ///< False when this attempt failed.

@@ -163,6 +163,20 @@ std::string FormatAnalyzeReport(const AnalyzeReport& report) {
       out += buf;
     }
     out += '\n';
+    // QueryProfile job tree for this operator: one indented line per
+    // engine job the statement ran (rows/bytes/time/retries per stage).
+    for (const obs::ProfileNode& job : op.profile.children) {
+      std::string tree = obs::FormatProfileTree(job);
+      size_t start = 0;
+      while (start < tree.size()) {
+        size_t end = tree.find('\n', start);
+        if (end == std::string::npos) end = tree.size();
+        out += "        ";
+        out.append(tree, start, end - start);
+        out += '\n';
+        start = end + 1;
+      }
+    }
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.h"
 #include "piglet/ast.h"
 #include "spatial_rdd/query_stats.h"
 
@@ -35,16 +36,22 @@ struct OperatorProfile {
   /// Spatial-filter pruning counters attributed to this statement (all
   /// zero for statements that ran no spatial filter).
   QueryStats::Snapshot filter;
+  /// Per-job QueryProfile nodes collected while the statement ran: one
+  /// child per engine job (stage) with rows/bytes/time/retry accounting.
+  obs::ProfileNode profile;
 };
 
 /// Full EXPLAIN ANALYZE result for a script.
 struct AnalyzeReport {
   std::vector<OperatorProfile> operators;
   double total_ms = 0;
+  /// Root of the hierarchical QueryProfile (script -> statements -> jobs).
+  obs::ProfileNode profile;
 };
 
 /// Human-readable table: one line per operator with wall time, row count,
-/// partition count and (when present) pruned/scanned/candidates/results.
+/// partition count and (when present) pruned/scanned/candidates/results,
+/// followed by the per-operator QueryProfile job tree.
 std::string FormatAnalyzeReport(const AnalyzeReport& report);
 
 }  // namespace piglet

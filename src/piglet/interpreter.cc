@@ -12,6 +12,8 @@
 #include "common/stopwatch.h"
 #include "engine/pair_rdd.h"
 #include "io/csv.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "partition/bsp_partitioner.h"
 #include "partition/grid_partitioner.h"
 #include "partition/st_grid_partitioner.h"
@@ -189,6 +191,11 @@ Status Interpreter::RunScriptAnalyze(const std::string& source,
   STARK_ASSIGN_OR_RETURN(Program program, Parse(source));
   analyze_stats_.Reset();
   analyze_mode_ = true;
+  // Install a QueryProfile collector for the duration of the script: every
+  // engine job that runs under a statement's ProfileNodeScope nests inside
+  // that statement's node.
+  obs::ProfileCollector collector("EXPLAIN ANALYZE");
+  obs::ProfileCollectorScope collector_scope(&collector);
   Stopwatch total;
   Status status = Status::OK();
   for (const Statement& stmt : program.statements) {
@@ -198,39 +205,88 @@ Status Interpreter::RunScriptAnalyze(const std::string& source,
     prof.statement = FormatStatement(stmt);
     const QueryStats::Snapshot before = analyze_stats_.Snap();
     Stopwatch sw;
-    status = Execute(stmt);
-    if (!status.ok()) break;
-    if (ProducesRelation(stmt.kind)) {
-      auto it = relations_.find(stmt.target);
-      if (it != relations_.end()) {
-        // Materialize now (cached) so this statement's evaluation cost and
-        // pruning counters are attributed to it, not to a later consumer.
-        try {
-          it->second.rdd = it->second.rdd.Cache();
-          prof.rows_out = it->second.rdd.Count();
-        } catch (const StatusError& e) {
-          status = e.status();
-          break;
+    {
+      obs::ProfileNodeScope stmt_scope(&collector, prof.statement,
+                                       obs::ProfileNodeKind::kStatement);
+      status = Execute(stmt);
+      if (status.ok() && ProducesRelation(stmt.kind)) {
+        auto it = relations_.find(stmt.target);
+        if (it != relations_.end()) {
+          // Materialize now (cached) so this statement's evaluation cost
+          // and pruning counters are attributed to it, not to a later
+          // consumer.
+          try {
+            it->second.rdd = it->second.rdd.Cache();
+            prof.rows_out = it->second.rdd.Count();
+          } catch (const StatusError& e) {
+            status = e.status();
+          }
+          if (status.ok()) {
+            prof.produced_relation = true;
+            prof.num_partitions = it->second.rdd.NumPartitions();
+          }
         }
-        prof.produced_relation = true;
-        prof.num_partitions = it->second.rdd.NumPartitions();
+      }
+      prof.wall_ms = sw.ElapsedMillis();
+      if (stmt_scope.node() != nullptr) {
+        stmt_scope.node()->wall_ms = prof.wall_ms;
+        stmt_scope.node()->rows_out = prof.rows_out;
+        stmt_scope.node()->partitions = prof.num_partitions;
+        if (!status.ok()) {
+          stmt_scope.node()->failed = true;
+          stmt_scope.node()->error = status.ToString();
+        }
       }
     }
-    prof.wall_ms = sw.ElapsedMillis();
+    // Copy the statement's profile node (the last child of the root) into
+    // the operator profile before the next Push can grow root.children.
+    if (!collector.root().children.empty()) {
+      prof.profile = collector.root().children.back();
+    }
+    if (!status.ok()) break;  // the failed statement stays in the tree only
     prof.filter = analyze_stats_.Snap().Delta(before);
     if (report != nullptr) report->operators.push_back(std::move(prof));
   }
-  if (report != nullptr) report->total_ms = total.ElapsedMillis();
+  if (report != nullptr) {
+    report->total_ms = total.ElapsedMillis();
+    collector.mutable_root().wall_ms = report->total_ms;
+    report->profile = collector.root();
+  }
   analyze_mode_ = false;
   return status;
 }
 
 Status Interpreter::Run(const Program& program) {
-  for (const Statement& stmt : program.statements) {
-    STARK_RETURN_NOT_OK(CheckCancelled());
-    STARK_RETURN_NOT_OK(Execute(stmt));
+  if (!profile_enabled_) {
+    for (const Statement& stmt : program.statements) {
+      STARK_RETURN_NOT_OK(CheckCancelled());
+      STARK_RETURN_NOT_OK(Execute(stmt));
+    }
+    return Status::OK();
   }
-  return Status::OK();
+  // SET obs.profile 1: collect a QueryProfile for the script and print the
+  // tree when it finishes (successfully or not).
+  obs::ProfileCollector collector("script");
+  obs::ProfileCollectorScope collector_scope(&collector);
+  Status status = Status::OK();
+  for (const Statement& stmt : program.statements) {
+    status = CheckCancelled();
+    if (!status.ok()) break;
+    Stopwatch sw;
+    obs::ProfileNodeScope stmt_scope(&collector, FormatStatement(stmt),
+                                     obs::ProfileNodeKind::kStatement);
+    status = Execute(stmt);
+    if (stmt_scope.node() != nullptr) {
+      stmt_scope.node()->wall_ms = sw.ElapsedMillis();
+      if (!status.ok()) {
+        stmt_scope.node()->failed = true;
+        stmt_scope.node()->error = status.ToString();
+      }
+    }
+    if (!status.ok()) break;
+  }
+  (*out_) << obs::FormatProfileTree(collector.root());
+  return status;
 }
 
 void Interpreter::set_cancel_token(std::shared_ptr<CancelToken> token) {
@@ -259,15 +315,28 @@ Result<const PigRelation*> Interpreter::Input(const Statement& stmt) const {
 }
 
 Status Interpreter::Execute(const Statement& stmt) {
+  static obs::Counter* const slow_queries =
+      obs::DefaultMetrics().GetCounter("engine.query.slow");
+  Stopwatch sw;
   // Actions materialize through the infallible RDD wrappers, which rethrow
   // a terminal job Status (deadline, cancellation, exhausted retries) as
   // StatusError; surface it as this statement's Status instead of letting
   // it unwind past the shell's REPL loop.
+  Status status;
   try {
-    return ExecuteImpl(stmt);
+    status = ExecuteImpl(stmt);
   } catch (const StatusError& e) {
-    return e.status();
+    status = e.status();
   }
+  // Slow-query log: a statement is the query unit of the Piglet layer.
+  const double slow_ms = obs::GlobalSlowLog().slow_query_ms();
+  if (slow_ms > 0 && sw.ElapsedMillis() > slow_ms) {
+    slow_queries->Increment();
+    std::fprintf(stderr, "[stark] slow query: %.1f ms (threshold %.1f ms): %s\n",
+                 sw.ElapsedMillis(), slow_ms,
+                 FormatStatement(stmt).c_str());
+  }
+  return status;
 }
 
 Status Interpreter::ExecuteImpl(const Statement& stmt) {
@@ -380,11 +449,31 @@ Status Interpreter::ExecSet(const Statement& stmt) {
     ctx_->set_speculation_policy(policy);
     return Status::OK();
   }
+  if (key == "obs.profile") {
+    profile_enabled_ = value != 0;
+    return Status::OK();
+  }
+  if (key == "obs.slow_task_ms") {
+    if (value < 0) {
+      return Status::InvalidArgument("piglet: obs.slow_task_ms must be >= 0");
+    }
+    obs::GlobalSlowLog().set_slow_task_ms(value);
+    return Status::OK();
+  }
+  if (key == "obs.slow_query_ms") {
+    if (value < 0) {
+      return Status::InvalidArgument(
+          "piglet: obs.slow_query_ms must be >= 0");
+    }
+    obs::GlobalSlowLog().set_slow_query_ms(value);
+    return Status::OK();
+  }
   return Status::InvalidArgument("piglet:" + std::to_string(stmt.line) +
                                  ": unknown SET key '" + key +
                                  "' (want job.deadline_ms, job.speculation, "
-                                 "job.speculation_multiplier, or "
-                                 "job.speculation_quantile)");
+                                 "job.speculation_multiplier, "
+                                 "job.speculation_quantile, obs.profile, "
+                                 "obs.slow_task_ms, or obs.slow_query_ms)");
 }
 
 Result<PigRelation> Interpreter::ExecLoad(const Statement& stmt) {

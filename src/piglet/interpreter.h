@@ -109,6 +109,9 @@ class Interpreter {
   /// lambdas capture the pointer into lazy lineage nodes.
   QueryStats analyze_stats_;
   bool analyze_mode_ = false;
+  /// SET obs.profile 1: plain Run() also collects a QueryProfile and
+  /// prints the tree to the output stream after the script finishes.
+  bool profile_enabled_ = false;
 };
 
 }  // namespace piglet

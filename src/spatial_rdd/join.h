@@ -204,14 +204,18 @@ inline std::string TaskDetail(const ProbeTask& t, size_t full_range) {
   return d;
 }
 
-/// Annotates the current task span (when tracing) with the probe detail and
-/// record counts; no-op outside a traced task.
+/// Annotates the current task span (when tracing or profiling) with the
+/// probe detail, record counts, and index candidate/refined counts; no-op
+/// outside an observed task.
 inline void AnnotateSpan(const std::string& detail, size_t records_in,
-                         size_t records_out) {
+                         size_t records_out, size_t candidates = 0,
+                         size_t refined = 0) {
   if (obs::TaskSpan* span = obs::CurrentTaskSpan()) {
     span->detail = detail;
     span->records_in = records_in;
     span->records_out = records_out;
+    span->candidates = candidates;
+    span->refined = refined;
   }
 }
 
@@ -344,7 +348,8 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
         ji::AnnotateSpan("L" + std::to_string(i) + "xR* (broadcast)" +
                              ji::IndexDetail(packed_probes, cache.hits(),
                                              cache.misses()),
-                         left_parts[i].size(), sink.size());
+                         left_parts[i].size(), sink.size(), packed_probes,
+                         sink.size());
         metrics.prefilter_skips->Add(prefilter_skips);
         metrics.results->Add(sink.size());
         ji::FlushIndexMetrics(packed_probes, cache.hits(), cache.misses());
@@ -401,7 +406,8 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
       ji::AnnotateSpan("L*xR" + std::to_string(j) + " (broadcast)" +
                            ji::IndexDetail(packed_probes, cache.hits(),
                                            cache.misses()),
-                       right_parts[j].size(), sink.size());
+                       right_parts[j].size(), sink.size(), packed_probes,
+                       sink.size());
       metrics.prefilter_skips->Add(prefilter_skips);
       metrics.results->Add(sink.size());
       ji::FlushIndexMetrics(packed_probes, cache.hits(), cache.misses());
@@ -514,7 +520,8 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
     }
     ji::AnnotateSpan(ji::TaskDetail(task, rv.size()) +
                          ji::IndexDetail(packed_probes, prep_hits, prep_misses),
-                     task.end - task.begin, sink.size());
+                     task.end - task.begin, sink.size(), packed_probes,
+                     sink.size());
     metrics.prefilter_skips->Add(prefilter_skips);
     metrics.results->Add(sink.size());
     ji::FlushIndexMetrics(packed_probes, prep_hits, prep_misses);
@@ -662,7 +669,8 @@ auto SpatialJoinProject(const IndexedSpatialRDD<V>& left,
     }
     ji::AnnotateSpan(ji::TaskDetail(task, rv.size()) +
                          ji::IndexDetail(packed_probes, prep_hits, prep_misses),
-                     task.end - task.begin, sink.size());
+                     task.end - task.begin, sink.size(), packed_probes,
+                     sink.size());
     metrics.results->Add(sink.size());
     ji::FlushIndexMetrics(packed_probes, prep_hits, prep_misses);
   });

@@ -135,6 +135,8 @@ class IndexedSpatialRDD {
                            std::to_string(bound.prepared_misses());
             span->records_in = candidates;
             span->records_out = out.size();
+            span->candidates = candidates;
+            span->refined = out.size();
           }
           return out;
         });

@@ -184,6 +184,51 @@ TEST_F(ExplainAnalyzeTest, ProfilesEveryOperatorWithRowsAndPruning) {
   EXPECT_NE(text.find("FILTER"), std::string::npos);
 }
 
+TEST_F(ExplainAnalyzeTest, JoinScriptCarriesQueryProfileTree) {
+  const std::string script =
+      "events = LOAD '" + csv_path_ + "';\n" +
+      "s = SPATIALIZE events;\n"
+      "p = PARTITION s BY GRID(4);\n"
+      "j = JOIN p, s ON INTERSECTS;\n"
+      "DUMP j;";
+  AnalyzeReport report;
+  ASSERT_TRUE(interp_.RunScriptAnalyze(script, &report).ok());
+  ASSERT_EQ(report.operators.size(), 5u);
+
+  // The hierarchical QueryProfile mirrors the script: a script root with
+  // one statement child per executed statement, each holding the engine
+  // jobs (stages) that statement ran.
+  EXPECT_EQ(report.profile.kind, obs::ProfileNodeKind::kScript);
+  ASSERT_EQ(report.profile.children.size(), 5u);
+  const obs::ProfileNode& join_stmt = report.profile.children[3];
+  EXPECT_EQ(join_stmt.kind, obs::ProfileNodeKind::kStatement);
+  EXPECT_NE(join_stmt.label.find("JOIN"), std::string::npos);
+  EXPECT_GE(join_stmt.wall_ms, 0.0);
+  ASSERT_FALSE(join_stmt.children.empty())
+      << "JOIN statement ran no profiled engine jobs";
+  uint64_t join_rows = 0;
+  for (const obs::ProfileNode& job : join_stmt.children) {
+    EXPECT_EQ(job.kind, obs::ProfileNodeKind::kJob);
+    EXPECT_GE(job.partitions, 1u);
+    EXPECT_FALSE(job.failed);
+    join_rows += job.rows_out;
+  }
+  EXPECT_GT(join_rows, 0u);
+
+  // Per-operator access mirrors the tree (this is what the formatter
+  // walks), and the rendered report shows the per-job stat lines.
+  EXPECT_EQ(report.operators[3].profile.children.size(),
+            join_stmt.children.size());
+  const std::string text = FormatAnalyzeReport(report);
+  EXPECT_NE(text.find(join_stmt.children[0].label), std::string::npos);
+  EXPECT_NE(text.find("parts="), std::string::npos);
+  EXPECT_NE(text.find(" ms"), std::string::npos);
+
+  // The tree also renders standalone (shell \a uses the same path).
+  const std::string tree = obs::FormatProfileTree(report.profile);
+  EXPECT_NE(tree.find("JOIN"), std::string::npos);
+}
+
 TEST_F(ExplainAnalyzeTest, ErrorKeepsProfilesOfExecutedStatements) {
   const std::string script = "events = LOAD '" + csv_path_ +
                              "';\n"

@@ -16,207 +16,16 @@
 #include "engine/rdd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "test_util.h"
 
 namespace stark {
 namespace {
 
-// ---------------------------------------------------------------------------
-// A minimal strict JSON parser, just enough to round-trip the exporters'
-// output. Parsing failures surface as ADD_FAILURE + null values.
-// ---------------------------------------------------------------------------
-
-struct JsonValue;
-using JsonArray = std::vector<JsonValue>;
-using JsonObject = std::map<std::string, JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
-               JsonObject>
-      v = nullptr;
-
-  bool IsObject() const { return std::holds_alternative<JsonObject>(v); }
-  bool IsArray() const { return std::holds_alternative<JsonArray>(v); }
-  const JsonObject& AsObject() const { return std::get<JsonObject>(v); }
-  const JsonArray& AsArray() const { return std::get<JsonArray>(v); }
-  double AsNumber() const { return std::get<double>(v); }
-  bool AsBool() const { return std::get<bool>(v); }
-  const std::string& AsString() const { return std::get<std::string>(v); }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    ok_ = true;
-    pos_ = 0;
-    *out = ParseValue();
-    SkipWs();
-    return ok_ && pos_ == text_.size();
-  }
-
- private:
-  void Fail() { ok_ = false; }
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  bool Consume(char c) {
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue ParseValue() {
-    SkipWs();
-    if (pos_ >= text_.size()) {
-      Fail();
-      return {};
-    }
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') return ParseString();
-    if (c == 't' || c == 'f') return ParseBool();
-    if (c == 'n') return ParseNull();
-    return ParseNumber();
-  }
-
-  JsonValue ParseObject() {
-    JsonObject obj;
-    if (!Consume('{')) Fail();
-    SkipWs();
-    if (Consume('}')) return {obj};
-    do {
-      SkipWs();
-      if (pos_ >= text_.size() || text_[pos_] != '"') {
-        Fail();
-        return {};
-      }
-      JsonValue key = ParseString();
-      if (!ok_ || !Consume(':')) {
-        Fail();
-        return {};
-      }
-      obj[key.AsString()] = ParseValue();
-      if (!ok_) return {};
-    } while (Consume(','));
-    if (!Consume('}')) Fail();
-    return {obj};
-  }
-
-  JsonValue ParseArray() {
-    JsonArray arr;
-    if (!Consume('[')) Fail();
-    SkipWs();
-    if (Consume(']')) return {arr};
-    do {
-      arr.push_back(ParseValue());
-      if (!ok_) return {};
-    } while (Consume(','));
-    if (!Consume(']')) Fail();
-    return {arr};
-  }
-
-  JsonValue ParseString() {
-    std::string s;
-    if (!Consume('"')) Fail();
-    while (ok_ && pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) {
-          Fail();
-          break;
-        }
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': s += '"'; break;
-          case '\\': s += '\\'; break;
-          case '/': s += '/'; break;
-          case 'n': s += '\n'; break;
-          case 't': s += '\t'; break;
-          case 'r': s += '\r'; break;
-          case 'b': s += '\b'; break;
-          case 'f': s += '\f'; break;
-          case 'u':
-            if (pos_ + 4 > text_.size()) {
-              Fail();
-            } else {
-              pos_ += 4;  // validated as hex-ish, decoded as '?'
-              s += '?';
-            }
-            break;
-          default: Fail();
-        }
-      } else {
-        s += c;
-      }
-    }
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      Fail();
-      return {};
-    }
-    ++pos_;
-    return {s};
-  }
-
-  JsonValue ParseBool() {
-    if (text_.compare(pos_, 4, "true") == 0) {
-      pos_ += 4;
-      return {true};
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      pos_ += 5;
-      return {false};
-    }
-    Fail();
-    return {};
-  }
-
-  JsonValue ParseNull() {
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return {nullptr};
-    }
-    Fail();
-    return {};
-  }
-
-  JsonValue ParseNumber() {
-    const size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      Fail();
-      return {};
-    }
-    return {std::stod(text_.substr(start, pos_ - start))};
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-  bool ok_ = true;
-};
-
-JsonValue ParseJsonOrFail(const std::string& text) {
-  JsonValue v;
-  JsonParser parser(text);
-  EXPECT_TRUE(parser.Parse(&v)) << "invalid JSON: " << text.substr(0, 200);
-  return v;
-}
+// JSON round-trips use the shared strict parser in test_util.h.
+using test::JsonArray;
+using test::JsonObject;
+using test::JsonValue;
+using test::ParseJsonOrFail;
 
 // ---------------------------------------------------------------------------
 // Metrics
@@ -306,6 +115,27 @@ TEST(MetricsTest, SnapshotAndReportsContainRegisteredNames) {
       obj.at("histograms").AsObject().at("gamma.hist").AsObject().at("count")
           .AsNumber(),
       1.0);
+}
+
+TEST(MetricsTest, JsonEscapesHostileMetricNames) {
+  // Instrument names are free-form strings; a name containing quotes,
+  // backslashes or control characters must not corrupt the JSON dump.
+  obs::MetricsRegistry registry;
+  const std::string hostile = "weird\"name\\with\ncontrol\tchars";
+  registry.GetCounter(hostile)->Add(7);
+  registry.GetGauge("gauge\"q")->Set(-2);
+  registry.GetHistogram("hist\\b")->Record(42);
+  const JsonValue json = ParseJsonOrFail(registry.Json());
+  const JsonObject& obj = json.AsObject();
+  EXPECT_EQ(obj.at("counters").AsObject().at(hostile).AsNumber(), 7.0);
+  EXPECT_EQ(obj.at("gauges").AsObject().at("gauge\"q").AsNumber(), -2.0);
+  EXPECT_EQ(obj.at("histograms")
+                .AsObject()
+                .at("hist\\b")
+                .AsObject()
+                .at("count")
+                .AsNumber(),
+            1.0);
 }
 
 TEST(MetricsTest, ScopedTimerReportsIntoHistogram) {
@@ -438,15 +268,32 @@ TEST(TraceTest, ChromeTraceJsonRoundTrips) {
   // counted.
   size_t task_events = 0;
   size_t phase_events = 0;
+  bool saw_process_name = false;
+  size_t thread_names = 0;
   for (const JsonValue& ev : events) {
     ASSERT_TRUE(ev.IsObject());
     const JsonObject& e = ev.AsObject();
     ASSERT_TRUE(e.count("name"));
     ASSERT_TRUE(e.count("ph"));
-    ASSERT_TRUE(e.count("ts"));
     ASSERT_TRUE(e.count("pid"));
     ASSERT_TRUE(e.count("tid"));
     const std::string& ph = e.at("ph").AsString();
+    if (ph == "M") {
+      // process_name/thread_name metadata labels the rows in the trace
+      // viewer; no "ts" on metadata events.
+      const std::string& name = e.at("name").AsString();
+      const JsonObject& args = e.at("args").AsObject();
+      ASSERT_TRUE(args.count("name"));
+      if (name == "process_name") {
+        saw_process_name = true;
+        EXPECT_EQ(args.at("name").AsString(), "stark");
+      } else {
+        EXPECT_EQ(name, "thread_name");
+        ++thread_names;
+      }
+      continue;
+    }
+    ASSERT_TRUE(e.count("ts"));
     if (ph == "X") {
       EXPECT_EQ(e.at("name").AsString(), "rdd.count");
       EXPECT_GE(e.at("dur").AsNumber(), 0.0);
@@ -472,6 +319,9 @@ TEST(TraceTest, ChromeTraceJsonRoundTrips) {
   }
   EXPECT_EQ(task_events, 2u);
   EXPECT_EQ(phase_events, 2u);
+  EXPECT_TRUE(saw_process_name);
+  // Driver thread (tid 0) plus at least one pool worker get names.
+  EXPECT_GE(thread_names, 2u);
 
   // Clear drops everything.
   tracer.Clear();

@@ -1,0 +1,189 @@
+// Tests for the OpenMetrics exposition path: renderer output shape, the
+// strict validator (which doubles as the CI checker's engine), their
+// round-trip, and the background MetricsExporter's file lifecycle.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "test_util.h"
+
+namespace stark {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ---------------------------------------------------------------------------
+// Renderer
+// ---------------------------------------------------------------------------
+
+TEST(OpenMetricsTest, RendersCountersGaugesAndHistograms) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("engine.tasks.run")->Add(17);
+  registry.GetGauge("engine.pool.size")->Set(-3);
+  obs::Histogram* h = registry.GetHistogram("engine.task.ns");
+  h->Record(0);   // bucket 0, le="0"
+  h->Record(5);   // bucket 3, le="7"
+  h->Record(5);
+
+  const std::string text = obs::RenderOpenMetrics(registry.Snap());
+  EXPECT_NE(text.find("# TYPE stark_engine_tasks_run counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("stark_engine_tasks_run_total 17\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE stark_engine_pool_size gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("stark_engine_pool_size -3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE stark_engine_task_ns histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative: le="0" holds 1, le="7" holds all 3.
+  EXPECT_NE(text.find("stark_engine_task_ns_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("stark_engine_task_ns_bucket{le=\"7\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("stark_engine_task_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("stark_engine_task_ns_sum 10\n"), std::string::npos);
+  EXPECT_NE(text.find("stark_engine_task_ns_count 3\n"), std::string::npos);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, RoundTripsThroughTheValidator) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("a.count")->Add(1);
+  registry.GetGauge("b.gauge")->Set(2);
+  for (uint64_t v = 0; v < 100; ++v) {
+    registry.GetHistogram("c.hist")->Record(v * v);
+  }
+  // Hostile name characters sanitize into the allowed alphabet.
+  registry.GetCounter("weird-name with spaces!")->Add(4);
+  const std::string text = obs::RenderOpenMetrics(registry.Snap());
+  EXPECT_EQ(obs::ValidateOpenMetrics(text), "");
+  EXPECT_NE(text.find("stark_weird_name_with_spaces__total 4\n"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsTest, EmptyRegistryRendersValidExposition) {
+  obs::MetricsRegistry registry;
+  const std::string text = obs::RenderOpenMetrics(registry.Snap());
+  EXPECT_EQ(text, "# EOF\n");
+  EXPECT_EQ(obs::ValidateOpenMetrics(text), "");
+}
+
+// ---------------------------------------------------------------------------
+// Validator rejections
+// ---------------------------------------------------------------------------
+
+TEST(OpenMetricsTest, ValidatorRejectsMalformedExpositions) {
+  // Missing trailing newline.
+  EXPECT_NE(obs::ValidateOpenMetrics("# EOF"), "");
+  // Missing EOF marker.
+  EXPECT_NE(obs::ValidateOpenMetrics("# TYPE a counter\na_total 1\n"), "");
+  // Content after EOF.
+  EXPECT_NE(obs::ValidateOpenMetrics("# EOF\na 1\n"), "");
+  // Sample before any TYPE.
+  EXPECT_NE(obs::ValidateOpenMetrics("a 1\n# EOF\n"), "");
+  // Counter sample without the _total suffix.
+  EXPECT_NE(
+      obs::ValidateOpenMetrics("# TYPE a counter\na 1\n# EOF\n"), "");
+  // Negative counter.
+  EXPECT_NE(obs::ValidateOpenMetrics(
+                "# TYPE a counter\na_total -1\n# EOF\n"),
+            "");
+  // Histogram without a +Inf bucket.
+  EXPECT_NE(obs::ValidateOpenMetrics("# TYPE h histogram\n"
+                                     "h_bucket{le=\"1\"} 1\n"
+                                     "h_sum 1\nh_count 1\n# EOF\n"),
+            "");
+  // Non-monotonic le.
+  EXPECT_NE(obs::ValidateOpenMetrics("# TYPE h histogram\n"
+                                     "h_bucket{le=\"7\"} 1\n"
+                                     "h_bucket{le=\"3\"} 2\n"
+                                     "h_bucket{le=\"+Inf\"} 2\n"
+                                     "h_sum 1\nh_count 2\n# EOF\n"),
+            "");
+  // Non-cumulative bucket counts.
+  EXPECT_NE(obs::ValidateOpenMetrics("# TYPE h histogram\n"
+                                     "h_bucket{le=\"3\"} 5\n"
+                                     "h_bucket{le=\"7\"} 2\n"
+                                     "h_bucket{le=\"+Inf\"} 5\n"
+                                     "h_sum 1\nh_count 5\n# EOF\n"),
+            "");
+  // +Inf disagreeing with _count.
+  EXPECT_NE(obs::ValidateOpenMetrics("# TYPE h histogram\n"
+                                     "h_bucket{le=\"+Inf\"} 5\n"
+                                     "h_sum 1\nh_count 4\n# EOF\n"),
+            "");
+  // Metric name starting with a digit.
+  EXPECT_NE(obs::ValidateOpenMetrics("# TYPE 9lives counter\n"
+                                     "9lives_total 1\n# EOF\n"),
+            "");
+  // Double space before the value.
+  EXPECT_NE(obs::ValidateOpenMetrics("# TYPE g gauge\ng  1\n# EOF\n"), "");
+}
+
+TEST(OpenMetricsTest, ValidatorNamesTheOffendingLine) {
+  const std::string problem = obs::ValidateOpenMetrics(
+      "# TYPE a counter\na_total 1\nbogus line here\n# EOF\n");
+  EXPECT_NE(problem.find("line 3"), std::string::npos) << problem;
+}
+
+// ---------------------------------------------------------------------------
+// Exporter
+// ---------------------------------------------------------------------------
+
+TEST(OpenMetricsTest, ExporterWritesOnStartRefreshesAndStops) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("export.me")->Add(1);
+  const std::string path = test::UniqueTempPath("openmetrics_export.txt");
+  {
+    obs::MetricsExporter exporter(&registry, path, /*interval_ms=*/20);
+    // The file exists immediately (constructor exports synchronously).
+    const std::string first = Slurp(path);
+    EXPECT_EQ(obs::ValidateOpenMetrics(first), "");
+    EXPECT_NE(first.find("stark_export_me_total 1\n"), std::string::npos);
+
+    // The background thread picks up new values.
+    registry.GetCounter("export.me")->Add(41);
+    std::string refreshed;
+    for (int i = 0; i < 100; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      refreshed = Slurp(path);
+      if (refreshed.find("stark_export_me_total 42\n") != std::string::npos) {
+        break;
+      }
+    }
+    EXPECT_NE(refreshed.find("stark_export_me_total 42\n"), std::string::npos);
+
+    // Stop() is idempotent and leaves a final valid exposition behind.
+    registry.GetCounter("export.final")->Add(7);
+    exporter.Stop();
+    exporter.Stop();
+    const std::string last = Slurp(path);
+    EXPECT_EQ(obs::ValidateOpenMetrics(last), "");
+    EXPECT_NE(last.find("stark_export_final_total 7\n"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(OpenMetricsTest, FromEnvReturnsNullWithoutTheVariable) {
+  // The test runner does not set STARK_METRICS_EXPORT; CI jobs that do get
+  // the exporter through the bench binaries instead.
+  if (std::getenv("STARK_METRICS_EXPORT") == nullptr) {
+    EXPECT_EQ(obs::MetricsExporter::FromEnv(), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace stark

@@ -14,6 +14,7 @@
 #include "fault/failpoint.h"
 #include "io/csv.h"
 #include "io/generator.h"
+#include "obs/profile.h"
 #include "piglet/interpreter.h"
 #include "piglet/lexer.h"
 #include "piglet/parser.h"
@@ -411,6 +412,37 @@ TEST_F(PigletInterpreterTest, SetRejectsUnknownKeyAndBadValues) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(interp_.RunScript("SET job.speculation_quantile 2;").code(),
             StatusCode::kInvalidArgument);
+  EXPECT_EQ(interp_.RunScript("SET obs.slow_task_ms -1;").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PigletInterpreterTest, SetObsProfilePrintsQueryTreeAfterScripts) {
+  ASSERT_TRUE(interp_.RunScript("SET obs.profile 1;").ok());
+  ASSERT_TRUE(
+      interp_.RunScript(Script("s = SPATIALIZE events;\nDUMP s;")).ok());
+  const std::string with_profile = out_.str();
+  // The per-job tree follows the DUMP output: statements plus the engine
+  // stages they ran, with stats.
+  EXPECT_NE(with_profile.find("SPATIALIZE"), std::string::npos);
+  EXPECT_NE(with_profile.find("parts="), std::string::npos);
+
+  out_.str("");
+  ASSERT_TRUE(interp_.RunScript("SET obs.profile 0;").ok());
+  ASSERT_TRUE(interp_.RunScript("DUMP s;").ok());
+  EXPECT_EQ(out_.str().find("parts="), std::string::npos);
+}
+
+TEST_F(PigletInterpreterTest, SetObsSlowThresholdsConfigureGlobalSlowLog) {
+  const double task_prev = obs::GlobalSlowLog().slow_task_ms();
+  const double query_prev = obs::GlobalSlowLog().slow_query_ms();
+  ASSERT_TRUE(interp_
+                  .RunScript("SET obs.slow_task_ms 125;\n"
+                             "SET obs.slow_query_ms 2500;")
+                  .ok());
+  EXPECT_DOUBLE_EQ(obs::GlobalSlowLog().slow_task_ms(), 125.0);
+  EXPECT_DOUBLE_EQ(obs::GlobalSlowLog().slow_query_ms(), 2500.0);
+  obs::GlobalSlowLog().set_slow_task_ms(task_prev);
+  obs::GlobalSlowLog().set_slow_query_ms(query_prev);
 }
 
 TEST_F(PigletInterpreterTest, SetSurvivesTheOptimizer) {

@@ -1,0 +1,253 @@
+// Tests for the hierarchical query profiler: collector stack semantics,
+// JSON/tree rendering, and the engine integration — every TryRunTasks job
+// run under an installed collector must append a ProfileNode with rows/
+// partitions/retry accounting, nested under the statement node Piglet (or
+// the test) pushed.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/rdd.h"
+#include "fault/failpoint.h"
+#include "obs/profile.h"
+#include "test_util.h"
+
+namespace stark {
+namespace {
+
+using test::JsonObject;
+using test::JsonValue;
+using test::ParseJsonOrFail;
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::DefaultFailPoints().DisarmAll(); }
+  void TearDown() override { fault::DefaultFailPoints().DisarmAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// Collector semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(ProfileTest, CollectorNestsJobsUnderPushedNodes) {
+  obs::ProfileCollector collector("script");
+  EXPECT_EQ(collector.root().label, "script");
+  EXPECT_EQ(collector.root().kind, obs::ProfileNodeKind::kScript);
+
+  obs::ProfileNode* stmt =
+      collector.Push("A = FILTER ...", obs::ProfileNodeKind::kStatement);
+  ASSERT_NE(stmt, nullptr);
+  obs::ProfileNode job;
+  job.label = "spatial.filter";
+  job.rows_out = 42;
+  collector.RecordJob(job);
+  collector.Pop();
+
+  obs::ProfileNode other;
+  other.label = "rdd.count";
+  collector.RecordJob(other);  // lands on the root, not the popped stmt
+
+  ASSERT_EQ(collector.root().children.size(), 2u);
+  const obs::ProfileNode& s = collector.root().children[0];
+  EXPECT_EQ(s.kind, obs::ProfileNodeKind::kStatement);
+  ASSERT_EQ(s.children.size(), 1u);
+  EXPECT_EQ(s.children[0].label, "spatial.filter");
+  EXPECT_EQ(s.children[0].rows_out, 42u);
+  EXPECT_EQ(collector.root().children[1].label, "rdd.count");
+}
+
+TEST_F(ProfileTest, CollectorScopeInstallsAndRestores) {
+  EXPECT_EQ(obs::CurrentProfileCollector(), nullptr);
+  obs::ProfileCollector outer;
+  {
+    obs::ProfileCollectorScope outer_scope(&outer);
+    EXPECT_EQ(obs::CurrentProfileCollector(), &outer);
+    obs::ProfileCollector inner;
+    {
+      obs::ProfileCollectorScope inner_scope(&inner);
+      EXPECT_EQ(obs::CurrentProfileCollector(), &inner);
+    }
+    EXPECT_EQ(obs::CurrentProfileCollector(), &outer);
+  }
+  EXPECT_EQ(obs::CurrentProfileCollector(), nullptr);
+}
+
+TEST_F(ProfileTest, RecursiveTotalsIncludeChildren) {
+  obs::ProfileNode root;
+  root.rows_out = 1;
+  root.wall_ms = 1.0;
+  obs::ProfileNode child;
+  child.rows_out = 10;
+  child.wall_ms = 2.5;
+  obs::ProfileNode grandchild;
+  grandchild.rows_out = 100;
+  grandchild.wall_ms = 0.5;
+  child.children.push_back(grandchild);
+  root.children.push_back(child);
+  EXPECT_EQ(root.TotalRowsOut(), 111u);
+  EXPECT_DOUBLE_EQ(root.TotalWallMs(), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+TEST_F(ProfileTest, ProfileJsonRoundTripsWithHostileLabels) {
+  obs::ProfileNode node;
+  node.label = "stage \"quoted\"\nnewline";
+  node.kind = obs::ProfileNodeKind::kJob;
+  node.partitions = 4;
+  node.rows_in = 1000;
+  node.rows_out = 10;
+  node.retries = 2;
+  node.failed = true;
+  node.error = "disk \\ gone";
+  obs::ProfileNode child;
+  child.label = "child";
+  node.children.push_back(child);
+
+  const JsonValue json = ParseJsonOrFail(obs::ProfileJson(node));
+  ASSERT_TRUE(json.IsObject());
+  const JsonObject& obj = json.AsObject();
+  EXPECT_EQ(obj.at("label").AsString(), node.label);
+  EXPECT_EQ(obj.at("partitions").AsNumber(), 4.0);
+  EXPECT_EQ(obj.at("rows_in").AsNumber(), 1000.0);
+  EXPECT_EQ(obj.at("rows_out").AsNumber(), 10.0);
+  EXPECT_EQ(obj.at("retries").AsNumber(), 2.0);
+  EXPECT_TRUE(obj.at("failed").AsBool());
+  ASSERT_EQ(obj.at("children").AsArray().size(), 1u);
+  EXPECT_EQ(
+      obj.at("children").AsArray()[0].AsObject().at("label").AsString(),
+      "child");
+}
+
+TEST_F(ProfileTest, FormatProfileTreeShowsHierarchyAndStats) {
+  obs::ProfileNode root;
+  root.label = "script";
+  root.kind = obs::ProfileNodeKind::kScript;
+  obs::ProfileNode stmt;
+  stmt.label = "B = FILTER A BY ...;";
+  stmt.kind = obs::ProfileNodeKind::kStatement;
+  obs::ProfileNode job;
+  job.label = "spatial.filter";
+  job.partitions = 8;
+  job.rows_in = 5000;
+  job.rows_out = 312;
+  job.retries = 1;
+  stmt.children.push_back(job);
+  root.children.push_back(stmt);
+
+  const std::string tree = obs::FormatProfileTree(root);
+  EXPECT_NE(tree.find("script"), std::string::npos);
+  EXPECT_NE(tree.find("B = FILTER A BY ...;"), std::string::npos);
+  EXPECT_NE(tree.find("spatial.filter"), std::string::npos);
+  EXPECT_NE(tree.find("parts=8"), std::string::npos);
+  EXPECT_NE(tree.find("rows=5000/312"), std::string::npos);
+  EXPECT_NE(tree.find("retries=1"), std::string::npos);
+  // Jobs indent deeper than statements.
+  EXPECT_LT(tree.find("B = FILTER"), tree.find("spatial.filter"));
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration
+// ---------------------------------------------------------------------------
+
+TEST_F(ProfileTest, EngineJobsAppendProfileNodes) {
+  Context ctx(2);
+  obs::ProfileCollector collector;
+  {
+    obs::ProfileCollectorScope scope(&collector);
+    auto rdd = MakeRDD(&ctx, std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}, 4);
+    EXPECT_EQ(rdd.Count(), 8u);
+  }
+  ASSERT_FALSE(collector.root().children.empty());
+  const obs::ProfileNode& job = collector.root().children.back();
+  EXPECT_EQ(job.kind, obs::ProfileNodeKind::kJob);
+  EXPECT_EQ(job.label, "rdd.count");
+  EXPECT_EQ(job.partitions, 4u);
+  EXPECT_EQ(job.rows_in, 8u);
+  EXPECT_FALSE(job.failed);
+  EXPECT_GE(job.wall_ms, 0.0);
+  // Every successful task reported its duration into the histogram.
+  EXPECT_EQ(job.task_ns.count, 4u);
+}
+
+TEST_F(ProfileTest, NoCollectorMeansNoCollection) {
+  Context ctx(2);
+  auto rdd = MakeRDD(&ctx, std::vector<int>{1, 2, 3}, 2);
+  EXPECT_EQ(rdd.Count(), 3u);  // must not crash or leak nodes anywhere
+  EXPECT_EQ(obs::CurrentProfileCollector(), nullptr);
+}
+
+TEST_F(ProfileTest, RetriesAndFailuresLandInTheNode) {
+  Context ctx(2);
+  obs::ProfileCollector collector;
+  {
+    obs::ProfileCollectorScope scope(&collector);
+    // Partition 0 fails once then succeeds: the job retries and succeeds.
+    std::atomic<int> attempts{0};
+    const Status ok_status =
+        ctx.TryRunTasks("test.profile.retry", 2, [&](size_t p) {
+          if (p == 0 && attempts.fetch_add(1) == 0) {
+            throw StatusError(Status::IOError("transient"));
+          }
+        });
+    EXPECT_TRUE(ok_status.ok()) << ok_status.ToString();
+
+    // All partitions always fail: the job resolves non-OK.
+    const Status bad_status =
+        ctx.TryRunTasks("test.profile.fail", 2, [&](size_t) {
+          throw StatusError(Status::IOError("permanent"));
+        });
+    EXPECT_FALSE(bad_status.ok());
+  }
+  ASSERT_EQ(collector.root().children.size(), 2u);
+  const obs::ProfileNode& retried = collector.root().children[0];
+  EXPECT_EQ(retried.label, "test.profile.retry");
+  EXPECT_GE(retried.retries, 1u);
+  EXPECT_FALSE(retried.failed);
+  const obs::ProfileNode& failed = collector.root().children[1];
+  EXPECT_EQ(failed.label, "test.profile.fail");
+  EXPECT_TRUE(failed.failed);
+  EXPECT_NE(failed.error.find("permanent"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Slow-log configuration
+// ---------------------------------------------------------------------------
+
+TEST_F(ProfileTest, SlowLogThresholdsRoundTrip) {
+  obs::SlowLogConfig config;
+  EXPECT_EQ(config.slow_task_ms(), 0.0);  // disabled by default (no env)
+  config.set_slow_task_ms(12.5);
+  config.set_slow_query_ms(250);
+  EXPECT_DOUBLE_EQ(config.slow_task_ms(), 12.5);
+  EXPECT_DOUBLE_EQ(config.slow_query_ms(), 250.0);
+  config.set_slow_task_ms(0);
+  EXPECT_EQ(config.slow_task_ms(), 0.0);
+}
+
+TEST_F(ProfileTest, SlowTaskCounterAdvancesPastThreshold) {
+  const double prev = obs::GlobalSlowLog().slow_task_ms();
+  obs::GlobalSlowLog().set_slow_task_ms(1);  // 1 ms threshold
+  obs::Counter* slow = obs::DefaultMetrics().GetCounter("engine.task.slow");
+  const uint64_t before = slow->Value();
+  {
+    Context ctx(2);
+    obs::ProfileCollector collector;
+    obs::ProfileCollectorScope scope(&collector);
+    ctx.TryRunTasks("test.profile.slow", 2, [](size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    });
+  }
+  obs::GlobalSlowLog().set_slow_task_ms(prev);
+  EXPECT_GE(slow->Value(), before + 2);
+}
+
+}  // namespace
+}  // namespace stark

@@ -5,10 +5,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,6 +22,205 @@
 
 namespace stark {
 namespace test {
+
+// ---------------------------------------------------------------------------
+// A minimal strict JSON parser, just enough to round-trip the observability
+// exporters' output (metrics JSON, Chrome traces, flight-recorder dumps,
+// profile trees). Parsing failures surface as ADD_FAILURE + null values.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+
+  bool IsObject() const { return std::holds_alternative<JsonObject>(v); }
+  bool IsArray() const { return std::holds_alternative<JsonArray>(v); }
+  const JsonObject& AsObject() const { return std::get<JsonObject>(v); }
+  const JsonArray& AsArray() const { return std::get<JsonArray>(v); }
+  double AsNumber() const { return std::get<double>(v); }
+  bool AsBool() const { return std::get<bool>(v); }
+  const std::string& AsString() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    ok_ = true;
+    pos_ = 0;
+    *out = ParseValue();
+    SkipWs();
+    return ok_ && pos_ == text_.size();
+  }
+
+ private:
+  void Fail() { ok_ = false; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail();
+      return {};
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    JsonObject obj;
+    if (!Consume('{')) Fail();
+    SkipWs();
+    if (Consume('}')) return {obj};
+    do {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail();
+        return {};
+      }
+      JsonValue key = ParseString();
+      if (!ok_ || !Consume(':')) {
+        Fail();
+        return {};
+      }
+      obj[key.AsString()] = ParseValue();
+      if (!ok_) return {};
+    } while (Consume(','));
+    if (!Consume('}')) Fail();
+    return {obj};
+  }
+
+  JsonValue ParseArray() {
+    JsonArray arr;
+    if (!Consume('[')) Fail();
+    SkipWs();
+    if (Consume(']')) return {arr};
+    do {
+      arr.push_back(ParseValue());
+      if (!ok_) return {};
+    } while (Consume(','));
+    if (!Consume(']')) Fail();
+    return {arr};
+  }
+
+  JsonValue ParseString() {
+    std::string s;
+    if (!Consume('"')) Fail();
+    while (ok_ && pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          Fail();
+          break;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          case 'r': s += '\r'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) {
+              Fail();
+            } else {
+              pos_ += 4;  // validated as hex-ish, decoded as '?'
+              s += '?';
+            }
+            break;
+          default: Fail();
+        }
+      } else {
+        s += c;
+      }
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      Fail();
+      return {};
+    }
+    ++pos_;
+    return {s};
+  }
+
+  JsonValue ParseBool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return {true};
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return {false};
+    }
+    Fail();
+    return {};
+  }
+
+  JsonValue ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return {nullptr};
+    }
+    Fail();
+    return {};
+  }
+
+  JsonValue ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail();
+      return {};
+    }
+    return {std::stod(text_.substr(start, pos_ - start))};
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+inline JsonValue ParseJsonOrFail(const std::string& text) {
+  JsonValue v;
+  JsonParser parser(text);
+  EXPECT_TRUE(parser.Parse(&v)) << "invalid JSON: " << text.substr(0, 200);
+  return v;
+}
 
 /// A temp path unique to this test process. gtest_discover_tests runs every
 /// test in its own process, and ctest may run them concurrently — fixed

@@ -1,0 +1,82 @@
+/// \file openmetrics_check.cc
+/// Strict OpenMetrics text-format checker for CI: reads an exposition file
+/// written by the STARK metrics exporter (STARK_METRICS_EXPORT) and
+/// validates it line by line — TYPE metadata before samples, counter
+/// samples named `<family>_total`, histogram buckets cumulative with
+/// strictly increasing `le` and a final `+Inf` equal to `_count`, and a
+/// terminating `# EOF`. Exit 0 when the file parses clean, 1 with the
+/// offending line on stderr otherwise.
+///
+/// Usage: openmetrics_check <file> [--require <metric-name>]...
+///
+/// Each --require asserts a metric family (post-sanitization name, e.g.
+/// stark_engine_tasks_run) appears in the exposition, so the CI smoke can
+/// prove the engine actually exported real counters, not an empty file.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/openmetrics.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <file> [--require <metric-name>]...\n", argv[0]);
+    return 2;
+  }
+  const char* path = argv[1];
+  std::vector<std::string> required;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
+      required.push_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "openmetrics_check: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const std::string problem = stark::obs::ValidateOpenMetrics(text);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "openmetrics_check: %s: %s\n", path, problem.c_str());
+    return 1;
+  }
+
+  int missing = 0;
+  for (const std::string& name : required) {
+    // A family is present when some line starts with "<name>" followed by
+    // a sample/label/suffix boundary ('{', ' ', or '_' for _total/_bucket).
+    bool found = false;
+    size_t pos = 0;
+    while (!found && pos < text.size()) {
+      size_t end = text.find('\n', pos);
+      if (end == std::string::npos) end = text.size();
+      if (text.compare(pos, name.size(), name) == 0) {
+        const char next = pos + name.size() < end ? text[pos + name.size()]
+                                                  : '\n';
+        found = next == '{' || next == ' ' || next == '_';
+      }
+      pos = end + 1;
+    }
+    if (!found) {
+      std::fprintf(stderr, "openmetrics_check: %s: required metric %s absent\n",
+                   path, name.c_str());
+      ++missing;
+    }
+  }
+  if (missing > 0) return 1;
+
+  std::fprintf(stderr, "openmetrics_check: %s: OK\n", path);
+  return 0;
+}
