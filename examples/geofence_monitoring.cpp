@@ -1,101 +1,163 @@
 /// \file geofence_monitoring.cpp
-/// Spatio-temporal join scenario: position reports from location-aware
-/// devices (the paper's other motivating workload) are joined against a set
-/// of geofence polygons, each active only during its own time interval —
-/// exercising the combined predicate semantics (formula (1)-(3)), the
-/// persistent index mode, and the join's extent pruning.
+/// Continuous geofence monitoring: position reports from location-aware
+/// devices (the paper's other motivating workload) stream through
+/// event-time windows, and every fired window is matched against a
+/// geofence with CEP patterns — COUNT for intrusion bursts into a
+/// restricted zone that is only armed during its active interval, and
+/// ABSENT for missed patrol heartbeats. Alerts print as the watermark
+/// fires windows mid-stream, not after a batch job at the end; the same
+/// arrival schedule replayed twice produces byte-identical alerts.
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <map>
-#include <memory>
+#include <vector>
 
 #include "common/macros.h"
-#include "common/stopwatch.h"
+#include "common/rng.h"
 #include "engine/context.h"
 #include "io/generator.h"
-#include "partition/grid_partitioner.h"
-#include "spatial_rdd/join.h"
-#include "spatial_rdd/spatial_rdd.h"
+#include "stream/stream_context.h"
 
 using namespace stark;
 
-int main() {
-  Context ctx;
-  const Envelope city(0, 0, 50, 50);
+namespace {
 
-  // -- Position reports: device pings with timestamps -----------------------
+/// One day of device pings: clustered positions with second-granularity
+/// timestamps, delivered slightly out of order (network jitter), plus a
+/// patrol guard that checks in every 60s — except during one gap.
+std::vector<stream::StreamEvent> PingSchedule() {
   SkewedPointsOptions gen;
-  gen.count = 40'000;
-  gen.universe = city;
+  gen.count = 2'000;
+  gen.universe = Envelope(0, 0, 50, 50);
   gen.clusters = 6;
   gen.cluster_spread = 0.03;
   gen.seed = 9;
-  auto pings = GenerateSkewedPoints(gen);
+  const std::vector<STObject> pings = GenerateSkewedPoints(gen);
+
   Rng rng(10);
-  std::vector<std::pair<STObject, int64_t>> reports;
-  reports.reserve(pings.size());
+  std::vector<stream::StreamEvent> schedule;
+  schedule.reserve(pings.size() + 32);
   for (size_t i = 0; i < pings.size(); ++i) {
-    reports.emplace_back(
-        STObject(pings[i].geo(), rng.UniformInt(0, 86'400)),  // seconds/day
-        static_cast<int64_t>(i));
+    const Instant t = rng.UniformInt(0, 1'800);  // a 30-minute shift
+    schedule.emplace_back(static_cast<int64_t>(i), "device",
+                          STObject(pings[i].geo(), t));
   }
-
-  // -- Geofences: polygons active during shifts ------------------------------
-  PolygonsOptions pgen;
-  pgen.count = 40;
-  pgen.universe = city;
-  pgen.min_radius = 1.0;
-  pgen.max_radius = 4.0;
-  pgen.seed = 11;
-  auto zones = GenerateRandomPolygons(pgen);
-  std::vector<std::pair<STObject, int64_t>> fences;
-  for (size_t i = 0; i < zones.size(); ++i) {
-    const Instant start = rng.UniformInt(0, 43'200);
-    fences.emplace_back(
-        STObject(zones[i].geo(), start, start + 21'600),  // 6h active window
-        static_cast<int64_t>(i));
+  // Patrol heartbeats every 60s, silent between minutes 12 and 18.
+  for (int64_t minute = 0; minute < 30; ++minute) {
+    if (minute >= 12 && minute < 18) continue;
+    schedule.emplace_back(100'000 + minute, "guard",
+                          STObject(Geometry::MakePoint({25, 25}),
+                                   minute * 60));
   }
-
-  auto grid = std::make_shared<GridPartitioner>(city, 6);
-  auto report_rdd =
-      SpatialRDD<int64_t>::FromVector(&ctx, reports).PartitionBy(grid);
-  auto fence_grid = std::make_shared<GridPartitioner>(city, 3);
-  auto fence_rdd =
-      SpatialRDD<int64_t>::FromVector(&ctx, fences).PartitionBy(fence_grid);
-
-  // -- Join: which ping was inside which active geofence? -------------------
-  Stopwatch timer;
-  auto hits = SpatialJoin(report_rdd, fence_rdd,
-                          JoinPredicate::ContainedBy());
-  std::map<int64_t, size_t> per_fence;
-  for (const auto& [report, fence] : hits.Collect()) {
-    per_fence[fence.second]++;
+  // Arrival order: event time plus bounded network jitter.
+  std::vector<std::pair<Instant, size_t>> order;
+  order.reserve(schedule.size());
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    order.emplace_back(schedule[i].event_time() + rng.UniformInt(0, 15), i);
   }
-  std::printf("geofence join: %zu containment events in %.2fs\n",
-              hits.Count(), timer.ElapsedSeconds());
-  size_t shown = 0;
-  for (const auto& [fence_id, count] : per_fence) {
-    if (shown++ >= 5) break;
-    std::printf("  fence %lld observed %zu pings while active\n",
-                static_cast<long long>(fence_id), count);
+  std::sort(order.begin(), order.end());
+  std::vector<stream::StreamEvent> arrivals;
+  arrivals.reserve(schedule.size());
+  for (const auto& [jittered, idx] : order) arrivals.push_back(schedule[idx]);
+  return arrivals;
+}
+
+/// Replays the arrival schedule through one continuous query in
+/// micro-batches, firing ripe windows between batches like a live driver.
+stream::StreamStats RunQuery(Context* ctx,
+                             const stream::StreamContext::Options& options,
+                             const std::vector<stream::StreamEvent>& arrivals,
+                             int64_t bound,
+                             void (*alert)(const stream::WindowResult&)) {
+  stream::StreamContext sc(ctx, options);
+  const size_t slot = sc.AddExternalSource(bound);
+  sc.SetSink([alert](const stream::WindowResult& r) { alert(r); });
+  size_t in_batch = 0;
+  for (const stream::StreamEvent& event : arrivals) {
+    sc.Ingest(slot, event);
+    if (++in_batch == 128) {  // micro-batch boundary: fire what is ripe
+      STARK_CHECK(sc.FireReady().ok());
+      in_batch = 0;
+    }
   }
+  STARK_CHECK(sc.Flush().ok());
+  return sc.stats();
+}
 
-  // -- Persistent indexing: build once, reuse in the "next program run" ----
-  const std::string index_dir = "/tmp/stark_geofence_index";
-  STARK_CHECK(std::system(("mkdir -p " + index_dir).c_str()) == 0);
-  auto indexed = report_rdd.Index(/*order=*/10);
-  const Status saved = indexed.Save(index_dir);
-  STARK_CHECK(saved.ok());
-  std::printf("persisted report index to %s\n", index_dir.c_str());
+void IntrusionAlert(const stream::WindowResult& r) {
+  for (const auto& m : r.matches) {
+    std::printf("  ALERT  [%5lld,%5lld) %lld pings inside the armed zone\n",
+                static_cast<long long>(m.window_start),
+                static_cast<long long>(m.window_end),
+                static_cast<long long>(m.count));
+  }
+}
 
-  auto reloaded = IndexedSpatialRDD<int64_t>::Load(&ctx, index_dir);
-  STARK_CHECK(reloaded.ok());
-  const STObject probe(Geometry::MakePoint(25, 25));
-  auto nearby = reloaded.ValueOrDie().WithinDistance(probe, 2.0);
-  std::printf("reloaded index answers withinDistance(center, 2.0): %zu "
-              "pings\n",
-              nearby.Count());
+void PatrolAlert(const stream::WindowResult& r) {
+  for (const auto& m : r.matches) {
+    std::printf("  WARN   [%5lld,%5lld) no guard heartbeat this window\n",
+                static_cast<long long>(m.window_start),
+                static_cast<long long>(m.window_end));
+  }
+}
 
+}  // namespace
+
+int main() {
+  Context ctx;
+  const std::vector<stream::StreamEvent> arrivals = PingSchedule();
+  std::printf("geofence monitoring: %zu events, out-of-order by <= 15s\n",
+              arrivals.size());
+
+  // -- Query 1: intrusion bursts into a restricted zone ---------------------
+  // The zone polygon carries its own active interval (minutes 5-20), so the
+  // combined spatio-temporal predicate arms and disarms it automatically.
+  auto zone = STObject::FromWkt(
+      "POLYGON((18 18, 32 18, 32 32, 18 32, 18 18))", 300, 1'200);
+  STARK_CHECK(zone.ok());
+  stream::StreamContext::Options intrusion;
+  intrusion.window.size = 120;  // 2-minute tumbling windows
+  intrusion.late_policy = stream::LatePolicy::kSideOutput;
+  stream::PatternSpec burst;
+  burst.kind = stream::PatternKind::kCount;
+  stream::StepPredicate in_zone;
+  in_zone.category = "device";
+  in_zone.region = zone.ValueOrDie();
+  in_zone.pred = JoinPredicate::Intersects();
+  burst.steps.push_back(in_zone);
+  burst.cmp = stream::CountCmp::kGe;
+  burst.threshold = 25;
+  intrusion.pattern = burst;
+
+  std::printf("-- intrusion query: COUNT(device in zone) >= 25 per 120s --\n");
+  const stream::StreamStats s1 =
+      RunQuery(&ctx, intrusion, arrivals, /*bound=*/15, IntrusionAlert);
+
+  // -- Query 2: missed patrol heartbeats ------------------------------------
+  stream::StreamContext::Options patrol;
+  patrol.window.size = 180;  // one heartbeat expected per 3-minute window
+  stream::PatternSpec silent;
+  silent.kind = stream::PatternKind::kAbsence;
+  stream::StepPredicate heartbeat;
+  heartbeat.category = "guard";
+  silent.steps.push_back(heartbeat);
+  patrol.pattern = silent;
+
+  std::printf("-- patrol query: ABSENT(guard) per 180s --\n");
+  const stream::StreamStats s2 =
+      RunQuery(&ctx, patrol, arrivals, /*bound=*/15, PatrolAlert);
+
+  std::printf(
+      "intrusion query: %llu events, %llu windows, %llu alert(s), "
+      "%llu late\n",
+      static_cast<unsigned long long>(s1.ingested),
+      static_cast<unsigned long long>(s1.windows_fired),
+      static_cast<unsigned long long>(s1.matches),
+      static_cast<unsigned long long>(s1.late));
+  std::printf(
+      "patrol query:    %llu events, %llu windows, %llu warning(s)\n",
+      static_cast<unsigned long long>(s2.ingested),
+      static_cast<unsigned long long>(s2.windows_fired),
+      static_cast<unsigned long long>(s2.matches));
   std::printf("geofence monitoring done\n");
   return 0;
 }

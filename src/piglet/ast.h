@@ -48,6 +48,12 @@ struct Expr {
 /// Which spatial partitioner a PARTITION statement selects.
 enum class PartitionerKind { kGrid, kBsp };
 
+/// Where a STREAM statement pulls events from.
+enum class StreamSourceKind { kGenerator, kTail };
+
+/// Which CEP operator a PATTERN statement applies.
+enum class StreamPatternKind { kSequence, kAbsence, kCount };
+
 /// One Piglet statement.
 struct Statement {
   enum class Kind {
@@ -65,6 +71,10 @@ struct Statement {
     kStore,       // STORE r INTO 'out.csv';
     kDescribe,    // DESCRIBE r;
     kSet,         // SET job.deadline_ms 2000;
+    kStream,      // STREAM s FROM GENERATOR(1000, 42, 1) | TAIL('f.csv');
+    kWindow,      // w = WINDOW s SIZE 10 [SLIDE 5] [LATENESS 2];
+    kPattern,     // p = PATTERN w SEQ 'a','b' [WITHIN 5] [WHERE ...] | ...
+    kEmit,        // EMIT p;
   };
   Kind kind;
   size_t line = 1;
@@ -100,6 +110,30 @@ struct Statement {
   std::string set_key;                   // kSet dotted key, e.g.
                                          // "job.deadline_ms"
   double set_value = 0;                  // kSet value
+
+  // kStream: source definition. GENERATOR takes (count, seed, time_step);
+  // TAIL reuses `path`.
+  StreamSourceKind stream_source = StreamSourceKind::kGenerator;
+  int64_t gen_count = 1000;
+  int64_t gen_seed = 42;
+  int64_t gen_step = 1;
+
+  // kWindow: event-time window over a stream (`input`).
+  int64_t window_size = 1;
+  int64_t window_slide = 0;              // 0 = tumbling
+  int64_t window_lateness = 0;           // watermark out-of-orderness bound
+
+  // kPattern: CEP operator over a window (`input`). Each category is one
+  // step; the optional WHERE region constrains every step spatially (and
+  // temporally, when the literal carries a time window).
+  StreamPatternKind pattern_kind = StreamPatternKind::kCount;
+  std::vector<std::string> pattern_categories;
+  int64_t pattern_within = 0;            // SEQ span bound, 0 = unbounded
+  std::string pattern_cmp = ">=";        // COUNT comparison operator
+  int64_t pattern_threshold = 1;         // COUNT threshold
+  std::optional<STObject> pattern_region;
+  PredicateType pattern_region_pred = PredicateType::kIntersects;
+  double pattern_region_distance = 0.0;
 };
 
 /// A parsed Piglet program: a statement sequence.

@@ -124,6 +124,69 @@ std::string FormatStatement(const Statement& s) {
       return "DESCRIBE " + s.input + ";";
     case Statement::Kind::kSet:
       return "SET " + s.set_key + " " + FormatNumber(s.set_value) + ";";
+    case Statement::Kind::kStream: {
+      std::string out = "STREAM " + s.target + " FROM ";
+      if (s.stream_source == StreamSourceKind::kGenerator) {
+        out += "GENERATOR(" + std::to_string(s.gen_count) + ", " +
+               std::to_string(s.gen_seed) + ", " +
+               std::to_string(s.gen_step) + ")";
+      } else {
+        out += "TAIL('" + s.path + "')";
+      }
+      return out + ";";
+    }
+    case Statement::Kind::kWindow: {
+      std::string out = s.target + " = WINDOW " + s.input + " SIZE " +
+                        std::to_string(s.window_size);
+      if (s.window_slide > 0) {
+        out += " SLIDE " + std::to_string(s.window_slide);
+      }
+      if (s.window_lateness > 0) {
+        out += " LATENESS " + std::to_string(s.window_lateness);
+      }
+      return out + ";";
+    }
+    case Statement::Kind::kPattern: {
+      std::string out = s.target + " = PATTERN " + s.input + " ";
+      auto quote_list = [&s]() {
+        std::string list;
+        for (size_t i = 0; i < s.pattern_categories.size(); ++i) {
+          if (i > 0) list += ", ";
+          list += "'" + s.pattern_categories[i] + "'";
+        }
+        return list;
+      };
+      switch (s.pattern_kind) {
+        case StreamPatternKind::kSequence:
+          out += "SEQ " + quote_list();
+          if (s.pattern_within > 0) {
+            out += " WITHIN " + std::to_string(s.pattern_within);
+          }
+          break;
+        case StreamPatternKind::kAbsence:
+          out += "ABSENT " + quote_list();
+          break;
+        case StreamPatternKind::kCount:
+          out += "COUNT " + quote_list() + " " + s.pattern_cmp + " " +
+                 std::to_string(s.pattern_threshold);
+          break;
+      }
+      if (s.pattern_region.has_value()) {
+        out += " WHERE " + PredicateKeyword(s.pattern_region_pred) + "('" +
+               s.pattern_region->geo().ToWkt() + "'";
+        if (s.pattern_region_pred == PredicateType::kWithinDistance) {
+          out += ", " + FormatNumber(s.pattern_region_distance);
+        }
+        if (s.pattern_region->HasTime()) {
+          out += ", " + std::to_string(s.pattern_region->time()->start()) +
+                 ", " + std::to_string(s.pattern_region->time()->end());
+        }
+        out += ")";
+      }
+      return out + ";";
+    }
+    case Statement::Kind::kEmit:
+      return "EMIT " + s.input + ";";
   }
   return "?;";
 }

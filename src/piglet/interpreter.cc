@@ -178,6 +178,10 @@ bool ProducesRelation(Statement::Kind kind) {
     case Statement::Kind::kStore:
     case Statement::Kind::kDescribe:
     case Statement::Kind::kSet:
+    case Statement::Kind::kStream:
+    case Statement::Kind::kWindow:
+    case Statement::Kind::kPattern:
+    case Statement::Kind::kEmit:
       return false;
     default:
       return true;
@@ -409,6 +413,14 @@ Status Interpreter::ExecuteImpl(const Statement& stmt) {
       return ExecDescribe(stmt);
     case Statement::Kind::kSet:
       return ExecSet(stmt);
+    case Statement::Kind::kStream:
+      return ExecStream(stmt);
+    case Statement::Kind::kWindow:
+      return ExecWindow(stmt);
+    case Statement::Kind::kPattern:
+      return ExecPattern(stmt);
+    case Statement::Kind::kEmit:
+      return ExecEmit(stmt);
   }
   return Status::UnknownError("piglet: unhandled statement");
 }
@@ -474,6 +486,145 @@ Status Interpreter::ExecSet(const Statement& stmt) {
                                  "job.speculation_multiplier, "
                                  "job.speculation_quantile, obs.profile, "
                                  "obs.slow_task_ms, or obs.slow_query_ms)");
+}
+
+Status Interpreter::ExecStream(const Statement& stmt) {
+  StreamDef def;
+  def.source = stmt.stream_source;
+  def.gen_count = stmt.gen_count;
+  def.gen_seed = stmt.gen_seed;
+  def.gen_step = stmt.gen_step;
+  def.path = stmt.path;
+  streams_[stmt.target] = std::move(def);
+  return Status::OK();
+}
+
+Status Interpreter::ExecWindow(const Statement& stmt) {
+  if (streams_.find(stmt.input) == streams_.end()) {
+    return Status::KeyError("piglet: unknown stream '" + stmt.input + "'");
+  }
+  WindowDef def;
+  def.stream = stmt.input;
+  def.spec.size = stmt.window_size;
+  def.spec.slide = stmt.window_slide;
+  def.lateness = stmt.window_lateness;
+  windows_[stmt.target] = std::move(def);
+  return Status::OK();
+}
+
+Status Interpreter::ExecPattern(const Statement& stmt) {
+  if (windows_.find(stmt.input) == windows_.end()) {
+    return Status::KeyError("piglet: unknown window '" + stmt.input + "'");
+  }
+  PatternDef def;
+  def.window = stmt.input;
+  stream::PatternSpec& spec = def.spec;
+  switch (stmt.pattern_kind) {
+    case StreamPatternKind::kSequence:
+      spec.kind = stream::PatternKind::kSequence;
+      break;
+    case StreamPatternKind::kAbsence:
+      spec.kind = stream::PatternKind::kAbsence;
+      break;
+    case StreamPatternKind::kCount:
+      spec.kind = stream::PatternKind::kCount;
+      break;
+  }
+  spec.within = stmt.pattern_within;
+  spec.threshold = stmt.pattern_threshold;
+  if (stmt.pattern_cmp == ">=") spec.cmp = stream::CountCmp::kGe;
+  else if (stmt.pattern_cmp == ">") spec.cmp = stream::CountCmp::kGt;
+  else if (stmt.pattern_cmp == "<=") spec.cmp = stream::CountCmp::kLe;
+  else if (stmt.pattern_cmp == "<") spec.cmp = stream::CountCmp::kLt;
+  else if (stmt.pattern_cmp == "==") spec.cmp = stream::CountCmp::kEq;
+  else {
+    return Status::InvalidArgument("piglet: bad COUNT comparison '" +
+                                   stmt.pattern_cmp + "'");
+  }
+  for (const std::string& category : stmt.pattern_categories) {
+    stream::StepPredicate step;
+    step.category = category;
+    if (stmt.pattern_region.has_value()) {
+      step.region = stmt.pattern_region;
+      step.pred.type = stmt.pattern_region_pred;
+      step.pred.max_distance = stmt.pattern_region_distance;
+    }
+    spec.steps.push_back(std::move(step));
+  }
+  patterns_[stmt.target] = std::move(def);
+  return Status::OK();
+}
+
+Status Interpreter::ExecEmit(const Statement& stmt) {
+  // EMIT accepts either a pattern or a bare window; resolve the chain
+  // pattern -> window -> stream.
+  const PatternDef* pattern = nullptr;
+  const WindowDef* window = nullptr;
+  const auto pit = patterns_.find(stmt.input);
+  if (pit != patterns_.end()) {
+    pattern = &pit->second;
+    const auto wit = windows_.find(pattern->window);
+    if (wit == windows_.end()) {
+      return Status::KeyError("piglet: unknown window '" + pattern->window +
+                              "'");
+    }
+    window = &wit->second;
+  } else {
+    const auto wit = windows_.find(stmt.input);
+    if (wit == windows_.end()) {
+      return Status::KeyError("piglet: unknown window or pattern '" +
+                              stmt.input + "'");
+    }
+    window = &wit->second;
+  }
+  const auto sit = streams_.find(window->stream);
+  if (sit == streams_.end()) {
+    return Status::KeyError("piglet: unknown stream '" + window->stream +
+                            "'");
+  }
+  const StreamDef& source = sit->second;
+
+  stream::StreamContext::Options options;
+  options.window = window->spec;
+  if (pattern != nullptr) options.pattern = pattern->spec;
+  stream::StreamContext sc(ctx_, options);
+  std::unique_ptr<stream::StreamSource> src;
+  if (source.source == StreamSourceKind::kGenerator) {
+    stream::GeneratorOptions gen;
+    gen.count = static_cast<size_t>(source.gen_count);
+    gen.seed = static_cast<uint64_t>(source.gen_seed);
+    gen.time_step = source.gen_step;
+    // The generator shuffles arrivals up to the window's declared lateness
+    // bound: disorder == bound, so the replay exercises out-of-order
+    // delivery without ever actually losing an event.
+    gen.disorder = window->lateness;
+    src = std::make_unique<stream::GeneratorSource>(gen);
+  } else {
+    src = std::make_unique<stream::CsvTailSource>(source.path);
+  }
+  sc.AddSource(std::move(src), window->lateness);
+  const bool has_pattern = pattern != nullptr;
+  sc.SetSink([this, has_pattern](const stream::WindowResult& result) {
+    (*out_) << "[" << result.window.start << "," << result.window.end
+            << ") events=" << result.window.events.size();
+    if (has_pattern) (*out_) << " matches=" << result.matches.size();
+    (*out_) << "\n";
+    for (const stream::PatternMatch& m : result.matches) {
+      (*out_) << "  match count=" << m.count;
+      for (const stream::StreamEvent& e : m.events) {
+        (*out_) << " " << e.id << "@" << e.event_time();
+      }
+      (*out_) << "\n";
+    }
+  });
+  STARK_RETURN_NOT_OK(sc.RunToCompletion());
+  const stream::StreamStats stats = sc.stats();
+  (*out_) << "stream " << window->stream << ": ingested=" << stats.ingested
+          << " accepted=" << stats.accepted << " late=" << stats.late
+          << " duplicates=" << stats.duplicates
+          << " windows=" << stats.windows_fired
+          << " matches=" << stats.matches << "\n";
+  return Status::OK();
 }
 
 Result<PigRelation> Interpreter::ExecLoad(const Statement& stmt) {

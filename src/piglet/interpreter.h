@@ -18,6 +18,7 @@
 #include "piglet/explain.h"
 #include "piglet/optimizer.h"
 #include "spatial_rdd/query_stats.h"
+#include "stream/stream_context.h"
 
 namespace stark {
 namespace piglet {
@@ -41,6 +42,28 @@ struct PigRelation {
 
 /// Renders one field value ("42", "3.5", "text").
 std::string FormatPigValue(const PigValue& value);
+
+/// A STREAM statement's source definition, pending an EMIT.
+struct StreamDef {
+  StreamSourceKind source = StreamSourceKind::kGenerator;
+  int64_t gen_count = 1000;
+  int64_t gen_seed = 42;
+  int64_t gen_step = 1;
+  std::string path;  // TAIL
+};
+
+/// A WINDOW statement: event-time windowing over a named stream.
+struct WindowDef {
+  std::string stream;
+  stream::WindowSpec spec;
+  int64_t lateness = 0;
+};
+
+/// A PATTERN statement: a CEP operator over a named window.
+struct PatternDef {
+  std::string window;
+  stream::PatternSpec spec;
+};
 
 /// \brief Interprets Piglet statements against a Context.
 ///
@@ -94,6 +117,10 @@ class Interpreter {
   Status ExecStore(const Statement& stmt);
   Status ExecDescribe(const Statement& stmt);
   Status ExecSet(const Statement& stmt);
+  Status ExecStream(const Statement& stmt);
+  Status ExecWindow(const Statement& stmt);
+  Status ExecPattern(const Statement& stmt);
+  Status ExecEmit(const Statement& stmt);
 
   /// Status::Cancelled when the installed token has been signalled.
   Status CheckCancelled() const;
@@ -104,6 +131,9 @@ class Interpreter {
   std::ostream* out_;
   std::shared_ptr<CancelToken> cancel_token_;
   std::map<std::string, PigRelation> relations_;
+  std::map<std::string, StreamDef> streams_;
+  std::map<std::string, WindowDef> windows_;
+  std::map<std::string, PatternDef> patterns_;
   /// Non-null only while RunScriptAnalyze executes: spatial filters then
   /// report pruning counters here. A member (not a local) because filter
   /// lambdas capture the pointer into lazy lineage nodes.

@@ -35,6 +35,21 @@ Statement CloneStatement(const Statement& s) {
   out.limit = s.limit;
   out.set_key = s.set_key;
   out.set_value = s.set_value;
+  out.stream_source = s.stream_source;
+  out.gen_count = s.gen_count;
+  out.gen_seed = s.gen_seed;
+  out.gen_step = s.gen_step;
+  out.window_size = s.window_size;
+  out.window_slide = s.window_slide;
+  out.window_lateness = s.window_lateness;
+  out.pattern_kind = s.pattern_kind;
+  out.pattern_categories = s.pattern_categories;
+  out.pattern_within = s.pattern_within;
+  out.pattern_cmp = s.pattern_cmp;
+  out.pattern_threshold = s.pattern_threshold;
+  out.pattern_region = s.pattern_region;
+  out.pattern_region_pred = s.pattern_region_pred;
+  out.pattern_region_distance = s.pattern_region_distance;
   return out;
 }
 
@@ -49,11 +64,14 @@ Program CloneProgram(const Program& p) {
 
 bool IsAssignment(const Statement& s) {
   // SET is a side-effecting config statement with no target: like the
-  // sinks, it must never be dead-code-eliminated.
+  // sinks, it must never be dead-code-eliminated. EMIT is the streaming
+  // sink (its consumption of a pattern/window keeps the stream chain
+  // alive through the ordinary dead-code rule).
   return s.kind != Statement::Kind::kDump &&
          s.kind != Statement::Kind::kStore &&
          s.kind != Statement::Kind::kDescribe &&
-         s.kind != Statement::Kind::kSet;
+         s.kind != Statement::Kind::kSet &&
+         s.kind != Statement::Kind::kEmit;
 }
 
 /// Statement indices that consume each relation name.

@@ -93,6 +93,8 @@ class Parser {
       return ParseOutputStatement();
     }
     if (PeekKeyword("SET")) return ParseSetStatement();
+    if (PeekKeyword("STREAM")) return ParseStreamStatement();
+    if (PeekKeyword("EMIT")) return ParseEmitStatement();
     // target = OPERATOR ...
     Statement stmt;
     stmt.line = Peek().line;
@@ -215,6 +217,29 @@ class Parser {
       }
       return stmt;
     }
+    if (op == "WINDOW") {
+      stmt.kind = Statement::Kind::kWindow;
+      STARK_ASSIGN_OR_RETURN(stmt.input, ExpectIdent("stream"));
+      STARK_RETURN_NOT_OK(ExpectKeyword("SIZE"));
+      STARK_ASSIGN_OR_RETURN(double size, ExpectNumber("window size"));
+      if (size < 1) return Error("window size must be >= 1");
+      stmt.window_size = static_cast<int64_t>(size);
+      if (PeekKeyword("SLIDE")) {
+        Next();
+        STARK_ASSIGN_OR_RETURN(double slide, ExpectNumber("window slide"));
+        if (slide < 1) return Error("window slide must be >= 1");
+        if (slide > size) return Error("window slide must be <= SIZE");
+        stmt.window_slide = static_cast<int64_t>(slide);
+      }
+      if (PeekKeyword("LATENESS")) {
+        Next();
+        STARK_ASSIGN_OR_RETURN(double late, ExpectNumber("lateness bound"));
+        if (late < 0) return Error("lateness bound must be >= 0");
+        stmt.window_lateness = static_cast<int64_t>(late);
+      }
+      return stmt;
+    }
+    if (op == "PATTERN") return ParsePatternStatement(std::move(stmt));
     if (op == "LIMIT") {
       stmt.kind = Statement::Kind::kLimit;
       STARK_ASSIGN_OR_RETURN(stmt.input, ExpectIdent("relation"));
@@ -241,6 +266,135 @@ class Parser {
       stmt.set_key += "." + part;
     }
     STARK_ASSIGN_OR_RETURN(stmt.set_value, ExpectNumber("config value"));
+    return stmt;
+  }
+
+  /// STREAM <name> FROM GENERATOR '(' count ',' seed ',' step ')'
+  ///               | TAIL '(' 'file.csv' ')'
+  Result<Statement> ParseStreamStatement() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kStream;
+    stmt.line = Peek().line;
+    Next();  // STREAM
+    STARK_ASSIGN_OR_RETURN(stmt.target, ExpectIdent("stream name"));
+    STARK_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    if (PeekKeyword("GENERATOR")) {
+      Next();
+      stmt.stream_source = StreamSourceKind::kGenerator;
+      STARK_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+      STARK_ASSIGN_OR_RETURN(double count, ExpectNumber("event count"));
+      if (count < 0) return Error("event count must be >= 0");
+      stmt.gen_count = static_cast<int64_t>(count);
+      STARK_RETURN_NOT_OK(Expect(TokenType::kComma, "','"));
+      STARK_ASSIGN_OR_RETURN(double seed, ExpectNumber("seed"));
+      stmt.gen_seed = static_cast<int64_t>(seed);
+      STARK_RETURN_NOT_OK(Expect(TokenType::kComma, "','"));
+      STARK_ASSIGN_OR_RETURN(double step, ExpectNumber("time step"));
+      if (step < 1) return Error("time step must be >= 1");
+      stmt.gen_step = static_cast<int64_t>(step);
+      STARK_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return stmt;
+    }
+    if (PeekKeyword("TAIL")) {
+      Next();
+      stmt.stream_source = StreamSourceKind::kTail;
+      STARK_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+      STARK_ASSIGN_OR_RETURN(stmt.path, ExpectString("file path"));
+      STARK_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return stmt;
+    }
+    return Error("expected GENERATOR or TAIL");
+  }
+
+  /// EMIT <window-or-pattern>  — the streaming sink: runs the continuous
+  /// query to completion and prints every fired window.
+  Result<Statement> ParseEmitStatement() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kEmit;
+    stmt.line = Peek().line;
+    Next();  // EMIT
+    STARK_ASSIGN_OR_RETURN(stmt.input, ExpectIdent("window or pattern"));
+    return stmt;
+  }
+
+  // PATTERN <window> SEQ 'a','b'[,...] [WITHIN n] [WHERE <region>]
+  //                | ABSENT 'a' [WHERE <region>]
+  //                | COUNT 'a' <cmp> n [WHERE <region>]
+  // region := PREDNAME '(' 'wkt' [, dist] [, begin, end] ')'
+  Result<Statement> ParsePatternStatement(Statement stmt) {
+    stmt.kind = Statement::Kind::kPattern;
+    STARK_ASSIGN_OR_RETURN(stmt.input, ExpectIdent("window"));
+    if (PeekKeyword("SEQ")) {
+      Next();
+      stmt.pattern_kind = StreamPatternKind::kSequence;
+      STARK_ASSIGN_OR_RETURN(std::string first, ExpectString("category"));
+      stmt.pattern_categories.push_back(std::move(first));
+      while (Peek().type == TokenType::kComma) {
+        Next();
+        STARK_ASSIGN_OR_RETURN(std::string cat, ExpectString("category"));
+        stmt.pattern_categories.push_back(std::move(cat));
+      }
+      if (stmt.pattern_categories.size() < 2) {
+        return Error("SEQ needs at least two categories");
+      }
+      if (PeekKeyword("WITHIN")) {
+        Next();
+        STARK_ASSIGN_OR_RETURN(double within, ExpectNumber("WITHIN bound"));
+        if (within < 1) return Error("WITHIN bound must be >= 1");
+        stmt.pattern_within = static_cast<int64_t>(within);
+      }
+    } else if (PeekKeyword("ABSENT")) {
+      Next();
+      stmt.pattern_kind = StreamPatternKind::kAbsence;
+      STARK_ASSIGN_OR_RETURN(std::string cat, ExpectString("category"));
+      stmt.pattern_categories.push_back(std::move(cat));
+    } else if (PeekKeyword("COUNT")) {
+      Next();
+      stmt.pattern_kind = StreamPatternKind::kCount;
+      STARK_ASSIGN_OR_RETURN(std::string cat, ExpectString("category"));
+      stmt.pattern_categories.push_back(std::move(cat));
+      if (Peek().type != TokenType::kCompare) {
+        return Error("expected comparison operator after COUNT category");
+      }
+      stmt.pattern_cmp = Next().text;
+      if (stmt.pattern_cmp == "!=") {
+        return Error("COUNT supports ==, <, <=, >, >=");
+      }
+      STARK_ASSIGN_OR_RETURN(double threshold, ExpectNumber("threshold"));
+      stmt.pattern_threshold = static_cast<int64_t>(threshold);
+    } else {
+      return Error("expected SEQ, ABSENT or COUNT");
+    }
+    if (PeekKeyword("WHERE")) {
+      Next();
+      STARK_ASSIGN_OR_RETURN(PredicateType pred, ParsePredicateName());
+      stmt.pattern_region_pred = pred;
+      STARK_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+      STARK_ASSIGN_OR_RETURN(std::string wkt, ExpectString("WKT literal"));
+      if (pred == PredicateType::kWithinDistance) {
+        STARK_RETURN_NOT_OK(Expect(TokenType::kComma, "','"));
+        STARK_ASSIGN_OR_RETURN(stmt.pattern_region_distance,
+                               ExpectNumber("distance"));
+      }
+      std::optional<std::pair<Instant, Instant>> window;
+      if (Peek().type == TokenType::kComma) {
+        Next();
+        STARK_ASSIGN_OR_RETURN(double begin, ExpectNumber("window begin"));
+        STARK_RETURN_NOT_OK(Expect(TokenType::kComma, "','"));
+        STARK_ASSIGN_OR_RETURN(double end, ExpectNumber("window end"));
+        if (end < begin) return Error("window end before begin");
+        window = {static_cast<Instant>(begin), static_cast<Instant>(end)};
+      }
+      STARK_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      Result<STObject> region =
+          window.has_value()
+              ? STObject::FromWkt(wkt, window->first, window->second)
+              : STObject::FromWkt(wkt);
+      if (!region.ok()) {
+        return Error("bad WKT literal: " + region.status().message());
+      }
+      stmt.pattern_region = std::move(region).ValueOrDie();
+    }
     return stmt;
   }
 

@@ -1,0 +1,114 @@
+/// \file source.h
+/// Replayable streaming sources. Both built-in sources are deterministic
+/// replay machines: GeneratorSource derives its whole arrival schedule from
+/// a seed, and CsvTailSource re-reads a file from a byte offset — Reset()
+/// rewinds either one to an identical re-run, which is what the
+/// deterministic stream-replay harness is built on.
+#ifndef STARK_STREAM_SOURCE_H_
+#define STARK_STREAM_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/envelope.h"
+#include "stream/event.h"
+
+namespace stark {
+namespace stream {
+
+/// \brief Pull-based micro-batch source.
+///
+/// Poll() hands out up to max_events ready events in arrival order; a
+/// source that has (currently) nothing ready returns an empty batch. A
+/// source with Exhausted() == true will never produce again.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual std::vector<StreamEvent> Poll(size_t max_events) = 0;
+  virtual bool Exhausted() const = 0;
+
+  /// Rewinds to the beginning for an identical replay.
+  virtual void Reset() = 0;
+};
+
+/// Parameters of the seeded event generator.
+struct GeneratorOptions {
+  size_t count = 1'000;
+  uint64_t seed = 42;
+  Envelope universe = Envelope(0, 0, 100, 100);
+  /// Event i carries event time i * time_step.
+  int64_t time_step = 1;
+  /// Maximum event-time displacement of the arrival order: an event may
+  /// arrive after events up to `disorder` ticks ahead of it. A watermark
+  /// bound >= disorder guarantees no event is late.
+  int64_t disorder = 0;
+  /// Probability that an event is delivered twice (at-least-once source);
+  /// the duplicate arrives immediately after the original.
+  double duplicate_probability = 0.0;
+  std::vector<std::string> categories = {"politics", "sports", "culture",
+                                         "disaster", "science"};
+};
+
+/// \brief Deterministic in-memory event generator.
+///
+/// The full arrival schedule (positions, categories, shuffled arrival
+/// order, duplicates) is a pure function of the options, precomputed at
+/// construction: two GeneratorSources with equal options emit identical
+/// sequences, and Reset() replays this one from the start.
+class GeneratorSource final : public StreamSource {
+ public:
+  explicit GeneratorSource(const GeneratorOptions& options);
+
+  const std::string& name() const override { return name_; }
+  std::vector<StreamEvent> Poll(size_t max_events) override;
+  bool Exhausted() const override { return cursor_ >= schedule_.size(); }
+  void Reset() override { cursor_ = 0; }
+
+  /// Events in the schedule, duplicates included.
+  size_t schedule_size() const { return schedule_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<StreamEvent> schedule_;  // arrival order
+  size_t cursor_ = 0;
+};
+
+/// \brief Tails an event CSV file (the paper's id,category,time,wkt schema).
+///
+/// Each Poll() reads the bytes appended since the previous one and parses
+/// the complete lines among them (a trailing partial line waits for the
+/// writer to finish it). With stop_at_eof, a poll that finds no new bytes
+/// marks the source exhausted — the mode the replay tests and EMIT use;
+/// without it the tailer follows the file forever, like `tail -f`.
+class CsvTailSource final : public StreamSource {
+ public:
+  explicit CsvTailSource(std::string path, bool stop_at_eof = true);
+
+  const std::string& name() const override { return name_; }
+  std::vector<StreamEvent> Poll(size_t max_events) override;
+  bool Exhausted() const override { return exhausted_; }
+  void Reset() override;
+
+  /// Lines that failed CSV or WKT parsing (skipped, never fatal).
+  size_t parse_errors() const { return parse_errors_; }
+
+ private:
+  std::string name_;
+  std::string path_;
+  bool stop_at_eof_;
+  uint64_t offset_ = 0;
+  std::string pending_;  // trailing partial line from the previous poll
+  std::vector<StreamEvent> ready_;  // parsed but not yet handed out
+  size_t ready_cursor_ = 0;
+  bool exhausted_ = false;
+  size_t parse_errors_ = 0;
+};
+
+}  // namespace stream
+}  // namespace stark
+
+#endif  // STARK_STREAM_SOURCE_H_

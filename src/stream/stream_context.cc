@@ -1,0 +1,231 @@
+#include "stream/stream_context.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "engine/rdd.h"
+#include "obs/metrics.h"
+
+namespace stark {
+namespace stream {
+
+namespace {
+
+obs::Counter* IngestedCounter() {
+  static obs::Counter* const c =
+      obs::DefaultMetrics().GetCounter("stream.events.ingested");
+  return c;
+}
+obs::Counter* LateCounter() {
+  static obs::Counter* const c =
+      obs::DefaultMetrics().GetCounter("stream.events.late");
+  return c;
+}
+obs::Counter* DroppedCounter() {
+  static obs::Counter* const c =
+      obs::DefaultMetrics().GetCounter("stream.events.dropped");
+  return c;
+}
+obs::Counter* DuplicateCounter() {
+  static obs::Counter* const c =
+      obs::DefaultMetrics().GetCounter("stream.events.duplicate");
+  return c;
+}
+obs::Counter* WindowsFiredCounter() {
+  static obs::Counter* const c =
+      obs::DefaultMetrics().GetCounter("stream.windows.fired");
+  return c;
+}
+
+}  // namespace
+
+StreamContext::StreamContext(Context* ctx, Options options)
+    : ctx_(ctx), options_(std::move(options)),
+      manager_(options_.window, options_.late_policy) {}
+
+size_t StreamContext::AddSource(std::unique_ptr<StreamSource> source,
+                                int64_t watermark_bound) {
+  sources_.push_back(std::move(source));
+  trackers_.push_back(std::make_unique<WatermarkTracker>(watermark_bound));
+  return trackers_.size() - 1;
+}
+
+size_t StreamContext::AddExternalSource(int64_t watermark_bound) {
+  sources_.push_back(nullptr);
+  trackers_.push_back(std::make_unique<WatermarkTracker>(watermark_bound));
+  return trackers_.size() - 1;
+}
+
+void StreamContext::SetSink(std::function<void(const WindowResult&)> sink) {
+  sink_ = std::move(sink);
+}
+
+Instant StreamContext::IngestWatermark() const {
+  Instant combined = std::numeric_limits<Instant>::max();
+  if (trackers_.empty()) return kMinWatermark;
+  for (const auto& tracker : trackers_) {
+    combined = std::min(combined, tracker->Current());
+  }
+  return combined;
+}
+
+Instant StreamContext::CombinedWatermark() const {
+  Instant combined = std::numeric_limits<Instant>::max();
+  bool any_live = false;
+  for (size_t i = 0; i < trackers_.size(); ++i) {
+    // An exhausted source emits nothing further: its disorder bound no
+    // longer holds anything back, so it contributes +inf to the min.
+    if (sources_[i] != nullptr && sources_[i]->Exhausted()) continue;
+    any_live = true;
+    combined = std::min(combined, trackers_[i]->Current());
+  }
+  if (!any_live) return std::numeric_limits<Instant>::max();
+  return combined;
+}
+
+void StreamContext::Ingest(size_t source_idx, const StreamEvent& event) {
+  // Late is judged against the watermark *before* this event advances it,
+  // so an in-order event is never late against itself. A non-late event's
+  // windows all end after this watermark, hence after every fired window:
+  // accepted events are complete in all their windows, atomically.
+  const Instant watermark = IngestWatermark();
+  const WindowManager::IngestResult result = manager_.Ingest(event, watermark);
+  trackers_[source_idx]->Observe(event.event_time());
+  IngestedCounter()->Increment();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.ingested;
+  if (result.duplicate) {
+    ++stats_.duplicates;
+    DuplicateCounter()->Increment();
+  } else if (result.late) {
+    ++stats_.late;
+    LateCounter()->Increment();
+    if (options_.late_policy == LatePolicy::kSideOutput) {
+      ++stats_.side_output;
+    } else {
+      ++stats_.dropped;
+      DroppedCounter()->Increment();
+    }
+  } else {
+    ++stats_.accepted;
+  }
+}
+
+void StreamContext::UpdateWatermarkLag() {
+  static obs::Gauge* const lag =
+      obs::DefaultMetrics().GetGauge("stream.watermark_lag_ms");
+  Instant max_seen = kMinWatermark;
+  for (const auto& tracker : trackers_) {
+    max_seen = std::max(max_seen, tracker->MaxSeen());
+  }
+  const Instant combined = CombinedWatermark();
+  if (max_seen == kMinWatermark ||
+      combined == std::numeric_limits<Instant>::max() ||
+      combined == kMinWatermark) {
+    lag->Set(0);
+    return;
+  }
+  lag->Set(max_seen - combined);
+}
+
+Result<size_t> StreamContext::Step() {
+  size_t polled = 0;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i] == nullptr || sources_[i]->Exhausted()) continue;
+    for (StreamEvent& event : sources_[i]->Poll(options_.poll_batch)) {
+      Ingest(i, event);
+      ++polled;
+    }
+  }
+  STARK_RETURN_NOT_OK(FireReady());
+  return polled;
+}
+
+Status StreamContext::FireReady() {
+  UpdateWatermarkLag();
+  for (FiredWindow& window : manager_.CollectRipe(CombinedWatermark())) {
+    STARK_RETURN_NOT_OK(ExecuteWindow(std::move(window)));
+  }
+  return Status::OK();
+}
+
+Status StreamContext::Flush() {
+  for (FiredWindow& window : manager_.Flush()) {
+    STARK_RETURN_NOT_OK(ExecuteWindow(std::move(window)));
+  }
+  UpdateWatermarkLag();
+  return Status::OK();
+}
+
+Status StreamContext::RunToCompletion() {
+  while (!AllExhausted()) {
+    STARK_ASSIGN_OR_RETURN(const size_t polled, Step());
+    (void)polled;
+  }
+  // All sources drained: the combined watermark is +inf, so FireReady
+  // executes everything up to the last occupied window; Flush is the
+  // belt-and-braces pass for managers fed purely via Ingest().
+  STARK_RETURN_NOT_OK(FireReady());
+  return Flush();
+}
+
+bool StreamContext::AllExhausted() const {
+  for (const auto& source : sources_) {
+    if (source != nullptr && !source->Exhausted()) return false;
+  }
+  return true;
+}
+
+StreamStats StreamContext::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::vector<StreamEvent> StreamContext::TakeSideOutput() {
+  return manager_.TakeSideOutput();
+}
+
+Status StreamContext::ExecuteWindow(FiredWindow window) {
+  // Exactly-once ledger: the window manager's frontier only emits each
+  // start once; a repeat here would be an engine-level replay bug and must
+  // not reach the sink twice.
+  if (!delivered_.insert(window.start).second) {
+    return Status::UnknownError("stream: window " +
+                                std::to_string(window.start) +
+                                " fired twice");
+  }
+  WindowResult result;
+  if (options_.pattern.has_value()) {
+    STARK_ASSIGN_OR_RETURN(
+        result.matches,
+        EvaluatePattern(ctx_, *options_.pattern, window,
+                        options_.tasks_per_window));
+  } else {
+    // No pattern: still materialize the window through a real engine job,
+    // so deadline/retry/speculation coverage is identical either way.
+    const size_t tasks = options_.tasks_per_window != 0
+                             ? options_.tasks_per_window
+                             : ctx_->default_parallelism();
+    RDD<StreamEvent> rdd =
+        MakeRDD(ctx_, window.events,
+                std::max<size_t>(1, std::min(tasks,
+                                             std::max<size_t>(
+                                                 window.events.size(), 1))));
+    const Result<size_t> count = rdd.TryCount();
+    if (!count.ok()) return count.status();
+  }
+  result.window = std::move(window);
+  delivered_order_.push_back(result.window.start);
+  WindowsFiredCounter()->Increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.windows_fired;
+    stats_.matches += result.matches.size();
+  }
+  if (sink_) sink_(result);
+  return Status::OK();
+}
+
+}  // namespace stream
+}  // namespace stark

@@ -483,6 +483,166 @@ TEST_F(PigletInterpreterTest, CancelTokenStopsScriptBetweenStatements) {
   interp_.set_cancel_token(nullptr);
 }
 
+// ---------------------------------------------------------------------------
+// Streaming statements: STREAM / WINDOW / PATTERN / EMIT
+// ---------------------------------------------------------------------------
+
+TEST(PigletParserTest, StreamingStatementsParse) {
+  const char* script = R"(
+    STREAM events FROM GENERATOR(2000, 42, 1);
+    STREAM pings FROM TAIL('pings.csv');
+    win = WINDOW events SIZE 120 SLIDE 60 LATENESS 15;
+    trip = PATTERN win SEQ 'a', 'b', 'c' WITHIN 10;
+    quiet = PATTERN win ABSENT 'guard';
+    alerts = PATTERN win COUNT 'device' >= 25
+      WHERE INTERSECTS('POLYGON((18 18, 32 18, 32 32, 18 32, 18 18))');
+    EMIT alerts;
+  )";
+  auto program = Parse(script);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const auto& stmts = program.ValueOrDie().statements;
+  ASSERT_EQ(stmts.size(), 7u);
+
+  EXPECT_EQ(stmts[0].kind, Statement::Kind::kStream);
+  EXPECT_EQ(stmts[0].stream_source, StreamSourceKind::kGenerator);
+  EXPECT_EQ(stmts[0].gen_count, 2000);
+  EXPECT_EQ(stmts[0].gen_seed, 42);
+  EXPECT_EQ(stmts[0].gen_step, 1);
+
+  EXPECT_EQ(stmts[1].stream_source, StreamSourceKind::kTail);
+  EXPECT_EQ(stmts[1].path, "pings.csv");
+
+  EXPECT_EQ(stmts[2].kind, Statement::Kind::kWindow);
+  EXPECT_EQ(stmts[2].input, "events");
+  EXPECT_EQ(stmts[2].window_size, 120);
+  EXPECT_EQ(stmts[2].window_slide, 60);
+  EXPECT_EQ(stmts[2].window_lateness, 15);
+
+  EXPECT_EQ(stmts[3].kind, Statement::Kind::kPattern);
+  EXPECT_EQ(stmts[3].pattern_kind, StreamPatternKind::kSequence);
+  EXPECT_EQ(stmts[3].pattern_categories.size(), 3u);
+  EXPECT_EQ(stmts[3].pattern_within, 10);
+
+  EXPECT_EQ(stmts[4].pattern_kind, StreamPatternKind::kAbsence);
+
+  EXPECT_EQ(stmts[5].pattern_kind, StreamPatternKind::kCount);
+  EXPECT_EQ(stmts[5].pattern_cmp, ">=");
+  EXPECT_EQ(stmts[5].pattern_threshold, 25);
+  ASSERT_TRUE(stmts[5].pattern_region.has_value());
+  EXPECT_EQ(stmts[5].pattern_region_pred, PredicateType::kIntersects);
+
+  EXPECT_EQ(stmts[6].kind, Statement::Kind::kEmit);
+  EXPECT_EQ(stmts[6].input, "alerts");
+}
+
+TEST(PigletParserTest, StreamingTimedRegionParses) {
+  auto program =
+      Parse("p = PATTERN w COUNT 'device' >= 1 "
+            "WHERE WITHINDISTANCE('POINT(5 5)', 2.5, 100, 500);")
+          .ValueOrDie();
+  const Statement& stmt = program.statements[0];
+  EXPECT_EQ(stmt.pattern_region_pred, PredicateType::kWithinDistance);
+  EXPECT_DOUBLE_EQ(stmt.pattern_region_distance, 2.5);
+  ASSERT_TRUE(stmt.pattern_region.has_value());
+  ASSERT_TRUE(stmt.pattern_region->HasTime());
+  EXPECT_EQ(stmt.pattern_region->time()->start(), 100);
+  EXPECT_EQ(stmt.pattern_region->time()->end(), 500);
+}
+
+TEST(PigletParserTest, StreamingErrors) {
+  // STREAM sources and their argument validation.
+  EXPECT_FALSE(Parse("STREAM s FROM NOWHERE(1);").ok());
+  EXPECT_FALSE(Parse("STREAM s FROM GENERATOR(-1, 0, 1);").ok());
+  EXPECT_FALSE(Parse("STREAM s FROM GENERATOR(10, 0, 0);").ok());
+  EXPECT_FALSE(Parse("STREAM s FROM TAIL(missing_quotes);").ok());
+  // WINDOW geometry: no gaps between windows, no negative lateness.
+  EXPECT_FALSE(Parse("w = WINDOW s SIZE 0;").ok());
+  EXPECT_FALSE(Parse("w = WINDOW s SIZE 10 SLIDE 0;").ok());
+  EXPECT_FALSE(Parse("w = WINDOW s SIZE 10 SLIDE 20;").ok());
+  EXPECT_FALSE(Parse("w = WINDOW s SIZE 10 LATENESS -1;").ok());
+  // PATTERN shapes.
+  EXPECT_FALSE(Parse("p = PATTERN w SEQ 'only';").ok());
+  EXPECT_FALSE(Parse("p = PATTERN w SEQ 'a', 'b' WITHIN 0;").ok());
+  EXPECT_FALSE(Parse("p = PATTERN w COUNT 'a' != 1;").ok());
+  EXPECT_FALSE(Parse("p = PATTERN w EVENTUALLY 'a';").ok());
+  EXPECT_FALSE(
+      Parse("p = PATTERN w ABSENT 'a' WHERE INTERSECTS('BAD WKT');").ok());
+  EXPECT_FALSE(
+      Parse("p = PATTERN w ABSENT 'a' "
+            "WHERE INTERSECTS('POINT(0 0)', 500, 100);").ok());
+}
+
+TEST_F(PigletInterpreterTest, GeneratorStreamEmitsWindows) {
+  // 40 in-order events at t = 0..39 through tumbling 10s windows: four
+  // full windows, nothing late, nothing dropped.
+  ASSERT_TRUE(interp_
+                  .RunScript("STREAM s FROM GENERATOR(40, 7, 1);\n"
+                             "w = WINDOW s SIZE 10;\n"
+                             "EMIT w;")
+                  .ok());
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("[0,10) events=10"), std::string::npos) << text;
+  EXPECT_NE(text.find("[30,40) events=10"), std::string::npos) << text;
+  EXPECT_NE(text.find("stream s: ingested=40 accepted=40 late=0 "
+                      "duplicates=0 windows=4 matches=0"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(PigletInterpreterTest, TailedStreamCountPatternEndToEnd) {
+  // The fixture CSV arrives in file order (100, 300, 200, 400, 900);
+  // LATENESS 100 keeps the out-of-order event at t=200 on time. Window
+  // [0,500) holds two sports events -> one COUNT match; [500,1000)
+  // holds one -> none.
+  ASSERT_TRUE(interp_
+                  .RunScript("STREAM t FROM TAIL('" + csv_path_ + "');\n"
+                             "w = WINDOW t SIZE 500 LATENESS 100;\n"
+                             "p = PATTERN w COUNT 'sports' >= 2;\n"
+                             "EMIT p;")
+                  .ok());
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("[0,500) events=4 matches=1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("  match count=2 1@100 2@300"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[500,1000) events=1 matches=0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("stream t: ingested=5 accepted=5 late=0 "
+                      "duplicates=0 windows=2 matches=1"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(PigletInterpreterTest, AbsencePatternFiresOnQuietWindows) {
+  // No 'disaster' events anywhere: ABSENT fires in both windows.
+  ASSERT_TRUE(interp_
+                  .RunScript("STREAM t FROM TAIL('" + csv_path_ + "');\n"
+                             "w = WINDOW t SIZE 500 LATENESS 100;\n"
+                             "q = PATTERN w ABSENT 'disaster';\n"
+                             "EMIT q;")
+                  .ok());
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("windows=2 matches=2"), std::string::npos) << text;
+}
+
+TEST_F(PigletInterpreterTest, EmitBareWindowAndStreamErrors) {
+  // EMIT accepts a bare window (no pattern, no matches column).
+  ASSERT_TRUE(interp_
+                  .RunScript("STREAM t FROM TAIL('" + csv_path_ + "');\n"
+                             "w = WINDOW t SIZE 1000 LATENESS 100;\n"
+                             "EMIT w;")
+                  .ok());
+  EXPECT_NE(out_.str().find("[0,1000) events=5\n"), std::string::npos)
+      << out_.str();
+
+  // Dangling references resolve to KeyError, like batch relations.
+  EXPECT_EQ(interp_.RunScript("w2 = WINDOW nostream SIZE 10;").code(),
+            StatusCode::kKeyError);
+  EXPECT_EQ(interp_.RunScript("p2 = PATTERN nowindow ABSENT 'a';").code(),
+            StatusCode::kKeyError);
+  EXPECT_EQ(interp_.RunScript("EMIT nothing;").code(), StatusCode::kKeyError);
+}
+
 }  // namespace
 }  // namespace piglet
 }  // namespace stark

@@ -1,0 +1,201 @@
+// Fault matrix for continuous queries: with `engine.task.run` and
+// `engine.worker.die` armed while a stream replays, every window must still
+// be delivered exactly once (none lost, none duplicated), the results must
+// equal a no-fault replay byte for byte, and the flight recorder must hold
+// the injected-fault / retry / worker-death evidence for the post-mortem.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/failpoint.h"
+#include "fault/retry.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "stream_test_util.h"
+
+namespace stark {
+namespace {
+
+using stream::LatePolicy;
+using stream::StreamContext;
+using test::BatchWindows;
+using test::FormatMatches;
+using test::FormatWindows;
+using test::MakeEvent;
+using test::Replay;
+using test::ReplayRun;
+using test::ShuffledArrivals;
+using test::StreamEvent;
+
+uint64_t CounterValue(const std::string& name) {
+  return static_cast<uint64_t>(
+      obs::DefaultMetrics().GetCounter(name)->Value());
+}
+
+class StreamFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::DefaultFailPoints().DisarmAll(); }
+  void TearDown() override { fault::DefaultFailPoints().DisarmAll(); }
+
+  // A workload big enough that every window job runs several tasks, so an
+  // every:N task fault fires multiple times across the replay.
+  static std::vector<StreamEvent> Workload() {
+    std::vector<StreamEvent> events;
+    for (int64_t i = 0; i < 120; ++i) {
+      events.push_back(MakeEvent(i, i, i % 3 == 0 ? "alert" : "ping",
+                                 static_cast<double>(i % 25),
+                                 static_cast<double>(i % 13)));
+    }
+    return events;
+  }
+
+  static StreamContext::Options QueryOptions() {
+    StreamContext::Options options;
+    options.window.size = 10;
+    options.tasks_per_window = 4;  // several tasks per window job
+    stream::PatternSpec pattern;
+    pattern.kind = stream::PatternKind::kCount;
+    stream::StepPredicate step;
+    step.category = "alert";
+    pattern.steps.push_back(step);
+    pattern.threshold = 3;
+    options.pattern = pattern;
+    return options;
+  }
+
+  // Oracle: the same replay with nothing armed.
+  static ReplayRun NoFaultOracle(const std::vector<StreamEvent>& arrivals,
+                                 int64_t bound) {
+    Context clean_ctx(4);
+    ReplayRun oracle = Replay(&clean_ctx, arrivals, bound, QueryOptions());
+    EXPECT_TRUE(oracle.status.ok()) << oracle.status.ToString();
+    return oracle;
+  }
+
+  static void ExpectExactlyOnce(const ReplayRun& run,
+                                const ReplayRun& oracle) {
+    // Byte-identical to the no-fault run: contents and matches.
+    EXPECT_EQ(FormatWindows(run.Windows()), FormatWindows(oracle.Windows()));
+    EXPECT_EQ(FormatMatches(run.Matches()), FormatMatches(oracle.Matches()));
+    // The delivery ledger has no losses and no repeats.
+    ASSERT_EQ(run.delivered_starts.size(), oracle.delivered_starts.size());
+    EXPECT_EQ(run.delivered_starts, oracle.delivered_starts);
+    for (size_t i = 1; i < run.delivered_starts.size(); ++i) {
+      EXPECT_LT(run.delivered_starts[i - 1], run.delivered_starts[i]);
+    }
+    EXPECT_EQ(run.stats.windows_fired, oracle.stats.windows_fired);
+  }
+};
+
+TEST_F(StreamFaultTest, InjectedTaskFaultsRetryWithoutDisturbingWindows) {
+  const std::vector<StreamEvent> arrivals = Workload();
+  const ReplayRun oracle = NoFaultOracle(arrivals, 0);
+  ASSERT_FALSE(oracle.Windows().empty());
+
+  const uint64_t retries_before = CounterValue("engine.task.retries");
+  const uint64_t recorded_before =
+      obs::DefaultFlightRecorder().total_recorded();
+
+  Context ctx(4);
+  // every:6 fires repeatedly across the replay's window jobs; a generous
+  // attempt budget keeps back-to-back hits on one task survivable.
+  fault::RetryPolicy policy;
+  policy.max_attempts = 8;
+  ctx.set_retry_policy(policy);
+  ASSERT_TRUE(fault::DefaultFailPoints()
+                  .ArmFromSpec("engine.task.run=every:6")
+                  .ok());
+  const ReplayRun run = Replay(&ctx, arrivals, 0, QueryOptions());
+  fault::DefaultFailPoints().DisarmAll();
+
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  ExpectExactlyOnce(run, oracle);
+  EXPECT_GT(CounterValue("engine.task.retries"), retries_before);
+
+  // The recorder kept the evidence: injected faults and the retries that
+  // absorbed them.
+  bool saw_fault = false, saw_retry = false;
+  for (const auto& e : obs::DefaultFlightRecorder().Snapshot()) {
+    if (e.kind == obs::FlightEventKind::kFault) saw_fault = true;
+    if (e.kind == obs::FlightEventKind::kRetry) saw_retry = true;
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_TRUE(saw_retry);
+  EXPECT_GT(obs::DefaultFlightRecorder().total_recorded(), recorded_before);
+}
+
+TEST_F(StreamFaultTest, WorkerDeathMidStreamHealsAndDeliversAllWindows) {
+  const std::vector<StreamEvent> arrivals = Workload();
+  const ReplayRun oracle = NoFaultOracle(arrivals, 0);
+
+  const uint64_t deaths_before = CounterValue("engine.worker.deaths");
+  const uint64_t restarts_before = CounterValue("engine.worker.restarts");
+
+  ReplayRun run;
+  {
+    auto ctx = std::make_unique<Context>(4);
+    ASSERT_TRUE(fault::DefaultFailPoints()
+                    .ArmFromSpec("engine.worker.die=nth:3")
+                    .ok());
+    run = Replay(ctx.get(), arrivals, 0, QueryOptions());
+    fault::DefaultFailPoints().DisarmAll();
+    ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  }  // join the (respawned) pool before auditing the counters
+
+  ExpectExactlyOnce(run, oracle);
+  EXPECT_GE(CounterValue("engine.worker.deaths"), deaths_before + 1);
+  EXPECT_GE(CounterValue("engine.worker.restarts"), restarts_before + 1);
+
+  bool saw_death = false;
+  for (const auto& e : obs::DefaultFlightRecorder().Snapshot()) {
+    if (e.kind == obs::FlightEventKind::kWorkerDeath) saw_death = true;
+  }
+  EXPECT_TRUE(saw_death);
+}
+
+// The full matrix: task faults AND a worker death in the same continuous
+// query, out-of-order arrivals on top. The streaming answer must still be
+// byte-identical to the clean oracle, and the flight-recorder dump must
+// contain the fault events for a post-mortem.
+TEST_F(StreamFaultTest, CombinedFaultMatrixKeepsStreamingExactlyOnce) {
+  std::vector<StreamEvent> ordered = Workload();
+  const std::vector<StreamEvent> arrivals =
+      ShuffledArrivals(ordered, /*seed=*/17, /*disorder=*/4);
+  const ReplayRun oracle = NoFaultOracle(arrivals, /*bound=*/4);
+  ASSERT_EQ(oracle.stats.late, 0u);
+
+  ReplayRun run;
+  {
+    auto ctx = std::make_unique<Context>(4);
+    fault::RetryPolicy policy;
+    policy.max_attempts = 8;
+    ctx->set_retry_policy(policy);
+    ASSERT_TRUE(fault::DefaultFailPoints()
+                    .ArmFromSpec(
+                        "engine.task.run=every:9;engine.worker.die=nth:5")
+                    .ok());
+    run = Replay(ctx.get(), arrivals, /*bound=*/4, QueryOptions());
+    fault::DefaultFailPoints().DisarmAll();
+    ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  }
+
+  ExpectExactlyOnce(run, oracle);
+  EXPECT_EQ(run.stats.ingested, arrivals.size());
+  EXPECT_EQ(run.stats.ingested,
+            run.stats.accepted + run.stats.late + run.stats.duplicates);
+
+  // DumpJson is what an operator reads after the incident: it must name
+  // the injected faults and the recovery actions.
+  const std::string dump =
+      obs::DefaultFlightRecorder().DumpJson("stream fault matrix");
+  EXPECT_NE(dump.find("\"reason\":\"stream fault matrix\""),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"fault\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"worker_death\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"retry\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,210 @@
+// Watermark and late-event fuzz: across random arrival permutations the
+// stream's books must reconcile exactly (every delivery accounted for once),
+// the side-output must capture precisely the late events, and the watermark
+// must never regress — including under genuinely concurrent source threads
+// (this suite is part of the TSan job).
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream_test_util.h"
+
+namespace stark {
+namespace {
+
+using stream::LatePolicy;
+using stream::StreamContext;
+using stream::WatermarkTracker;
+using test::MakeEvent;
+using test::Replay;
+using test::ReplayArrivals;
+using test::ReplayRun;
+using test::ShuffledArrivals;
+using test::StreamEvent;
+
+class StreamWatermarkTest : public ::testing::Test {
+ protected:
+  Context ctx_{4};
+};
+
+TEST_F(StreamWatermarkTest, TrackerAdvancesAndNeverRegresses) {
+  WatermarkTracker tracker(/*bound=*/5);
+  EXPECT_EQ(tracker.Current(), stream::kMinWatermark);
+  tracker.Observe(10);
+  EXPECT_EQ(tracker.Current(), 5);
+  tracker.Observe(3);  // stale observation: no effect
+  EXPECT_EQ(tracker.Current(), 5);
+  tracker.Observe(20);
+  EXPECT_EQ(tracker.Current(), 15);
+  EXPECT_EQ(tracker.MaxSeen(), 20);
+}
+
+TEST_F(StreamWatermarkTest, TrackerIsMonotoneUnderConcurrentObserve) {
+  WatermarkTracker tracker(/*bound=*/2);
+  std::atomic<bool> regressed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracker, &regressed, t] {
+      Instant last = stream::kMinWatermark;
+      for (int i = 0; i < 5000; ++i) {
+        tracker.Observe(t * 3 + i);
+        const Instant now = tracker.Current();
+        if (now < last) regressed = true;
+        last = now;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(regressed.load());
+  EXPECT_EQ(tracker.MaxSeen(), 3 * 3 + 4999);
+}
+
+// Fuzz across arrival permutations: the drop counter and the side-output
+// sizes must reconcile to the total input, for both late policies.
+TEST_F(StreamWatermarkTest, BooksReconcileAcrossArrivalPermutations) {
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(seed * 101 + 3);
+    const size_t count = static_cast<size_t>(rng.UniformInt(1, 40));
+    std::vector<StreamEvent> events;
+    for (size_t i = 0; i < count; ++i) {
+      events.push_back(MakeEvent(static_cast<int64_t>(i),
+                                 rng.UniformInt(0, 50), "cat",
+                                 rng.Uniform(0.0, 100.0), 0.0));
+    }
+    // Disorder routinely exceeds the bound, so real late events occur.
+    const int64_t disorder = rng.UniformInt(0, 12);
+    const int64_t bound = rng.UniformInt(0, 4);
+    const size_t duplicates = static_cast<size_t>(rng.UniformInt(0, 4));
+    const std::vector<StreamEvent> arrivals =
+        ShuffledArrivals(events, seed, disorder, duplicates);
+
+    const bool side = seed % 2 == 0;
+    StreamContext::Options options;
+    options.window.size = 7;
+    options.late_policy = side ? LatePolicy::kSideOutput : LatePolicy::kDrop;
+    const ReplayRun run = Replay(&ctx_, arrivals, bound, options);
+    ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+
+    // Conservation: every delivery lands in exactly one bucket.
+    EXPECT_EQ(run.stats.ingested, arrivals.size()) << "seed " << seed;
+    EXPECT_EQ(run.stats.ingested,
+              run.stats.accepted + run.stats.late + run.stats.duplicates)
+        << "seed " << seed;
+    if (side) {
+      EXPECT_EQ(run.stats.side_output, run.stats.late) << "seed " << seed;
+      EXPECT_EQ(run.side_output.size(), run.stats.late) << "seed " << seed;
+      EXPECT_EQ(run.stats.dropped, 0u) << "seed " << seed;
+    } else {
+      EXPECT_EQ(run.stats.dropped, run.stats.late) << "seed " << seed;
+      EXPECT_TRUE(run.side_output.empty()) << "seed " << seed;
+    }
+
+    // The scalar reference decides the same accept/late split.
+    const test::ReferenceReplay ref = ReplayArrivals(arrivals, bound);
+    EXPECT_EQ(run.stats.accepted, ref.accepted.size()) << "seed " << seed;
+    EXPECT_EQ(run.stats.late, ref.late.size()) << "seed " << seed;
+
+    // Accepted events are exactly the window contents (each sliding window
+    // multiplies membership, so compare the union of ids instead).
+    std::set<int64_t> windowed_ids;
+    for (const auto& r : run.results) {
+      for (const auto& e : r.window.events) windowed_ids.insert(e.id);
+    }
+    std::set<int64_t> accepted_ids;
+    for (const auto& e : ref.accepted) accepted_ids.insert(e.id);
+    EXPECT_EQ(windowed_ids, accepted_ids) << "seed " << seed;
+  }
+}
+
+// The combined watermark observed between micro-batches never regresses.
+TEST_F(StreamWatermarkTest, CombinedWatermarkIsMonotonePerStep) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed + 77);
+    std::vector<StreamEvent> events;
+    for (size_t i = 0; i < 60; ++i) {
+      events.push_back(MakeEvent(static_cast<int64_t>(i),
+                                 rng.UniformInt(0, 80), "cat", 0.0, 0.0));
+    }
+    StreamContext::Options options;
+    options.window.size = 9;
+    options.poll_batch = 5;  // many steps per replay
+    stream::StreamContext sc(&ctx_, options);
+    sc.AddSource(std::make_unique<test::ScriptedSource>(
+                     ShuffledArrivals(events, seed, 6)),
+                 /*bound=*/6);
+    Instant last = stream::kMinWatermark;
+    while (!sc.AllExhausted()) {
+      ASSERT_TRUE(sc.Step().ok());
+      const Instant now = sc.CombinedWatermark();
+      EXPECT_GE(now, last) << "seed " << seed;
+      last = now;
+    }
+    ASSERT_TRUE(sc.Flush().ok());
+  }
+}
+
+// Concurrent external source threads ingest while the driver fires: the
+// invariants that survive any interleaving — counter reconciliation,
+// watermark monotonicity, exactly-once window delivery — must hold, and the
+// suite must be clean under TSan.
+TEST_F(StreamWatermarkTest, ConcurrentSourceThreadsReconcileAndFireOnce) {
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 400;
+
+  StreamContext::Options options;
+  options.window.size = 25;
+  options.late_policy = LatePolicy::kSideOutput;
+  stream::StreamContext sc(&ctx_, options);
+  std::vector<size_t> slots;
+  for (int t = 0; t < kThreads; ++t) {
+    slots.push_back(sc.AddExternalSource(/*bound=*/10));
+  }
+  std::atomic<size_t> windows_delivered{0};
+  sc.SetSink([&windows_delivered](const stream::WindowResult&) {
+    ++windows_delivered;
+  });
+
+  std::atomic<bool> watermark_regressed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) * 13 + 1);
+      Instant last = stream::kMinWatermark;
+      for (int i = 0; i < kPerThread; ++i) {
+        // Ids are globally unique; times drift forward with jitter.
+        const int64_t id = static_cast<int64_t>(t) * kPerThread + i;
+        const Instant time = i * 2 + rng.UniformInt(0, 8);
+        sc.Ingest(slots[static_cast<size_t>(t)],
+                  MakeEvent(id, time, "cat", 0.0, 0.0));
+        const Instant now = sc.CombinedWatermark();
+        if (now < last) watermark_regressed = true;
+        last = now;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_TRUE(sc.FireReady().ok());
+  ASSERT_TRUE(sc.Flush().ok());
+
+  EXPECT_FALSE(watermark_regressed.load());
+  const stream::StreamStats stats = sc.stats();
+  EXPECT_EQ(stats.ingested,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.ingested,
+            stats.accepted + stats.late + stats.duplicates);
+  EXPECT_EQ(stats.side_output, stats.late);
+  EXPECT_EQ(sc.TakeSideOutput().size(), stats.late);
+  EXPECT_EQ(stats.windows_fired, windows_delivered.load());
+  // Exactly-once: delivered starts strictly increase — no loss, no repeat.
+  const std::vector<int64_t>& starts = sc.delivered_window_starts();
+  EXPECT_EQ(starts.size(), windows_delivered.load());
+  for (size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_LT(starts[i - 1], starts[i]);
+  }
+}
+
+}  // namespace
+}  // namespace stark
