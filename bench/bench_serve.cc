@@ -1,0 +1,439 @@
+/// \file bench_serve.cc
+/// Concurrent query serving: sustained queries/second through the serving
+/// front end under a mixed interactive/batch workload with concurrent
+/// ingestion churning snapshot epochs.
+///
+/// `bench_serve --smoke` runs the acceptance self-check instead of the
+/// timing suite: 4x more clients than query workers hammer a small
+/// admission queue while an ingester publishes new epochs and a CSV tail
+/// leg feeds the catalog through the streaming source (including one
+/// malformed row, so `stream.source.parse_errors` is exercised). The run
+/// asserts that every query terminates with exactly one of {OK,
+/// ResourceExhausted, DeadlineExceeded, Cancelled}, that every admitted
+/// query's answer matches a serial re-execution over the same snapshot
+/// version (differential correctness), that shedding produced typed
+/// statuses with Retry-After hints, that interactive p99 stays below batch
+/// p50 while the batch class saturates the engine pool, and that the epoch
+/// count returns to one after the drain. With `--json=<path>` the latency
+/// percentiles and counter deltas land in a JsonReport.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "engine/context.h"
+#include "io/csv.h"
+#include "piglet/interpreter.h"
+#include "serve/catalog.h"
+#include "serve/server.h"
+#include "stream/source.h"
+
+namespace stark {
+namespace {
+
+stream::StreamEvent PointEvent(int64_t id, double x, double y, int64_t t) {
+  return stream::StreamEvent(
+      id, id % 2 == 0 ? "even" : "odd",
+      STObject(Geometry::MakePoint({x, y}), t));
+}
+
+/// Deterministic batches: batch 0 is the base grid, batch j >= 1 is a
+/// small cluster with distinct ids. Any snapshot version is reproducible
+/// as the concatenation of the first `version` batches, which is what the
+/// differential check relies on.
+std::vector<stream::StreamEvent> MakeBatch(size_t j, size_t base_n) {
+  std::vector<stream::StreamEvent> events;
+  if (j == 0) {
+    events.reserve(base_n);
+    for (size_t i = 0; i < base_n; ++i) {
+      events.push_back(PointEvent(static_cast<int64_t>(i),
+                                  static_cast<double>(i % 50),
+                                  static_cast<double>(i / 50),
+                                  static_cast<int64_t>(i)));
+    }
+    return events;
+  }
+  const int64_t base_id = static_cast<int64_t>(1'000'000 + j * 100);
+  events.reserve(8);
+  for (int64_t k = 0; k < 8; ++k) {
+    events.push_back(PointEvent(base_id + k,
+                                static_cast<double>((j * 7 + k) % 50),
+                                static_cast<double>((j * 3 + k) % 40),
+                                base_id + k));
+  }
+  return events;
+}
+
+constexpr char kInteractiveScript[] =
+    "hits = FILTER events BY INTERSECTS('POLYGON((10.5 10.5, 14.5 10.5, "
+    "14.5 14.5, 10.5 14.5, 10.5 10.5))', 0, 10000000);\n"
+    "DUMP hits;\n";
+
+constexpr char kBatchScript[] =
+    "big = FILTER events BY INTERSECTS('POLYGON((-1 -1, 24 -1, 24 20, "
+    "-1 20, -1 -1))', 0, 10000000);\n"
+    "j = JOIN big, big ON WITHINDISTANCE(1.5);\n"
+    "DUMP j;\n";
+
+/// Order-independent comparison key for DUMP output.
+std::vector<std::string> SortedLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// Serial ground truth: rebuild the snapshot for `version` from the batch
+/// log and run `script` through a plain single-threaded interpreter.
+std::string Serial(const std::vector<std::vector<stream::StreamEvent>>& log,
+                   uint64_t version, const std::string& script) {
+  std::vector<stream::StreamEvent> events;
+  for (uint64_t b = 0; b < version && b < log.size(); ++b) {
+    events.insert(events.end(), log[b].begin(), log[b].end());
+  }
+  const serve::DatasetSnapshot snap =
+      serve::BuildSnapshot(version, std::move(events), 16);
+
+  Context ctx(1);
+  std::ostringstream out;
+  piglet::Interpreter interp(&ctx, &out);
+  piglet::PigRelation rel;
+  rel.schema = {"id", "category", "time", "wkt"};
+  rel.spatialized = true;
+  rel.snapshot = std::make_shared<const serve::DatasetSnapshot>(snap);
+  std::vector<piglet::PigRow> rows;
+  rows.reserve(rel.snapshot->events->size());
+  for (const stream::StreamEvent& e : *rel.snapshot->events) {
+    rows.push_back(piglet::RowFromStreamEvent(e));
+  }
+  rel.rdd = MakeRDD(&ctx, std::move(rows));
+  interp.BindRelation("events", std::move(rel));
+  if (!interp.RunScript(script).ok()) return "<serial-failed>";
+  return out.str();
+}
+
+double Percentile(std::vector<uint64_t> ns, double p) {
+  if (ns.empty()) return 0;
+  std::sort(ns.begin(), ns.end());
+  const size_t idx = std::min(
+      ns.size() - 1, static_cast<size_t>(p * static_cast<double>(ns.size())));
+  return static_cast<double>(ns[idx]);
+}
+
+struct Observation {
+  Status status;
+  uint64_t epoch = 0;
+  uint64_t latency_ns = 0;
+  uint64_t retry_after_ms = 0;
+  std::string output;
+  bool batch = false;
+};
+
+// ---- timing benchmark -----------------------------------------------------
+
+void BM_Serve_InteractiveQps(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  serve::Catalog catalog;
+  STARK_CHECK(catalog.CreateDataset("events", 16).ok());
+  STARK_CHECK(catalog.Ingest("events", MakeBatch(0, 10'000)).ok());
+
+  serve::ServerOptions options;
+  options.query_threads = 4;
+  options.engine_threads = 4;
+  options.scheduler.queue_limit = 256;
+  serve::Server server(&catalog, options);
+  STARK_CHECK(server.Start().ok());
+
+  size_t completed = 0;
+  for (auto _ : state) {
+    std::atomic<size_t> ok{0};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        std::unique_ptr<serve::Session> session = server.OpenSession();
+        for (int i = 0; i < 20; ++i) {
+          if (session->Run(kInteractiveScript).status.ok()) ok.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    completed += ok.load();
+  }
+  server.Shutdown();
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+}
+BENCHMARK(BM_Serve_InteractiveQps)->Arg(4)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+// ---- --smoke mode ---------------------------------------------------------
+
+int RunSmoke(const std::string& json_path) {
+  const std::unique_ptr<obs::MetricsExporter> exporter =
+      obs::MetricsExporter::FromEnv();
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    std::fprintf(stderr, "[smoke] %s: %s\n", what, ok ? "ok" : "FAILED");
+    if (!ok) ++failures;
+  };
+
+  const size_t base_n = bench::EnvSize("STARK_BENCH_SERVE_N", 2'000);
+  const obs::MetricsRegistry::Snapshot before = obs::DefaultMetrics().Snap();
+
+  // The batch log doubles as the serial-reconstruction source: version v
+  // of the dataset is exactly log[0..v).
+  std::mutex log_mu;
+  std::vector<std::vector<stream::StreamEvent>> batch_log;
+
+  serve::Catalog catalog;
+  STARK_CHECK(catalog.CreateDataset("events", 16).ok());
+  {
+    std::vector<stream::StreamEvent> base = MakeBatch(0, base_n);
+    batch_log.push_back(base);
+    STARK_CHECK(catalog.Ingest("events", std::move(base)).ok());
+  }
+
+  // CSV tail leg: feed a batch through the streaming source, malformed
+  // row included — the per-row WKT failure must bump
+  // stream.source.parse_errors without discarding its chunk.
+  {
+    std::vector<EventRecord> records;
+    for (int64_t k = 0; k < 16; ++k) {
+      records.push_back(
+          {2'000'000 + k, "csv", 2'000'000 + k,
+           "POINT (" + std::to_string(20 + k % 5) + " " +
+               std::to_string(20 + k / 5) + ")"});
+    }
+    const std::string csv_path = "/tmp/bench_serve_tail.csv";
+    STARK_CHECK(WriteEventsCsv(csv_path, records).ok());
+    {
+      std::FILE* f = std::fopen(csv_path.c_str(), "a");
+      STARK_CHECK(f != nullptr);
+      std::fputs("2999999,weird,2999999,NOT-A-WKT\n", f);
+      std::fclose(f);
+    }
+    stream::CsvTailSource tail(csv_path, /*stop_at_eof=*/true);
+    std::vector<stream::StreamEvent> polled = tail.Poll(1'000);
+    check(polled.size() == records.size(),
+          "csv tail delivers every well-formed row");
+    batch_log.push_back(polled);
+    STARK_CHECK(catalog.Ingest("events", std::move(polled)).ok());
+    std::remove(csv_path.c_str());
+  }
+
+  serve::ServerOptions options;
+  options.query_threads = 4;
+  options.engine_threads = 4;
+  options.scheduler.queue_limit = 8;  // small on purpose: force shedding
+  serve::Server server(&catalog, options);
+  STARK_CHECK(server.Start().ok());
+
+  // Ingester: churn epochs for the whole load phase.
+  std::atomic<bool> stop_ingest{false};
+  std::thread ingester([&] {
+    size_t j = 2;
+    while (!stop_ingest.load(std::memory_order_acquire)) {
+      std::vector<stream::StreamEvent> batch = MakeBatch(j++, base_n);
+      {
+        std::lock_guard<std::mutex> lock(log_mu);
+        batch_log.push_back(batch);
+      }
+      STARK_CHECK(catalog.Ingest("events", std::move(batch)).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // 4x+ oversubscription: 16 interactive + 3 batch clients over 4 query
+  // workers. Batch clients run the quadratic self-join so most of the
+  // pool saturates; keeping batch concurrency below the worker count
+  // leaves headroom the stride scheduler hands to the interactive class,
+  // which is exactly the isolation property under test.
+  constexpr size_t kInteractiveClients = 16;
+  constexpr size_t kBatchClients = 3;
+  constexpr int kQueriesPerInteractive = 25;
+  constexpr int kQueriesPerBatch = 3;
+  std::mutex obs_mu;
+  std::vector<Observation> observations;
+
+  Stopwatch timer;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kInteractiveClients + kBatchClients; ++c) {
+    const bool batch = c >= kInteractiveClients;
+    clients.emplace_back([&, batch] {
+      std::unique_ptr<serve::Session> session = server.OpenSession();
+      if (batch) {
+        session->set_query_class(serve::QueryClass::kBatch);
+      }
+      const int n = batch ? kQueriesPerBatch : kQueriesPerInteractive;
+      const char* script = batch ? kBatchScript : kInteractiveScript;
+      for (int i = 0; i < n; ++i) {
+        // A shed batch query retries after a backoff, like a well-behaved
+        // client honoring the Retry-After hint (scaled down so the smoke
+        // stays fast); interactive clients just move on.
+        for (int attempt = 0; attempt < 500; ++attempt) {
+          Stopwatch one;
+          serve::QueryResult r = session->Run(script);
+          Observation o;
+          o.status = r.status;
+          o.epoch = r.epoch;
+          o.latency_ns =
+              static_cast<uint64_t>(one.ElapsedSeconds() * 1e9);
+          o.retry_after_ms = r.retry_after_ms;
+          o.batch = batch;
+          const bool retry = batch && r.status.IsResourceExhausted();
+          if (r.status.ok()) o.output = std::move(r.output);
+          {
+            std::lock_guard<std::mutex> lock(obs_mu);
+            observations.push_back(std::move(o));
+          }
+          if (!retry) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (!batch) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed_s = timer.ElapsedSeconds();
+  stop_ingest.store(true, std::memory_order_release);
+  ingester.join();
+
+  // --- Terminal-status accounting -----------------------------------------
+  size_t ok = 0, shed = 0, deadline = 0, cancelled = 0, unexpected = 0;
+  size_t shed_without_hint = 0;
+  std::vector<uint64_t> interactive_ns, batch_ns;
+  for (const Observation& o : observations) {
+    if (o.status.ok()) {
+      ++ok;
+      (o.batch ? batch_ns : interactive_ns).push_back(o.latency_ns);
+    } else if (o.status.IsResourceExhausted()) {
+      ++shed;
+      if (o.retry_after_ms == 0) ++shed_without_hint;
+    } else if (o.status.IsDeadlineExceeded()) {
+      ++deadline;
+    } else if (o.status.IsCancelled()) {
+      ++cancelled;
+    } else {
+      ++unexpected;
+      std::fprintf(stderr, "[smoke] unexpected status: %s\n",
+                   o.status.ToString().c_str());
+    }
+  }
+  const size_t total = kInteractiveClients * kQueriesPerInteractive +
+                       kBatchClients * kQueriesPerBatch;
+  // Shed batch queries retry, so attempts >= logical queries.
+  check(observations.size() >= total, "every query returned");
+  check(unexpected == 0,
+        "every status in {OK, ResourceExhausted, DeadlineExceeded, "
+        "Cancelled}");
+  check(ok > 0, "some queries were admitted and completed");
+  check(shed > 0, "the small queue shed load");
+  check(shed_without_hint == 0, "every shed reply carries a Retry-After hint");
+
+  // --- Differential correctness -------------------------------------------
+  // Every admitted interactive answer must equal a serial re-execution
+  // over the reconstructed snapshot of its epoch (version = epoch - 1:
+  // epoch 1 is the empty pre-ingest publication). Verify one observation
+  // per distinct epoch to keep the smoke fast; correctness is per-snapshot,
+  // so one witness per epoch covers them all.
+  std::vector<std::vector<stream::StreamEvent>> log_copy;
+  {
+    std::lock_guard<std::mutex> lock(log_mu);
+    log_copy = batch_log;
+  }
+  size_t verified = 0, wrong = 0;
+  std::vector<uint64_t> seen_epochs;
+  for (const Observation& o : observations) {
+    if (!o.status.ok() || o.batch || o.epoch == 0) continue;
+    if (std::find(seen_epochs.begin(), seen_epochs.end(), o.epoch) !=
+        seen_epochs.end()) {
+      continue;
+    }
+    seen_epochs.push_back(o.epoch);
+    if (seen_epochs.size() > 8) break;
+    const std::string serial =
+        Serial(log_copy, o.epoch - 1, kInteractiveScript);
+    if (SortedLines(o.output) == SortedLines(serial)) {
+      ++verified;
+    } else {
+      ++wrong;
+      std::fprintf(stderr, "[smoke] wrong answer at epoch %llu\n",
+                   static_cast<unsigned long long>(o.epoch));
+    }
+  }
+  check(verified > 0, "differential check covered at least one epoch");
+  check(wrong == 0, "admitted answers match serial execution per epoch");
+
+  // --- Latency isolation ---------------------------------------------------
+  const double int_p99 = Percentile(interactive_ns, 0.99);
+  const double batch_p50 = Percentile(batch_ns, 0.50);
+  check(!interactive_ns.empty() && !batch_ns.empty(),
+        "both classes completed some queries");
+  check(int_p99 < batch_p50,
+        "interactive p99 below batch p50 under saturation");
+
+  // --- Drain ----------------------------------------------------------------
+  server.Shutdown();
+  Result<serve::DatasetRegistry*> registry = catalog.Registry("events");
+  STARK_CHECK(registry.ok());
+  check(registry.ValueOrDie()->LiveEpochs() == 1,
+        "epoch count returns to one after drain");
+
+  const int64_t parse_errors =
+      obs::DefaultMetrics().GetCounter("stream.source.parse_errors")->Value();
+  check(parse_errors > 0, "malformed CSV row surfaced in parse_errors");
+
+  std::fprintf(
+      stderr,
+      "[smoke] %zu queries in %.3fs: %zu ok, %zu shed, %zu deadline, "
+      "%zu cancelled; interactive p99 %.2fms, batch p50 %.2fms\n",
+      total, elapsed_s, ok, shed, deadline, cancelled, int_p99 / 1e6,
+      batch_p50 / 1e6);
+
+  if (!json_path.empty()) {
+    bench::JsonReport report;
+    report.Add("serve.queries", static_cast<double>(total));
+    report.Add("serve.ok", static_cast<double>(ok));
+    report.Add("serve.shed", static_cast<double>(shed));
+    report.Add("serve.qps",
+               elapsed_s > 0 ? static_cast<double>(ok) / elapsed_s : 0);
+    report.Add("serve.interactive_p99_ms", int_p99 / 1e6);
+    report.Add("serve.batch_p50_ms", batch_p50 / 1e6);
+    report.Add("serve.epochs_published",
+               static_cast<double>(log_copy.size()));
+    report.Add("serve.elapsed_s", elapsed_s);
+    report.AddMetricsDelta(before);
+    report.WriteTo(json_path);
+  }
+
+  std::fprintf(stderr, "[smoke] %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace stark
+
+int main(int argc, char** argv) {
+  stark::bench::TraceFromEnv trace_guard;
+  if (stark::bench::SmokeRequested(argc, argv)) {
+    return stark::RunSmoke(stark::bench::JsonPathFromArgs(argc, argv));
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/openmetrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "piglet/explain.h"
 #include "piglet/interpreter.h"
@@ -199,6 +200,10 @@ int main(int argc, char** argv) {
     std::printf("\nwrote %zu task spans to %s\n",
                 obs::DefaultTracer().Spans().size(), trace_path.c_str());
   }
+  // Ordered observability teardown: final metrics export on disk and the
+  // slow log silenced before static destruction starts.
+  if (exporter != nullptr) exporter->StopAndJoin();
+  obs::GlobalSlowLog().Quiesce();
   std::printf("\nbye\n");
   return 0;
 }

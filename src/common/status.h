@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kUnknownError = 7,
   kCancelled = 8,
   kDeadlineExceeded = 9,
+  kResourceExhausted = 10,
 };
 
 /// \brief Result of a fallible operation: either OK or a coded error message.
@@ -78,10 +79,19 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  /// Load shedding: the operation was refused up front because a bounded
+  /// resource (admission queue, executor slots) is full. Retryable by
+  /// design — the serving layer attaches a Retry-After hint to the message.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
   }
 
   /// True iff the operation succeeded.
@@ -116,6 +126,7 @@ class Status {
       case StatusCode::kUnknownError: return "UnknownError";
       case StatusCode::kCancelled: return "Cancelled";
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
     }
     return "UnknownError";
   }

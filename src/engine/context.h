@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -55,7 +56,20 @@ class Context {
   explicit Context(size_t parallelism = 0, obs::TaskTracer* tracer = nullptr)
       : parallelism_(parallelism != 0 ? parallelism
                                       : DefaultHardwareParallelism()),
-        pool_(std::make_unique<ThreadPool>(parallelism_)),
+        pool_(std::make_shared<ThreadPool>(parallelism_)),
+        tracer_(tracer != nullptr ? tracer : &obs::DefaultTracer()),
+        retry_policy_(fault::RetryPolicy::FromEnv()),
+        job_deadline_ms_(DefaultJobDeadlineMs()),
+        speculation_policy_(SpeculationPolicy::FromEnv()) {}
+
+  /// Shares an existing worker pool instead of owning one — the serving
+  /// layer gives every client session its own Context (so SET job.* and
+  /// cancellation stay session-scoped) while all sessions execute on the
+  /// server's single executor pool.
+  explicit Context(std::shared_ptr<ThreadPool> pool,
+                   obs::TaskTracer* tracer = nullptr)
+      : parallelism_(pool->num_threads()),
+        pool_(std::move(pool)),
         tracer_(tracer != nullptr ? tracer : &obs::DefaultTracer()),
         retry_policy_(fault::RetryPolicy::FromEnv()),
         job_deadline_ms_(DefaultJobDeadlineMs()),
@@ -64,6 +78,10 @@ class Context {
   STARK_DISALLOW_COPY_AND_ASSIGN(Context);
 
   ThreadPool& pool() { return *pool_; }
+
+  /// The pool handle, for sharing with sibling Contexts (see the
+  /// pool-sharing constructor above).
+  const std::shared_ptr<ThreadPool>& shared_pool() const { return pool_; }
 
   obs::TaskTracer& tracer() const { return *tracer_; }
 
@@ -98,6 +116,31 @@ class Context {
     cancel_token_ = std::move(token);
   }
 
+  /// \brief What an admission hook learns about a job before it launches.
+  struct JobAdmission {
+    const char* stage = "";
+    size_t num_tasks = 0;
+    /// The context's job priority (lower = more important); the serving
+    /// layer maps its query classes onto this.
+    int priority = 0;
+  };
+
+  /// A non-OK return vetoes the job before any task is enqueued: TryRunTasks
+  /// returns that status (typically Status::ResourceExhausted under
+  /// overload, or Cancelled while a server drains) and increments
+  /// `engine.jobs.rejected`. The hook runs on the driver thread of every
+  /// job; keep it cheap and thread-safe when sessions share a hook.
+  using AdmissionHook = std::function<Status(const JobAdmission&)>;
+  void set_admission_hook(AdmissionHook hook) {
+    admission_hook_ = std::move(hook);
+  }
+
+  /// Scheduling class recorded into every JobControl this context launches
+  /// (0 = most important). The engine only carries it; admission hooks and
+  /// the serving layer's degradation ladder act on it.
+  int job_priority() const { return job_priority_; }
+  void set_job_priority(int priority) { job_priority_ = priority; }
+
   /// Runs \p fn(p) for p in [0, n) on the pool as one job of n
   /// partition-tasks labelled \p stage, retrying failed tasks per the
   /// retry policy. Returns the first permanent task failure as a Status
@@ -127,7 +170,20 @@ class Context {
         obs::DefaultMetrics().GetCounter("engine.jobs.failed");
     static obs::Counter* const speculated =
         obs::DefaultMetrics().GetCounter("engine.task.speculated");
+    static obs::Counter* const jobs_rejected =
+        obs::DefaultMetrics().GetCounter("engine.jobs.rejected");
     static std::atomic<uint64_t> generation{0};
+    if (admission_hook_) {
+      // Admission veto: no task is enqueued, no JobControl is created — the
+      // caller sees the hook's status (e.g. ResourceExhausted under
+      // overload) exactly as it would see a deadline or cancellation.
+      const Status admitted =
+          admission_hook_(JobAdmission{stage, n, job_priority_});
+      if (!admitted.ok()) {
+        jobs_rejected->Increment();
+        return admitted;
+      }
+    }
     jobs->Increment();
     tasks->Add(n);
     if (n == 0) return Status::OK();
@@ -147,7 +203,8 @@ class Context {
 
     const auto control = std::make_shared<JobControl>(
         n, job_deadline_ms_, cancel_token_,
-        generation.fetch_add(1, std::memory_order_relaxed) + 1);
+        generation.fetch_add(1, std::memory_order_relaxed) + 1,
+        job_priority_);
 
     if (n == 1) {
       // Single-task fast path: run inline on the driver, no pool dispatch.
@@ -500,12 +557,14 @@ class Context {
   }
 
   size_t parallelism_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<ThreadPool> pool_;
   obs::TaskTracer* tracer_;
   fault::RetryPolicy retry_policy_;
   uint64_t job_deadline_ms_;
   SpeculationPolicy speculation_policy_;
   std::shared_ptr<CancelToken> cancel_token_;
+  AdmissionHook admission_hook_;
+  int job_priority_ = 0;
 };
 
 }  // namespace stark

@@ -44,9 +44,11 @@ SpeculationPolicy SpeculationPolicy::FromEnv() {
 }
 
 JobControl::JobControl(size_t num_tasks, uint64_t deadline_ms,
-                       std::shared_ptr<CancelToken> token, uint64_t generation)
+                       std::shared_ptr<CancelToken> token, uint64_t generation,
+                       int priority)
     : num_tasks_(num_tasks),
       generation_(generation),
+      priority_(priority),
       deadline_ms_(deadline_ms),
       has_deadline_(deadline_ms > 0),
       deadline_(std::chrono::steady_clock::now() +

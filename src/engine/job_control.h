@@ -74,8 +74,12 @@ struct SpeculationPolicy {
 class JobControl {
  public:
   /// \p deadline_ms of 0 means no deadline. \p token may be null.
+  /// \p priority is the scheduling class of the submitting session (0 =
+  /// most important); the serving layer's admission hooks and degradation
+  /// ladder read it, the engine itself only carries it.
   JobControl(size_t num_tasks, uint64_t deadline_ms,
-             std::shared_ptr<CancelToken> token, uint64_t generation);
+             std::shared_ptr<CancelToken> token, uint64_t generation,
+             int priority = 0);
 
   STARK_DISALLOW_COPY_AND_ASSIGN(JobControl);
 
@@ -83,6 +87,10 @@ class JobControl {
   /// copies of different job generations.
   uint64_t generation() const { return generation_; }
   size_t num_tasks() const { return num_tasks_; }
+
+  /// Scheduling class of the job (lower = more important; see
+  /// serve::QueryClass). Purely informational at the engine layer.
+  int priority() const { return priority_; }
 
   // --- Cancellation -------------------------------------------------------
 
@@ -199,6 +207,7 @@ class JobControl {
 
   const size_t num_tasks_;
   const uint64_t generation_;
+  const int priority_;
   const uint64_t deadline_ms_;
   const bool has_deadline_;
   const std::chrono::steady_clock::time_point deadline_;

@@ -51,6 +51,13 @@ class MetricsExporter {
   /// Joins the thread after one final export. Idempotent.
   void Stop();
 
+  /// Explicit ordered-shutdown entry point: identical to Stop(), named for
+  /// call sites (server drain, shell exit) where the requirement is "the
+  /// export thread is gone and the final file is on disk *before* the
+  /// registry's instruments start disappearing". After it returns, no
+  /// further writes to path() happen.
+  void StopAndJoin() { Stop(); }
+
   /// Synchronous one-shot export (also used by the thread). Returns false
   /// and logs to stderr when the file cannot be written.
   bool ExportOnce();

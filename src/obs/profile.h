@@ -148,6 +148,14 @@ class SlowLogConfig {
   void set_slow_task_ms(double ms) { slow_task_us_.store(ToUs(ms)); }
   void set_slow_query_ms(double ms) { slow_query_us_.store(ToUs(ms)); }
 
+  /// Ordered shutdown: disables both thresholds so no task or query that
+  /// finishes during teardown writes to stderr after the process has
+  /// started dismantling its observability (server drain, shell exit).
+  void Quiesce() {
+    slow_task_us_.store(0);
+    slow_query_us_.store(0);
+  }
+
  private:
   static int64_t ToUs(double ms) { return static_cast<int64_t>(ms * 1000.0); }
   double AsMs(const std::atomic<int64_t>& us) const {

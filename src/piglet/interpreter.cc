@@ -18,6 +18,7 @@
 #include "partition/grid_partitioner.h"
 #include "partition/st_grid_partitioner.h"
 #include "piglet/parser.h"
+#include "serve/catalog.h"
 #include "spatial_rdd/join.h"
 #include "spatial_rdd/spatial_rdd.h"
 
@@ -305,6 +306,19 @@ Status Interpreter::CheckCancelled() const {
   return Status::OK();
 }
 
+PigRow RowFromStreamEvent(const stream::StreamEvent& event) {
+  PigRow row;
+  row.fields = {event.id, event.category,
+                static_cast<int64_t>(event.event_time()),
+                event.obj.geo().ToWkt()};
+  row.st = event.obj;
+  return row;
+}
+
+void Interpreter::BindRelation(const std::string& name, PigRelation rel) {
+  relations_[name] = std::move(rel);
+}
+
 Result<const PigRelation*> Interpreter::relation(
     const std::string& name) const {
   auto it = relations_.find(name);
@@ -428,6 +442,10 @@ Status Interpreter::ExecuteImpl(const Statement& stmt) {
 Status Interpreter::ExecSet(const Statement& stmt) {
   const std::string& key = stmt.set_key;
   const double value = stmt.set_value;
+  if (set_hook_) {
+    STARK_ASSIGN_OR_RETURN(const bool handled, set_hook_(key, value));
+    if (handled) return Status::OK();
+  }
   if (key == "job.deadline_ms") {
     if (value < 0) {
       return Status::InvalidArgument("piglet: job.deadline_ms must be >= 0");
@@ -465,19 +483,22 @@ Status Interpreter::ExecSet(const Statement& stmt) {
     profile_enabled_ = value != 0;
     return Status::OK();
   }
-  if (key == "obs.slow_task_ms") {
-    if (value < 0) {
-      return Status::InvalidArgument("piglet: obs.slow_task_ms must be >= 0");
-    }
-    obs::GlobalSlowLog().set_slow_task_ms(value);
-    return Status::OK();
-  }
-  if (key == "obs.slow_query_ms") {
-    if (value < 0) {
+  if (key == "obs.slow_task_ms" || key == "obs.slow_query_ms") {
+    // These mutate the process-wide slow log; in a served session that
+    // would leak one client's setting into every other client's queries.
+    if (session_mode_) {
       return Status::InvalidArgument(
-          "piglet: obs.slow_query_ms must be >= 0");
+          "piglet: '" + key +
+          "' is process-global and cannot be set from a served session");
     }
-    obs::GlobalSlowLog().set_slow_query_ms(value);
+    if (value < 0) {
+      return Status::InvalidArgument("piglet: " + key + " must be >= 0");
+    }
+    if (key == "obs.slow_task_ms") {
+      obs::GlobalSlowLog().set_slow_task_ms(value);
+    } else {
+      obs::GlobalSlowLog().set_slow_query_ms(value);
+    }
     return Status::OK();
   }
   return Status::InvalidArgument("piglet:" + std::to_string(stmt.line) +
@@ -677,6 +698,15 @@ Result<PigRelation> Interpreter::ExecFilter(const Statement& stmt) {
   STARK_RETURN_NOT_OK(
       ValidateExpr(*stmt.filter, in->schema, in->spatialized));
 
+  // Serving layer: a spatial predicate over a snapshot-bound relation
+  // probes the snapshot's prebuilt packed R-tree directly — no per-query
+  // index build, one single-task job (runs inline on the calling worker),
+  // so point lookups stay cheap even when the shared pool is saturated.
+  if (in->snapshot != nullptr &&
+      stmt.filter->kind == Expr::Kind::kSpatialPred) {
+    return ExecSnapshotFilter(stmt, *in);
+  }
+
   PigRelation rel = *in;
 
   // A pure spatial predicate goes through the SpatialRDD operator so that
@@ -719,6 +749,70 @@ Result<PigRelation> Interpreter::ExecFilter(const Statement& stmt) {
   }
   rel.rdd = MakeRDD(ctx_, std::move(kept));
   rel.partitioner = nullptr;
+  return rel;
+}
+
+Result<PigRelation> Interpreter::ExecSnapshotFilter(const Statement& stmt,
+                                                    const PigRelation& in) {
+  static obs::Counter* const probes =
+      obs::DefaultMetrics().GetCounter("serve.snapshot.probes");
+  static obs::Counter* const global_candidates =
+      obs::DefaultMetrics().GetCounter("serve.snapshot.candidates");
+  static obs::Counter* const global_results =
+      obs::DefaultMetrics().GetCounter("serve.snapshot.results");
+
+  const Expr& e = *stmt.filter;
+  JoinPredicate pred;
+  pred.type = e.pred;
+  pred.max_distance = e.max_distance;
+  const STObject query = *e.query;
+  // Keep the snapshot alive independently of the relation (the pin may be
+  // released while this statement's output is still being consumed).
+  const std::shared_ptr<const serve::DatasetSnapshot> snap = in.snapshot;
+  QueryStats* const stats = analyze_mode_ ? &analyze_stats_ : nullptr;
+
+  std::vector<PigRow> kept;
+  STARK_RETURN_NOT_OK(ctx_->TryRunTasks(
+      "serve.snapshot.filter", 1, [&](size_t) {
+        const std::vector<stream::StreamEvent>& events = *snap->events;
+        // Same candidate/refine protocol as IndexedSpatialRDD::Filter:
+        // envelope probe expanded by the predicate margin, exact predicate
+        // bound once so the query geometry is prepared and reused.
+        BoundPredicate bound(pred, query,
+                             BoundPredicate::Side::kCandidateLeft);
+        uint64_t candidates = 0;
+        auto refine = [&](const Envelope&, const uint32_t& idx) {
+          if ((++candidates & 1023u) == 0) ThrowIfTaskCancelled();
+          const stream::StreamEvent& ev = events[idx];
+          if (bound.Eval(ev.obj)) kept.push_back(RowFromStreamEvent(ev));
+        };
+        if (pred.Prunable()) {
+          const Envelope probe =
+              query.envelope().Expanded(pred.EnvelopeMargin());
+          snap->tree->Query(probe, refine);
+        } else {
+          snap->tree->ForEach(refine);
+        }
+        global_candidates->Add(candidates);
+        global_results->Add(kept.size());
+        if (stats != nullptr) {
+          ++stats->partitions_scanned;
+          stats->candidates += candidates;
+          stats->results += kept.size();
+        }
+        if (obs::TaskSpan* span = obs::CurrentTaskSpan()) {
+          span->records_in = candidates;
+          span->records_out = kept.size();
+          span->candidates = candidates;
+          span->refined = kept.size();
+        }
+      }));
+  probes->Increment();
+
+  PigRelation rel;
+  rel.schema = in.schema;
+  rel.spatialized = true;
+  rel.rdd = MakeRDD(ctx_, std::move(kept), 1);
   return rel;
 }
 

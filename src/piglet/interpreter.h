@@ -4,6 +4,7 @@
 #ifndef STARK_PIGLET_INTERPRETER_H_
 #define STARK_PIGLET_INTERPRETER_H_
 
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -21,6 +22,11 @@
 #include "stream/stream_context.h"
 
 namespace stark {
+
+namespace serve {
+struct DatasetSnapshot;
+}  // namespace serve
+
 namespace piglet {
 
 /// One tuple flowing through a Piglet pipeline: dynamic fields plus the
@@ -38,7 +44,16 @@ struct PigRelation {
   /// Live-index order for spatial filters; 0 = no indexing (§2.2).
   size_t index_order = 0;
   bool spatialized = false;
+  /// Non-null for serving-layer relations bound to a pinned dataset
+  /// snapshot: spatial FILTERs then probe the snapshot's prebuilt packed
+  /// R-tree directly instead of building a live index per query.
+  std::shared_ptr<const serve::DatasetSnapshot> snapshot;
 };
+
+/// The canonical event -> row conversion shared by the serving layer's
+/// snapshot relations and its snapshot filter path (schema: id, category,
+/// time, wkt — same as LOAD).
+PigRow RowFromStreamEvent(const stream::StreamEvent& event);
 
 /// Renders one field value ("42", "3.5", "text").
 std::string FormatPigValue(const PigValue& value);
@@ -102,12 +117,32 @@ class Interpreter {
   /// Looks up a relation produced by a previous statement (for embedding).
   Result<const PigRelation*> relation(const std::string& name) const;
 
+  /// Binds \p rel under \p name as if a statement had produced it. The
+  /// serving layer uses this to expose pinned dataset snapshots to each
+  /// query; a later script assignment to the same name shadows it.
+  void BindRelation(const std::string& name, PigRelation rel);
+
+  /// Session mode (serving layer): SET keys that mutate *process-global*
+  /// state (obs.slow_task_ms, obs.slow_query_ms) are rejected so one
+  /// client cannot change another client's observability. Per-context keys
+  /// (job.*, obs.profile) stay available — each session owns its Context.
+  void set_session_mode(bool on) { session_mode_ = on; }
+
+  /// First-chance handler for SET statements. Returns true when the key
+  /// was consumed (e.g. the server's `serve.class`), false to fall through
+  /// to the built-in keys, or an error to fail the statement.
+  using SetHook = std::function<Result<bool>(const std::string& key,
+                                             double value)>;
+  void set_set_hook(SetHook hook) { set_hook_ = std::move(hook); }
+
  private:
   Status Execute(const Statement& stmt);
   Status ExecuteImpl(const Statement& stmt);
   Result<PigRelation> ExecLoad(const Statement& stmt);
   Result<PigRelation> ExecSpatialize(const Statement& stmt);
   Result<PigRelation> ExecFilter(const Statement& stmt);
+  Result<PigRelation> ExecSnapshotFilter(const Statement& stmt,
+                                         const PigRelation& in);
   Result<PigRelation> ExecPartition(const Statement& stmt);
   Result<PigRelation> ExecJoin(const Statement& stmt);
   Result<PigRelation> ExecKnn(const Statement& stmt);
@@ -142,6 +177,9 @@ class Interpreter {
   /// SET obs.profile 1: plain Run() also collects a QueryProfile and
   /// prints the tree to the output stream after the script finishes.
   bool profile_enabled_ = false;
+  /// Serving layer: reject process-global SET keys (see set_session_mode).
+  bool session_mode_ = false;
+  SetHook set_hook_;
 };
 
 }  // namespace piglet

@@ -1,0 +1,212 @@
+#include "serve/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace stark {
+namespace serve {
+namespace {
+
+const char* CodeToken(const Status& status) {
+  if (status.IsResourceExhausted()) return "RESOURCE_EXHAUSTED";
+  if (status.IsDeadlineExceeded()) return "DEADLINE_EXCEEDED";
+  if (status.IsCancelled()) return "CANCELLED";
+  switch (status.code()) {
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kKeyError: return "KEY_ERROR";
+    default: return "ERROR";
+  }
+}
+
+/// One-line sanitization: the wire protocol's status line must not contain
+/// embedded newlines (they would be parsed as payload).
+std::string OneLine(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// True when \p line's last non-blank character is ';' — the statement
+/// terminator that triggers execution of the buffered script.
+bool EndsStatement(const std::string& line) {
+  for (size_t i = line.size(); i > 0; --i) {
+    const char c = line[i - 1];
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    return c == ';';
+  }
+  return false;
+}
+
+std::string RenderReply(const QueryResult& result) {
+  std::string reply;
+  if (result.status.ok()) {
+    reply = "+OK " + std::to_string(result.epoch) + " " +
+            std::to_string(result.exec_ns / 1000) + "\n";
+    reply += result.output;
+    if (!result.output.empty() && result.output.back() != '\n') reply += "\n";
+  } else {
+    reply = std::string("-ERR ") + CodeToken(result.status) + " " +
+            OneLine(result.status.message()) + "\n";
+  }
+  reply += ".\n";
+  return reply;
+}
+
+}  // namespace
+
+TcpFrontend::TcpFrontend(Server* server, uint16_t port)
+    : server_(server), port_(port) {}
+
+TcpFrontend::~TcpFrontend() { Stop(); }
+
+Status TcpFrontend::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("serve: socket: ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(std::string("serve: bind: ") +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(std::string("serve: listen: ") +
+                           std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpFrontend::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    // shutdown() unblocks accept(); close() follows in the accept loop's
+    // epilogue here to keep the fd valid until the thread observed it.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<int> fds;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    fds.swap(client_fds_);
+    threads.swap(client_threads_);
+  }
+  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpFrontend::AcceptLoop() {
+  static obs::Gauge* const connections =
+      obs::DefaultMetrics().GetGauge("serve.tcp.connections");
+  static obs::Counter* const accepted =
+      obs::DefaultMetrics().GetCounter("serve.tcp.accepted");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;  // listener gone
+    }
+    accepted->Increment();
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    client_fds_.push_back(fd);
+    client_threads_.emplace_back([this, fd] {
+      ClientLoop(fd);
+      connections->Set(static_cast<int64_t>([this] {
+        std::lock_guard<std::mutex> inner(clients_mu_);
+        return client_fds_.size();
+      }()));
+    });
+    connections->Set(static_cast<int64_t>(client_fds_.size()));
+  }
+}
+
+void TcpFrontend::ClientLoop(int fd) {
+  std::unique_ptr<Session> session = server_->OpenSession();
+  std::string inbuf;
+  std::string script;
+  char buf[4096];
+
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // disconnect or Stop()'s shutdown()
+    inbuf.append(buf, static_cast<size_t>(n));
+
+    size_t newline;
+    while ((newline = inbuf.find('\n')) != std::string::npos) {
+      std::string line = inbuf.substr(0, newline);
+      inbuf.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      script += line;
+      script += '\n';
+      if (!EndsStatement(line)) continue;
+
+      QueryResult result = session->Run(script);
+      script.clear();
+      if (!SendAll(fd, RenderReply(result))) {
+        RemoveClientFd(fd);
+        ::close(fd);
+        return;
+      }
+    }
+  }
+  // Unregister before close so Stop() never shutdown()s a recycled fd.
+  RemoveClientFd(fd);
+  ::close(fd);
+}
+
+void TcpFrontend::RemoveClientFd(int fd) {
+  std::lock_guard<std::mutex> lock(clients_mu_);
+  client_fds_.erase(std::remove(client_fds_.begin(), client_fds_.end(), fd),
+                    client_fds_.end());
+}
+
+}  // namespace serve
+}  // namespace stark

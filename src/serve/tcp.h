@@ -1,0 +1,69 @@
+/// \file tcp.h
+/// Thread-per-client TCP front end over serve::Server (loopback only).
+///
+/// Wire protocol (line-oriented, one pending query per connection):
+///   - The client sends Piglet statements; input accumulates until a line
+///     whose last non-blank character is ';', then the buffered script runs
+///     as one query.
+///   - Reply on success:   `+OK <epoch> <exec_us>\n<payload>.\n`
+///     (payload = DUMP/DESCRIBE output; terminated SMTP-style by a line
+///     containing a single '.', which never begins a payload row).
+///   - Reply on failure:   `-ERR <CODE> <message>\n.\n`
+///     A shed query's CODE is RESOURCE_EXHAUSTED and the message carries
+///     the `retry_after_ms=<n>` backoff hint.
+///   - `SET serve.class <n>;` switches the connection's scheduling class.
+///
+/// Each connection owns one serve::Session, so engine knobs set over the
+/// wire (`SET job.deadline_ms 50;`) apply to that connection alone.
+#ifndef STARK_SERVE_TCP_H_
+#define STARK_SERVE_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "serve/server.h"
+
+namespace stark {
+namespace serve {
+
+/// \brief Accepts loopback connections and pumps each through a Session.
+/// Start() binds and spawns the accept loop; Stop() closes the listener,
+/// shuts down every live connection and joins all threads.
+class TcpFrontend {
+ public:
+  /// \p port 0 binds an ephemeral port (read it back via port()).
+  TcpFrontend(Server* server, uint16_t port = 0);
+  ~TcpFrontend();
+  STARK_DISALLOW_COPY_AND_ASSIGN(TcpFrontend);
+
+  Status Start();
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ClientLoop(int fd);
+  void RemoveClientFd(int fd);
+
+  Server* const server_;
+  uint16_t port_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex clients_mu_;
+  std::vector<int> client_fds_;
+  std::vector<std::thread> client_threads_;
+};
+
+}  // namespace serve
+}  // namespace stark
+
+#endif  // STARK_SERVE_TCP_H_

@@ -6,6 +6,18 @@
 
 #include "common/rng.h"
 #include "io/csv.h"
+#include "obs/metrics.h"
+
+namespace {
+// Registry mirror of the per-source parse_errors_ member, so dropped input
+// is visible in OpenMetrics exports (stark_stream_source_parse_errors_total)
+// and not only to callers holding the source object.
+stark::obs::Counter* ParseErrorCounter() {
+  static stark::obs::Counter* const c =
+      stark::obs::DefaultMetrics().GetCounter("stream.source.parse_errors");
+  return c;
+}
+}  // namespace
 
 namespace stark {
 namespace stream {
@@ -106,11 +118,13 @@ std::vector<StreamEvent> CsvTailSource::Poll(size_t max_events) {
           // A malformed chunk is skipped wholesale rather than wedging the
           // tailer; per-row WKT errors are counted below.
           ++parse_errors_;
+          ParseErrorCounter()->Increment();
         } else {
           for (const EventRecord& record : records.ValueOrDie()) {
             Result<StreamEvent> event = EventFromRecord(record);
             if (!event.ok()) {
               ++parse_errors_;
+              ParseErrorCounter()->Increment();
               continue;
             }
             ready_.push_back(std::move(event).ValueOrDie());
