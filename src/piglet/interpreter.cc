@@ -416,6 +416,9 @@ Status Interpreter::ExecuteImpl(const Statement& stmt) {
       std::vector<PigRow> rows = in->rdd.Take(stmt.limit);
       rel.rdd = MakeRDD(ctx_, std::move(rows), 1);
       rel.partitioner = nullptr;
+      // The rows no longer match the bound snapshot: a later spatial FILTER
+      // must evaluate these rows, not probe the full snapshot R-tree.
+      rel.snapshot = nullptr;
       relations_[stmt.target] = std::move(rel);
       return Status::OK();
     }
@@ -736,7 +739,11 @@ Result<PigRelation> Interpreter::ExecFilter(const Statement& stmt) {
     return rel;
   }
 
-  // General expression: per-row evaluation (schema captured by value).
+  // General expression: per-row evaluation (schema captured by value). The
+  // output rows diverge from the bound snapshot, so drop the snapshot
+  // binding — otherwise a later spatial FILTER would take the snapshot
+  // fast path and probe the full R-tree, resurrecting rows removed here.
+  rel.snapshot = nullptr;
   const Expr* expr = stmt.filter.get();
   const std::vector<std::string> schema = in->schema;
   // The Expr lives in the Program owned by the caller; relations built from

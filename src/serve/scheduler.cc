@@ -77,6 +77,13 @@ Status AdmissionQueue::Offer(Ticket ticket, uint64_t* retry_after_ms) {
                ticket.cls == QueryClass::kBestEffort) {
       reason = "best-effort class shed under overload";
     } else {
+      // Stride join rule: a class that was idle re-enters at the scheduler's
+      // current virtual time instead of keeping its stale (low) pass —
+      // otherwise a burst after idleness would win a long run of
+      // consecutive dequeues and invert the priorities.
+      if (queues_[c].empty()) {
+        passes_[c] = std::max(passes_[c], global_pass_);
+      }
       queues_[c].push_back(std::move(ticket));
       const size_t new_depth = depth + 1;
       depth_gauge_->Set(static_cast<int64_t>(new_depth));
@@ -108,11 +115,17 @@ bool AdmissionQueue::Take(Ticket* out) {
   }
   *out = std::move(queues_[best].front());
   queues_[best].pop_front();
+  // The dequeued class held the minimum pass, which is the scheduler's
+  // virtual time — classes joining an empty queue start from here.
+  global_pass_ = passes_[best];
   passes_[best] += kStrideScale / std::max<uint32_t>(1, options_.weights[best]);
-  // Keep idle-class passes from falling arbitrarily behind: when every queue
-  // empties, reset so a burst after idleness starts from a level field.
+  // When every queue empties, reset so a burst after full idleness starts
+  // from a level field.
   const size_t depth = TotalDepthLocked();
-  if (depth == 0) passes_ = {0, 0, 0};
+  if (depth == 0) {
+    passes_ = {0, 0, 0};
+    global_pass_ = 0;
+  }
   depth_gauge_->Set(static_cast<int64_t>(depth));
   level_gauge_->Set(static_cast<int>(LevelForDepth(depth)));
   return true;

@@ -127,6 +127,11 @@ class AdmissionQueue {
   std::condition_variable cv_;
   std::array<std::deque<Ticket>, kNumQueryClasses> queues_;
   std::array<uint64_t, kNumQueryClasses> passes_ = {0, 0, 0};
+  /// Scheduler virtual time: pass of the most recently dequeued class.
+  /// A class enqueueing into an empty queue joins at this pass (stride
+  /// join rule), so idle classes cannot bank a stale low pass and later
+  /// burst ahead of higher-priority work.
+  uint64_t global_pass_ = 0;
   bool intake_closed_ = false;
   bool closed_ = false;
 

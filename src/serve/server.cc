@@ -126,7 +126,8 @@ Session::Session(Server* server, uint64_t id)
       id_(id),
       ctx_(std::make_unique<Context>(server->engine_pool_)),
       interp_(std::make_unique<piglet::Interpreter>(ctx_.get(), &out_)) {
-  ctx_->set_job_deadline_ms(server_->options().default_deadline_ms);
+  deadline_ms_.store(server_->options().default_deadline_ms,
+                     std::memory_order_relaxed);
   // Engine-level backpressure: every job this session launches passes the
   // server's admission check. Jobs started after the drain grace are
   // refused outright; under heavy overload (kShedOverhead+) best-effort
@@ -147,16 +148,33 @@ Session::Session(Server* server, uint64_t id)
   interp_->set_session_mode(true);
   interp_->set_set_hook(
       [this](const std::string& key, double value) -> Result<bool> {
-        if (key != "serve.class") return false;
-        const int cls = static_cast<int>(value);
-        if (cls < 0 || cls >= static_cast<int>(kNumQueryClasses) ||
-            static_cast<double>(cls) != value) {
-          return Status::InvalidArgument(
-              "serve: serve.class must be 0 (interactive), 1 (batch) or 2 "
-              "(best-effort)");
+        if (key == "serve.class") {
+          const int cls = static_cast<int>(value);
+          if (cls < 0 || cls >= static_cast<int>(kNumQueryClasses) ||
+              static_cast<double>(cls) != value) {
+            return Status::InvalidArgument(
+                "serve: serve.class must be 0 (interactive), 1 (batch) or 2 "
+                "(best-effort)");
+          }
+          cls_.store(cls);
+          return true;
         }
-        cls_.store(cls);
-        return true;
+        if (key == "job.deadline_ms") {
+          // Session-scoped: record the new deadline for subsequent Submits
+          // (read lock-free from the client thread) and apply it to the
+          // Context so the rest of the current script honors it. The hook
+          // runs on the query worker under run_mu_, the only place ctx_ is
+          // mutated.
+          if (value < 0) {
+            return Status::InvalidArgument(
+                "piglet: job.deadline_ms must be >= 0");
+          }
+          const uint64_t ms = static_cast<uint64_t>(value);
+          deadline_ms_.store(ms, std::memory_order_relaxed);
+          ctx_->set_job_deadline_ms(ms);
+          return true;
+        }
+        return false;
       });
   Metrics().sessions->Set(
       static_cast<int64_t>(++server_->open_sessions_));
@@ -213,7 +231,7 @@ std::future<QueryResult> Server::Submit(Session* session, std::string script) {
   req->session = session;
   req->script = std::move(script);
   req->cls = session->query_class();
-  req->deadline_ms = session->ctx_->job_deadline_ms();
+  req->deadline_ms = session->deadline_ms_.load(std::memory_order_relaxed);
   req->submit_ns = NowNs();
   req->token = std::make_shared<CancelToken>();
   req->promise = std::make_shared<std::promise<QueryResult>>();
@@ -294,24 +312,25 @@ QueryResult Server::RunScript(const std::shared_ptr<Request>& req,
   QueryResult result;
 
   // Per-query engine setup on the session's private Context; everything is
-  // restored before the next query on this session runs.
+  // restored before the next query on this session runs. The Context's
+  // job_deadline_ms is per-query scratch derived from the session-scoped
+  // deadline the request captured at submit (the session-scoped value
+  // itself lives in Session::deadline_ms_, updated only by the SET hook).
   const SpeculationPolicy saved_spec = ctx->speculation_policy();
-  const uint64_t saved_deadline = ctx->job_deadline_ms();
   if (level >= DegradationLevel::kNoSpeculation && saved_spec.enabled) {
     SpeculationPolicy off = saved_spec;
     off.enabled = false;
     ctx->set_speculation_policy(off);
   }
-  uint64_t exec_deadline = saved_deadline;
+  uint64_t exec_deadline = 0;
   if (req->deadline_ms > 0) {
     // The deadline covers queue wait + execution: engine jobs get only
     // what is left of the budget.
     const uint64_t waited_ms = (NowNs() - req->submit_ns) / 1'000'000;
-    const uint64_t remaining =
-        req->deadline_ms > waited_ms ? req->deadline_ms - waited_ms : 1;
-    exec_deadline = std::max<uint64_t>(1, remaining);
-    ctx->set_job_deadline_ms(exec_deadline);
+    exec_deadline = std::max<uint64_t>(
+        1, req->deadline_ms > waited_ms ? req->deadline_ms - waited_ms : 1);
   }
+  ctx->set_job_deadline_ms(exec_deadline);
   ctx->set_job_priority(static_cast<int>(req->cls));
   s->interp_->set_cancel_token(req->token);
 
@@ -339,12 +358,9 @@ QueryResult Server::RunScript(const std::shared_ptr<Request>& req,
 
   s->interp_->set_cancel_token(nullptr);
   ctx->set_job_priority(0);
-  // Restore the pre-query deadline only if the script itself did not
-  // change it: a session-scoped `SET job.deadline_ms` must stick for the
-  // client's subsequent queries.
-  if (ctx->job_deadline_ms() == exec_deadline) {
-    ctx->set_job_deadline_ms(saved_deadline);
-  }
+  // No deadline restore needed: the next query on this session overwrites
+  // the Context deadline from Session::deadline_ms_, which the SET hook
+  // already updated if the script changed it.
   ctx->set_speculation_policy(saved_spec);
 
   if (result.status.IsCancelled()) {

@@ -106,6 +106,13 @@ class Session {
   Server* const server_;
   const uint64_t id_;
   std::atomic<int> cls_{static_cast<int>(QueryClass::kInteractive)};
+  /// Session-scoped total deadline (queue wait + execution) captured by
+  /// Submit for each query. Lives outside the Context because Submit reads
+  /// it from the client thread while a worker executes on ctx_: the
+  /// Context's job_deadline_ms is per-query scratch (remaining budget),
+  /// touched only by the worker under run_mu_. Updated by the `SET
+  /// job.deadline_ms` interpreter hook, so it survives across queries.
+  std::atomic<uint64_t> deadline_ms_{0};
 
   /// Serializes query execution within the session (relations_ etc. are
   /// single-threaded state).

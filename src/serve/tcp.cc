@@ -50,6 +50,12 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
+obs::Gauge* ConnectionsGauge() {
+  static obs::Gauge* const g =
+      obs::DefaultMetrics().GetGauge("serve.tcp.connections");
+  return g;
+}
+
 /// True when \p line's last non-blank character is ';' — the statement
 /// terminator that triggers execution of the buffered script.
 bool EndsStatement(const std::string& line) {
@@ -129,22 +135,27 @@ void TcpFrontend::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  std::vector<int> fds;
-  std::vector<std::thread> threads;
+  // Kick every live connection out of recv(). Holding clients_mu_ makes
+  // this safe against fd recycling: a client thread closes its fd only
+  // inside CloseClient(), under this same lock, and unregisters it in the
+  // same critical section — so every fd still in client_fds_ here is open.
   {
     std::lock_guard<std::mutex> lock(clients_mu_);
-    fds.swap(client_fds_);
-    threads.swap(client_threads_);
+    for (int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
-  for (std::thread& t : threads) {
+  // Join every client thread, finished or still draining.
+  std::unordered_map<uint64_t, std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    threads.swap(client_threads_);
+    finished_threads_.clear();
+  }
+  for (auto& [id, t] : threads) {
     if (t.joinable()) t.join();
   }
 }
 
 void TcpFrontend::AcceptLoop() {
-  static obs::Gauge* const connections =
-      obs::DefaultMetrics().GetGauge("serve.tcp.connections");
   static obs::Counter* const accepted =
       obs::DefaultMetrics().GetCounter("serve.tcp.accepted");
   while (!stopping_.load(std::memory_order_acquire)) {
@@ -155,20 +166,17 @@ void TcpFrontend::AcceptLoop() {
       break;  // listener gone
     }
     accepted->Increment();
+    ReapFinishedThreads();
     std::lock_guard<std::mutex> lock(clients_mu_);
+    const uint64_t id = ++next_client_id_;
     client_fds_.push_back(fd);
-    client_threads_.emplace_back([this, fd] {
-      ClientLoop(fd);
-      connections->Set(static_cast<int64_t>([this] {
-        std::lock_guard<std::mutex> inner(clients_mu_);
-        return client_fds_.size();
-      }()));
-    });
-    connections->Set(static_cast<int64_t>(client_fds_.size()));
+    client_threads_.emplace(id,
+                            std::thread([this, id, fd] { ClientLoop(id, fd); }));
+    ConnectionsGauge()->Set(static_cast<int64_t>(client_fds_.size()));
   }
 }
 
-void TcpFrontend::ClientLoop(int fd) {
+void TcpFrontend::ClientLoop(uint64_t id, int fd) {
   std::unique_ptr<Session> session = server_->OpenSession();
   std::string inbuf;
   std::string script;
@@ -191,21 +199,42 @@ void TcpFrontend::ClientLoop(int fd) {
       QueryResult result = session->Run(script);
       script.clear();
       if (!SendAll(fd, RenderReply(result))) {
-        RemoveClientFd(fd);
-        ::close(fd);
+        CloseClient(id, fd);
         return;
       }
     }
   }
-  // Unregister before close so Stop() never shutdown()s a recycled fd.
-  RemoveClientFd(fd);
-  ::close(fd);
+  CloseClient(id, fd);
 }
 
-void TcpFrontend::RemoveClientFd(int fd) {
+void TcpFrontend::CloseClient(uint64_t id, int fd) {
   std::lock_guard<std::mutex> lock(clients_mu_);
   client_fds_.erase(std::remove(client_fds_.begin(), client_fds_.end(), fd),
                     client_fds_.end());
+  // Unregister and close atomically w.r.t. Stop()'s shutdown() sweep, which
+  // runs under the same lock — the fd cannot be recycled out from under it.
+  ::close(fd);
+  finished_threads_.push_back(id);
+  ConnectionsGauge()->Set(static_cast<int64_t>(client_fds_.size()));
+}
+
+void TcpFrontend::ReapFinishedThreads() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    for (const uint64_t id : finished_threads_) {
+      auto it = client_threads_.find(id);
+      if (it == client_threads_.end()) continue;  // already taken by Stop()
+      done.push_back(std::move(it->second));
+      client_threads_.erase(it);
+    }
+    finished_threads_.clear();
+  }
+  // A finished thread's last touch of `this` is the locked push of its id
+  // in CloseClient, so joining here (outside the lock) cannot deadlock.
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
 }
 
 }  // namespace serve

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
@@ -49,8 +50,16 @@ class TcpFrontend {
 
  private:
   void AcceptLoop();
-  void ClientLoop(int fd);
-  void RemoveClientFd(int fd);
+  void ClientLoop(uint64_t id, int fd);
+  /// Connection epilogue, called by the owning client thread: unregisters
+  /// and closes \p fd and marks thread \p id reapable. fd close happens
+  /// under clients_mu_ — the same lock Stop() holds while it shutdown()s
+  /// registered fds — so Stop() can never act on a recycled descriptor.
+  void CloseClient(uint64_t id, int fd);
+  /// Joins client threads that have finished (reaped by the accept loop as
+  /// new connections arrive, and by Stop()), so a long-lived frontend does
+  /// not accumulate dead thread handles.
+  void ReapFinishedThreads();
 
   Server* const server_;
   uint16_t port_;
@@ -60,7 +69,9 @@ class TcpFrontend {
 
   std::mutex clients_mu_;
   std::vector<int> client_fds_;
-  std::vector<std::thread> client_threads_;
+  std::unordered_map<uint64_t, std::thread> client_threads_;
+  std::vector<uint64_t> finished_threads_;
+  uint64_t next_client_id_ = 0;
 };
 
 }  // namespace serve

@@ -66,7 +66,8 @@ TEST_F(ServeFaultTest, ConcurrentServingSurvivesWorkerDeathAndTaskFaults) {
     while (!stop.load()) {
       std::vector<stream::StreamEvent> batch;
       for (int i = 0; i < 5; ++i) {
-        batch.push_back(PointEvent(next_id++, 5.0, 5.0, next_id));
+        const int64_t id = next_id++;
+        batch.push_back(PointEvent(id, 5.0, 5.0, id));
       }
       EXPECT_TRUE(catalog_.Ingest("events", std::move(batch)).ok());
     }

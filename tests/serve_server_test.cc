@@ -6,6 +6,7 @@
 // protocol.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <sstream>
@@ -97,6 +98,46 @@ class ServeTest : public ::testing::Test {
   Catalog catalog_;
 };
 
+// Regression: a class that sat idle under sustained load must not bank a
+// stale low stride pass — when it re-enters a previously-empty queue it
+// joins at the scheduler's current virtual time, so a best-effort burst
+// cannot win a run of consecutive dequeues ahead of interactive work.
+TEST(AdmissionQueueTest, IdleClassJoinsAtCurrentVirtualTime) {
+  SchedulerOptions options;
+  AdmissionQueue queue(options);
+  auto offer = [&](QueryClass cls) {
+    Ticket t;
+    t.cls = cls;
+    t.run = [] {};
+    ASSERT_TRUE(queue.Offer(std::move(t)).ok());
+  };
+
+  // Sustained interactive load: 40 dequeues with the queue never draining,
+  // so passes are never reset while best-effort sits idle at pass 0.
+  Ticket taken;
+  offer(QueryClass::kInteractive);
+  for (int i = 0; i < 40; ++i) {
+    offer(QueryClass::kInteractive);
+    ASSERT_TRUE(queue.Take(&taken));
+    ASSERT_EQ(taken.cls, QueryClass::kInteractive);
+  }
+
+  // Best-effort bursts in behind the interactive backlog.
+  for (int i = 0; i < 8; ++i) offer(QueryClass::kBestEffort);
+  for (int i = 0; i < 8; ++i) offer(QueryClass::kInteractive);
+
+  // Weighted fairness must hold from the first dequeue: with weights 8:1,
+  // interactive dominates immediately; a stale best-effort pass would
+  // instead win the first several dequeues outright.
+  size_t best_effort = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.Take(&taken));
+    if (taken.cls == QueryClass::kBestEffort) ++best_effort;
+  }
+  EXPECT_LE(best_effort, 1u);
+  queue.Close();
+}
+
 TEST_F(ServeTest, SnapshotQueryMatchesSerialExecution) {
   ServerOptions options;
   options.query_threads = 2;
@@ -110,6 +151,42 @@ TEST_F(ServeTest, SnapshotQueryMatchesSerialExecution) {
   EXPECT_GT(result.epoch, 0u);
   EXPECT_FALSE(result.output.empty());
   EXPECT_EQ(SortedLines(result.output), SortedLines(Serial(kFilterScript)));
+
+  server.Shutdown();
+}
+
+// Regression: a relation derived from a snapshot relation by an operator
+// that changes its row set (general-expression FILTER, LIMIT) must not keep
+// the snapshot binding — a subsequent spatial FILTER would otherwise take
+// the snapshot fast path, probe the full R-tree, and resurrect rows the
+// intermediate operator removed.
+TEST_F(ServeTest, DerivedRelationDropsSnapshotFastPath) {
+  ServerOptions options;
+  options.query_threads = 1;
+  Server server(&catalog_, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::unique_ptr<Session> session = server.OpenSession();
+
+  // FILTER by category, then spatially: no "even" row may survive.
+  QueryResult result = session->Run(
+      "odds = FILTER events BY category == 'odd';\n"
+      "hits = FILTER odds BY INTERSECTS('POLYGON((1.5 1.5, 6.5 1.5, "
+      "6.5 6.5, 1.5 6.5, 1.5 1.5))', 0, 100);\n"
+      "DUMP hits;\n");
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_FALSE(result.output.empty());
+  for (const std::string& line : SortedLines(result.output)) {
+    EXPECT_EQ(line.find("even"), std::string::npos) << line;
+  }
+
+  // LIMIT, then an all-covering spatial filter: at most 1 row out.
+  QueryResult limited = session->Run(
+      "one = LIMIT events 1;\n"
+      "hits = FILTER one BY INTERSECTS('POLYGON((-1 -1, 11 -1, 11 11, "
+      "-1 11, -1 -1))', 0, 100);\n"
+      "DUMP hits;\n");
+  ASSERT_TRUE(limited.status.ok()) << limited.status.ToString();
+  EXPECT_LE(SortedLines(limited.output).size(), 1u);
 
   server.Shutdown();
 }
@@ -208,6 +285,32 @@ TEST_F(ServeTest, OverloadShedsWithTypedStatusAndRetryHint) {
   }
   EXPECT_EQ(ok + shed, kSubmitted);
   EXPECT_GT(shed, 0u);
+  server.Shutdown();
+}
+
+// Regression (TSan): concurrent Submits on one session while queries from
+// the same session execute on workers — Submit captures the session-scoped
+// deadline lock-free while RunScript rewrites the Context's per-query
+// remaining-budget deadline, so the two must not share a plain field.
+TEST_F(ServeTest, ConcurrentSubmitsOnOneSessionWithDeadline) {
+  ServerOptions options;
+  options.query_threads = 2;
+  options.engine_threads = 2;
+  Server server(&catalog_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::unique_ptr<Session> session = server.OpenSession();
+  ASSERT_TRUE(session->Run("SET job.deadline_ms 200;").status.ok());
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(session->Submit(kFilterScript));
+  }
+  for (std::future<QueryResult>& f : futures) {
+    const QueryResult r = f.get();
+    EXPECT_TRUE(r.status.ok() || r.status.IsDeadlineExceeded() ||
+                r.status.IsResourceExhausted() || r.status.IsCancelled())
+        << r.status.ToString();
+  }
   server.Shutdown();
 }
 
@@ -316,7 +419,8 @@ TEST_F(ServeTest, IngestDuringQueriesKeepsReadersConsistent) {
     while (!stop.load()) {
       std::vector<stream::StreamEvent> batch;
       for (int i = 0; i < 10; ++i) {
-        batch.push_back(PointEvent(next_id++, 3.0, 3.0, next_id));
+        const int64_t id = next_id++;
+        batch.push_back(PointEvent(id, 3.0, 3.0, id));
       }
       ASSERT_TRUE(catalog_.Ingest("events", std::move(batch)).ok());
     }
@@ -415,6 +519,59 @@ TEST_F(ServeTest, TcpProtocolServesQueriesAndTypedErrors) {
   EXPECT_EQ(bad[0].rfind("-ERR ", 0), 0u) << bad[0];
 
   frontend.Stop();
+  server.Shutdown();
+}
+
+// Regression: connection churn and teardown ownership. Handler threads of
+// closed connections are reaped as later connections arrive (a long-lived
+// frontend must not accumulate dead thread handles), and clients
+// connecting/closing concurrently with Stop() must never wedge the
+// frontend or let it act on a recycled descriptor — CloseClient() closes
+// fds under the same lock Stop() uses for its shutdown() sweep.
+TEST_F(ServeTest, TcpConnectionChurnAndConcurrentStop) {
+  ServerOptions options;
+  options.query_threads = 2;
+  Server server(&catalog_, options);
+  ASSERT_TRUE(server.Start().ok());
+  TcpFrontend frontend(&server, 0);
+  ASSERT_TRUE(frontend.Start().ok());
+  const uint16_t port = frontend.port();
+
+  // Sequential churn: each round trip is a fresh connection.
+  for (int i = 0; i < 12; ++i) {
+    const std::vector<std::string> replies =
+        TcpRoundTrip(port, "DESCRIBE events;\n", 1);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].rfind("+OK ", 0), 0u) << replies[0];
+  }
+
+  // Concurrent churn racing Stop().
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load()) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) return;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+          const char q[] = "DESCRIBE events;\n";
+          (void)::send(fd, q, sizeof(q) - 1, MSG_NOSIGNAL);
+          char buf[256];
+          (void)::recv(fd, buf, sizeof(buf), 0);
+        }
+        ::close(fd);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  frontend.Stop();
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
   server.Shutdown();
 }
 
