@@ -1,0 +1,303 @@
+/// \file bench_columnar.cc
+/// Columnar-vs-object data plane comparison (ROADMAP item 5): the same
+/// filter and join workloads executed twice in one process, once through
+/// the SoA slab + batched-kernel path and once with the columnar plane
+/// kill-switched off, so the speedup is measured against the exact scalar
+/// code the kernels replaced.
+///
+/// `bench_columnar --smoke` runs the fast self-checking mode: both planes
+/// must return bit-identical filter rows and equal join counts, the
+/// columnar counters (engine.columnar.batches/rows/fallbacks/slab_reuse)
+/// must all advance, and the columnar filter must be no slower than the
+/// object filter (ratio <= 1.0, with a small absolute slack for
+/// sub-millisecond jitter). Pass `--json=<path>` to write the timings for
+/// the checked-in BENCH_10.json snapshot.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "core/columnar.h"
+#include "core/st_serde.h"
+#include "partition/grid_partitioner.h"
+#include "spatial_rdd/join.h"
+#include "spatial_rdd/spatial_rdd.h"
+
+namespace stark {
+namespace {
+
+size_t N() { return bench::EnvSize("STARK_BENCH_COLUMNAR_N", 400'000); }
+
+Context* Ctx() {
+  static Context ctx;
+  return &ctx;
+}
+
+using Rdd = SpatialRDD<int64_t>;
+using E = std::pair<STObject, int64_t>;
+
+/// The workload the columnar plane targets: a dominant point population
+/// (every 200th row is a polygon, so the mixed-batch fallback merge runs
+/// too) with a mix of untimed and instant-stamped rows.
+std::vector<E> MakeData() {
+  static bench::TraceFromEnv trace_guard;
+  bench::ScopedStage stage("columnar.make_data");
+  auto points = bench::BenchPoints(N());
+  auto polygons = bench::BenchPolygons(std::max<size_t>(N() / 200, 1));
+  std::vector<E> data;
+  data.reserve(points.size() + polygons.size());
+  int64_t id = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i % 3 == 0) {
+      data.emplace_back(
+          STObject(points[i].geo(), static_cast<Instant>(i % 1000)),
+          id++);
+    } else {
+      data.emplace_back(std::move(points[i]), id++);
+    }
+  }
+  for (auto& poly : polygons) data.emplace_back(std::move(poly), id++);
+  return data;
+}
+
+const Rdd& Partitioned() {
+  static const Rdd rdd = [] {
+    auto grid = std::make_shared<GridPartitioner>(bench::BenchUniverse(), 4);
+    return Rdd::FromVector(Ctx(), MakeData()).PartitionBy(grid).Cache();
+  }();
+  return rdd;
+}
+
+/// Small polygon side for the broadcast join.
+const Rdd& SmallPolygons() {
+  static const Rdd rdd = [] {
+    auto polys = bench::BenchPolygons(200, /*seed=*/77);
+    std::vector<E> data;
+    data.reserve(polys.size());
+    for (size_t i = 0; i < polys.size(); ++i) {
+      data.emplace_back(std::move(polys[i]), static_cast<int64_t>(i));
+    }
+    return Rdd::FromVector(Ctx(), std::move(data), 4).Cache();
+  }();
+  return rdd;
+}
+
+STObject Query() {
+  return STObject(Geometry::MakeBox(Envelope(20, 20, 35, 35)));
+}
+
+std::pair<int64_t, int64_t> ProjectIds(const E& l, const E& r) {
+  return {l.second, r.second};
+}
+
+size_t RunFilterCount() {
+  return Partitioned().Intersects(Query()).Count();
+}
+
+size_t RunBroadcastJoinCount() {
+  JoinOptions options;
+  options.index_order = 10;
+  // Force the broadcast strategy: the polygon side is tiny by design.
+  options.broadcast_threshold = 10'000;
+  return SpatialJoinProject(Partitioned(), SmallPolygons(),
+                            JoinPredicate::Intersects(), options, ProjectIds)
+      .Count();
+}
+
+size_t RunLiveJoinCount() {
+  JoinOptions options;
+  options.index_order = 10;
+  options.broadcast_threshold = 0;  // partition-pair strategy
+  return SpatialJoinProject(Partitioned(), SmallPolygons(),
+                            JoinPredicate::Intersects(), options, ProjectIds)
+      .Count();
+}
+
+void BM_Filter_Columnar(benchmark::State& state) {
+  columnar::SetEnabled(true);
+  for (auto _ : state) benchmark::DoNotOptimize(RunFilterCount());
+}
+BENCHMARK(BM_Filter_Columnar)->Unit(benchmark::kMillisecond);
+
+void BM_Filter_Object(benchmark::State& state) {
+  columnar::SetEnabled(false);
+  for (auto _ : state) benchmark::DoNotOptimize(RunFilterCount());
+  columnar::SetEnabled(true);
+}
+BENCHMARK(BM_Filter_Object)->Unit(benchmark::kMillisecond);
+
+void BM_BroadcastJoin_Columnar(benchmark::State& state) {
+  columnar::SetEnabled(true);
+  for (auto _ : state) benchmark::DoNotOptimize(RunBroadcastJoinCount());
+}
+BENCHMARK(BM_BroadcastJoin_Columnar)->Unit(benchmark::kMillisecond);
+
+void BM_BroadcastJoin_Object(benchmark::State& state) {
+  columnar::SetEnabled(false);
+  for (auto _ : state) benchmark::DoNotOptimize(RunBroadcastJoinCount());
+  columnar::SetEnabled(true);
+}
+BENCHMARK(BM_BroadcastJoin_Object)->Unit(benchmark::kMillisecond);
+
+// ---- --smoke / --json mode ------------------------------------------------
+
+double MedianOf(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+std::string RowBytes(const E& e) {
+  BinaryWriter w;
+  WriteSTObject(&w, e.first);
+  w.WriteI64(e.second);
+  return std::string(w.buffer().data(), w.buffer().size());
+}
+
+int RunSmoke(const std::string& json_path) {
+  // Shrink the workload unless the caller pinned a size explicitly.
+  setenv("STARK_BENCH_COLUMNAR_N", "60000", /*overwrite=*/0);
+  const obs::MetricsRegistry::Snapshot metrics_before =
+      obs::DefaultMetrics().Snap();
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    std::fprintf(stderr, "[smoke] %s: %s\n", what, ok ? "ok" : "FAILED");
+    if (!ok) ++failures;
+  };
+
+  const ColumnarMetricSet& cm = GlobalColumnarMetrics();
+  const uint64_t batches_before = cm.batches->Value();
+  const uint64_t rows_before = cm.rows->Value();
+  const uint64_t fallbacks_before = cm.fallbacks->Value();
+  const uint64_t reuse_before = cm.slab_reuse->Value();
+
+  // Bit-identity: the same filter, both planes, full rows compared by
+  // serialized bytes (payload included) in emission order.
+  columnar::SetEnabled(true);
+  const std::vector<E> col_rows =
+      Partitioned().Filter(Query(), JoinPredicate::Intersects()).Collect();
+  columnar::SetEnabled(false);
+  const std::vector<E> obj_rows =
+      Partitioned().Filter(Query(), JoinPredicate::Intersects()).Collect();
+  columnar::SetEnabled(true);
+  std::fprintf(stderr, "[smoke] filter results: columnar=%zu object=%zu\n",
+               col_rows.size(), obj_rows.size());
+  bool identical = col_rows.size() == obj_rows.size();
+  for (size_t i = 0; identical && i < col_rows.size(); ++i) {
+    identical = RowBytes(col_rows[i]) == RowBytes(obj_rows[i]);
+  }
+  check(identical, "filter rows bit-identical across planes");
+
+  // Join agreement on both strategies (broadcast builds the small-side
+  // slab; partition-pair builds per-partition slabs).
+  const size_t bc_col = RunBroadcastJoinCount();
+  const size_t live_col = RunLiveJoinCount();
+  columnar::SetEnabled(false);
+  const size_t bc_obj = RunBroadcastJoinCount();
+  const size_t live_obj = RunLiveJoinCount();
+  columnar::SetEnabled(true);
+  std::fprintf(stderr,
+               "[smoke] join results: broadcast=%zu/%zu live=%zu/%zu "
+               "(columnar/object)\n",
+               bc_col, bc_obj, live_col, live_obj);
+  check(bc_col == bc_obj, "broadcast join counts agree across planes");
+  check(live_col == live_obj, "partition-pair join counts agree across planes");
+
+  check(cm.batches->Value() > batches_before,
+        "slabs built (engine.columnar.batches advanced)");
+  check(cm.rows->Value() > rows_before,
+        "batch kernels ran (engine.columnar.rows advanced)");
+  check(cm.fallbacks->Value() > fallbacks_before,
+        "mixed-batch fallback ran (engine.columnar.fallbacks advanced)");
+
+  // Repeating the filter must hit the cached partition slabs.
+  const uint64_t reuse_mark = cm.slab_reuse->Value();
+  RunFilterCount();
+  check(cm.slab_reuse->Value() > reuse_mark,
+        "repeat filter reused slabs (engine.columnar.slab_reuse advanced)");
+
+  // Median-of-5 filter timings, interleaved so noise hits both planes
+  // alike. The columnar plane must not lose to the object plane it
+  // replaced; a small absolute slack absorbs sub-millisecond jitter.
+  std::vector<double> col_s, obj_s;
+  for (int i = 0; i < 5; ++i) {
+    columnar::SetEnabled(true);
+    Stopwatch w;
+    RunFilterCount();
+    col_s.push_back(w.ElapsedSeconds());
+    columnar::SetEnabled(false);
+    w.Restart();
+    RunFilterCount();
+    obj_s.push_back(w.ElapsedSeconds());
+    columnar::SetEnabled(true);
+  }
+  const double col_med = MedianOf(col_s);
+  const double obj_med = MedianOf(obj_s);
+  const double ratio = obj_med > 0 ? col_med / obj_med : 0.0;
+  std::fprintf(stderr,
+               "[smoke] median filter time: columnar=%.4fs object=%.4fs "
+               "(ratio %.3f)\n",
+               col_med, obj_med, ratio);
+  check(col_med <= obj_med + 0.002,
+        "columnar filter <= 1.0x object filter");
+
+  // Join timings (reported, not gated: join cost is dominated by tree
+  // probes and pair emission, so the refinement win is a smaller slice).
+  std::vector<double> jcol_s, jobj_s;
+  for (int i = 0; i < 3; ++i) {
+    columnar::SetEnabled(true);
+    Stopwatch w;
+    RunBroadcastJoinCount();
+    jcol_s.push_back(w.ElapsedSeconds());
+    columnar::SetEnabled(false);
+    w.Restart();
+    RunBroadcastJoinCount();
+    jobj_s.push_back(w.ElapsedSeconds());
+    columnar::SetEnabled(true);
+  }
+
+  if (!json_path.empty()) {
+    bench::JsonReport report;
+    report.Add("columnar.n", static_cast<double>(N()));
+    report.Add("columnar.filter_results",
+               static_cast<double>(col_rows.size()));
+    report.Add("columnar.filter_columnar_s", col_med);
+    report.Add("columnar.filter_object_s", obj_med);
+    report.Add("columnar.filter_ratio", ratio);
+    report.Add("columnar.join_results", static_cast<double>(bc_col));
+    report.Add("columnar.join_columnar_s", MedianOf(jcol_s));
+    report.Add("columnar.join_object_s", MedianOf(jobj_s));
+    report.Add("columnar.rows",
+               static_cast<double>(cm.rows->Value() - rows_before));
+    report.Add("columnar.fallbacks",
+               static_cast<double>(cm.fallbacks->Value() - fallbacks_before));
+    report.Add("columnar.batches",
+               static_cast<double>(cm.batches->Value() - batches_before));
+    report.Add("columnar.slab_reuse",
+               static_cast<double>(cm.slab_reuse->Value() - reuse_before));
+    report.AddMetricsDelta(metrics_before);
+    report.WriteTo(json_path);
+  }
+
+  std::fprintf(stderr, "[smoke] %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace stark
+
+int main(int argc, char** argv) {
+  const std::string json = stark::bench::JsonPathFromArgs(argc, argv);
+  if (stark::bench::SmokeRequested(argc, argv) || !json.empty()) {
+    return stark::RunSmoke(json);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

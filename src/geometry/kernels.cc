@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geometry/prepared.h"
+#include "temporal/interval.h"
+
 namespace stark {
 
 namespace {
@@ -100,6 +103,108 @@ size_t FilterEnvelopesBatch(const EnvelopeSoA& envs, const Envelope& query,
       envs.max_y.data(), envs.size(), query.min_x(), query.min_y(),
       query.max_x(), query.max_y(), out->data() + base);
   out->resize(base + n);
+  return n;
+}
+
+size_t RefineIntersectsBatch(const PreparedGeometry& prep, const double* px,
+                             const double* py, const uint32_t* cand,
+                             size_t count, uint32_t* out) {
+  size_t n = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t j = cand[i];
+    const bool hit = prep.IntersectsPoint({px[j], py[j]});
+    out[n] = j;
+    n += static_cast<size_t>(hit);
+  }
+  return n;
+}
+
+size_t RefineContainsBatch(const PreparedGeometry& prep, const double* px,
+                           const double* py, const uint32_t* cand,
+                           size_t count, uint32_t* out) {
+  size_t n = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t j = cand[i];
+    const bool hit = prep.ContainsPoint({px[j], py[j]});
+    out[n] = j;
+    n += static_cast<size_t>(hit);
+  }
+  return n;
+}
+
+size_t RefineContainedByBatch(const PreparedGeometry& prep, const double* px,
+                              const double* py, const uint32_t* cand,
+                              size_t count, uint32_t* out) {
+  size_t n = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t j = cand[i];
+    const bool hit = prep.ContainedByPoint({px[j], py[j]});
+    out[n] = j;
+    n += static_cast<size_t>(hit);
+  }
+  return n;
+}
+
+size_t RefineWithinDistanceBatch(const PreparedGeometry& prep,
+                                 const double* px, const double* py,
+                                 const uint32_t* cand, size_t count,
+                                 double max_distance, uint32_t* out) {
+  size_t n = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t j = cand[i];
+    // <= mirrors JoinPredicate::Eval; a NaN distance (NaN inputs) compares
+    // false, so poisoned rows drop out exactly like the scalar path.
+    const bool hit = prep.DistanceFromPoint({px[j], py[j]}) <= max_distance;
+    out[n] = j;
+    n += static_cast<size_t>(hit);
+  }
+  return n;
+}
+
+size_t TemporalOverlapBatch(const int64_t* t_start, const int64_t* t_end,
+                            const uint8_t* has_time, bool query_has_time,
+                            int64_t query_start, int64_t query_end,
+                            TemporalPredicate pred, bool query_is_left,
+                            const uint32_t* cand, size_t count,
+                            uint32_t* out) {
+  const bool qt = query_has_time;
+  size_t n = 0;
+  // The predicate dispatch and operand orientation are loop-invariant, so
+  // each case runs its own branch-free compaction loop. `ok` replicates
+  // TemporalInterval::Intersects / Contains with non-short-circuit &.
+  switch (pred) {
+    case TemporalPredicate::kIntersects:
+      for (size_t i = 0; i < count; ++i) {
+        const uint32_t j = cand[i];
+        const bool rt = has_time[j] != 0;
+        const bool ok =
+            (t_start[j] <= query_end) & (query_start <= t_end[j]);
+        const bool hit = (!rt & !qt) | (rt & qt & ok);
+        out[n] = j;
+        n += static_cast<size_t>(hit);
+      }
+      break;
+    case TemporalPredicate::kContains:
+    case TemporalPredicate::kContainedBy: {
+      // Normalize to "a contains b". kContainedBy flips the operands, and
+      // query_is_left flips them again, so the row sits on the container
+      // side iff exactly one flip applies.
+      const bool row_contains =
+          (pred == TemporalPredicate::kContains) != query_is_left;
+      for (size_t i = 0; i < count; ++i) {
+        const uint32_t j = cand[i];
+        const bool rt = has_time[j] != 0;
+        const bool ok =
+            row_contains
+                ? (t_start[j] <= query_start) & (query_end <= t_end[j])
+                : (query_start <= t_start[j]) & (t_end[j] <= query_end);
+        const bool hit = (!rt & !qt) | (rt & qt & ok);
+        out[n] = j;
+        n += static_cast<size_t>(hit);
+      }
+      break;
+    }
+  }
   return n;
 }
 

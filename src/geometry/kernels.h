@@ -117,6 +117,73 @@ inline size_t FilterEnvelopesBatch(const double* min_x, const double* min_y,
 size_t FilterEnvelopesBatch(const EnvelopeSoA& envs, const Envelope& query,
                             std::vector<uint32_t>* out);
 
+// ---------------------------------------------------------------------------
+// Batched refinement kernels (columnar data plane)
+// ---------------------------------------------------------------------------
+//
+// These kernels consume ColumnarBatch slabs directly: \p px / \p py are the
+// per-row representative-point arrays and \p cand is a list of row indices
+// (typically the survivors of FilterEnvelopesBatch). Each kernel writes the
+// surviving indices to \p out (which must have room for \p count entries),
+// preserving the input candidate order, and returns how many survived. Like
+// FilterEnvelopesBatch, the loops are compaction-style — the hit bit advances
+// the output cursor instead of being taken as a branch — so selectivity
+// changes never cost mispredictions in the loop itself.
+//
+// Exactness contract: each spatial kernel evaluates the *same arithmetic* as
+// the corresponding PreparedGeometry point predicate (which in turn is
+// bit-identical to the plain predicates), so batch and scalar refinement
+// agree on every row, including NaN coordinates. The kernels are only valid
+// for rows whose geometry is a single point; callers route non-point rows
+// through the scalar fallback.
+
+class PreparedGeometry;
+enum class TemporalPredicate;
+
+/// Keeps candidates whose point intersects prep's geometry — row i survives
+/// iff `prep.IntersectsPoint({px[i], py[i]})`, i.e. exactly
+/// `Intersects(MakePoint(p), prep.geometry())`.
+size_t RefineIntersectsBatch(const PreparedGeometry& prep, const double* px,
+                             const double* py, const uint32_t* cand,
+                             size_t count, uint32_t* out);
+
+/// Keeps candidates whose point is contained in prep's geometry — row i
+/// survives iff `prep.ContainsPoint(p)`, i.e. `Contains(prep.geometry(), p)`.
+size_t RefineContainsBatch(const PreparedGeometry& prep, const double* px,
+                           const double* py, const uint32_t* cand,
+                           size_t count, uint32_t* out);
+
+/// Keeps candidates whose point contains prep's geometry (only possible when
+/// prep is itself point-like) — row i survives iff
+/// `prep.ContainedByPoint(p)`, i.e. `Contains(MakePoint(p), prep.geometry())`.
+size_t RefineContainedByBatch(const PreparedGeometry& prep, const double* px,
+                              const double* py, const uint32_t* cand,
+                              size_t count, uint32_t* out);
+
+/// Keeps candidates whose point lies within \p max_distance of prep's
+/// geometry — row i survives iff `prep.DistanceFromPoint(p) <= max_distance`
+/// (identical doubles to `Distance(MakePoint(p), prep.geometry())`).
+size_t RefineWithinDistanceBatch(const PreparedGeometry& prep,
+                                 const double* px, const double* py,
+                                 const uint32_t* cand, size_t count,
+                                 double max_distance, uint32_t* out);
+
+/// \brief Branchless combined-temporal batch kernel over timestamp slabs.
+///
+/// Implements the temporal half of the paper's combined rule (formulas
+/// (1)-(3)) for one fixed query interval against a batch: a row survives iff
+/// both sides are untimed, or both are timed and the temporal predicate
+/// holds between them. A timed/untimed mix never survives. Rows are timed
+/// when `has_time[i] != 0`; the t_start/t_end slab values of untimed rows
+/// are ignored. \p query_is_left picks which operand the query interval
+/// fills in EvalTemporalPredicate(pred, left, right); kIntersects is
+/// symmetric, kContains/kContainedBy are not.
+size_t TemporalOverlapBatch(const int64_t* t_start, const int64_t* t_end,
+                            const uint8_t* has_time, bool query_has_time,
+                            int64_t query_start, int64_t query_end,
+                            TemporalPredicate pred, bool query_is_left,
+                            const uint32_t* cand, size_t count, uint32_t* out);
+
 }  // namespace stark
 
 #endif  // STARK_GEOMETRY_KERNELS_H_

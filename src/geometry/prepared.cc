@@ -227,6 +227,66 @@ bool PreparedGeometry::ContainedBy(const Geometry& other) const {
   return true;
 }
 
+namespace {
+
+/// The envelope a point Geometry would carry: grown from the empty envelope
+/// with ExpandToInclude, so a NaN coordinate yields the *empty* sentinel
+/// (exactly like Geometry's constructor), not a NaN-filled box.
+Envelope PointEnvelope(const Coordinate& p) {
+  Envelope env;
+  env.ExpandToInclude(p);
+  return env;
+}
+
+}  // namespace
+
+bool PreparedGeometry::IntersectsPoint(const Coordinate& p) const {
+  const Impl& im = *impl_;
+  // Mirrors IntersectedBy(MakePoint(p)): envelope prefilter, then the
+  // single point part against every own part in order.
+  if (!PointEnvelope(p).Intersects(im.geo->envelope())) return false;
+  const SimplePart pa{GeometryType::kPoint, p, nullptr, nullptr};
+  for (size_t k = 0; k < im.parts.size(); ++k) {
+    if (im.IntersectsPart(pa, k)) return true;
+  }
+  return false;
+}
+
+bool PreparedGeometry::ContainsPoint(const Coordinate& p) const {
+  const Impl& im = *impl_;
+  // Mirrors Contains(MakePoint(p)): the point must be covered by some part.
+  if (!im.geo->envelope().Contains(PointEnvelope(p))) return false;
+  const SimplePart pb{GeometryType::kPoint, p, nullptr, nullptr};
+  for (size_t k = 0; k < im.parts.size(); ++k) {
+    if (im.PartContains(k, pb)) return true;
+  }
+  return false;
+}
+
+bool PreparedGeometry::ContainedByPoint(const Coordinate& p) const {
+  const Impl& im = *impl_;
+  // Mirrors ContainedBy(MakePoint(p)): every own part must be covered by
+  // the point (only point-like own parts can be).
+  if (!PointEnvelope(p).Contains(im.geo->envelope())) return false;
+  const SimplePart pa{GeometryType::kPoint, p, nullptr, nullptr};
+  for (const SimplePart& pb : im.parts) {
+    if (!pred_internal::ContainsSimple(pa, pb)) return false;
+  }
+  return true;
+}
+
+double PreparedGeometry::DistanceFromPoint(const Coordinate& p) const {
+  const Impl& im = *impl_;
+  // Mirrors DistanceFrom(MakePoint(p)): same part order, same early exit.
+  double best = std::numeric_limits<double>::infinity();
+  const SimplePart pa{GeometryType::kPoint, p, nullptr, nullptr};
+  for (size_t k = 0; k < im.parts.size(); ++k) {
+    best = std::min(best, im.DistanceToPart(pa, k));
+    if (best == 0.0) break;
+  }
+  return best;
+}
+
 double PreparedGeometry::DistanceFrom(const Geometry& other) const {
   const Impl& im = *impl_;
   // Mirrors Distance(other, geometry()): same pair order, same early exit.

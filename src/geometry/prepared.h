@@ -59,6 +59,24 @@ class PreparedGeometry {
   /// part iteration order.
   double DistanceFrom(const Geometry& other) const;
 
+  // -- Point specializations (columnar batch kernels) ----------------------
+  //
+  // Each is bit-identical to the generic method applied to MakePoint(p),
+  // but reads the coordinate straight from a slab without materializing a
+  // Geometry — the per-row cost the batched refinement kernels rely on.
+
+  /// Equivalent to IntersectedBy(Geometry::MakePoint(p)).
+  bool IntersectsPoint(const Coordinate& p) const;
+
+  /// Equivalent to Contains(Geometry::MakePoint(p)).
+  bool ContainsPoint(const Coordinate& p) const;
+
+  /// Equivalent to ContainedBy(Geometry::MakePoint(p)).
+  bool ContainedByPoint(const Coordinate& p) const;
+
+  /// Equivalent to DistanceFrom(Geometry::MakePoint(p)).
+  double DistanceFromPoint(const Coordinate& p) const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

@@ -224,6 +224,19 @@ Result<Geometry> ParseWkt(std::string_view text) {
   return result;
 }
 
+bool ParsePointWkt(std::string_view text, double* x, double* y) {
+  WktScanner scan(text);
+  if (scan.ReadKeyword() != "POINT") return false;
+  if (!scan.Consume('(')) return false;
+  Result<Coordinate> c = scan.ReadCoordinate();
+  if (!c.ok()) return false;
+  if (!scan.Consume(')')) return false;
+  if (!scan.AtEnd()) return false;  // same trailing-bytes rule as ParseWkt
+  *x = c.ValueOrDie().x;
+  *y = c.ValueOrDie().y;
+  return true;
+}
+
 std::string WriteWkt(const Geometry& geometry) {
   std::string out = GeometryTypeName(geometry.type());
   out.push_back(' ');

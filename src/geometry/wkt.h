@@ -17,6 +17,13 @@ namespace stark {
 /// rejected with ParseError (STARK has no empty-geometry semantics).
 Result<Geometry> ParseWkt(std::string_view text);
 
+/// Fast-path scanner for the dominant `POINT (x y)` case of the event
+/// schema: on success stores the coordinate and returns true; any other
+/// input (other types, malformed text, trailing bytes) returns false so the
+/// caller falls back to ParseWkt. Uses the same number parsing as ParseWkt,
+/// so an accepted coordinate is bit-identical to the full parser's result.
+bool ParsePointWkt(std::string_view text, double* x, double* y);
+
 /// Serializes \p geometry to canonical WKT.
 std::string WriteWkt(const Geometry& geometry);
 

@@ -21,12 +21,24 @@
 #include "common/macros.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "core/columnar.h"
 #include "index/packed_rtree.h"
 #include "serve/snapshot_registry.h"
 #include "stream/event.h"
 
 namespace stark {
 namespace serve {
+
+/// \brief Lazily-built columnar companion of one dataset epoch.
+///
+/// The slab is built on the first spatial FILTER against the snapshot and
+/// shared by every later reader of the same epoch
+/// (engine.columnar.slab_reuse); epochs are immutable, so the batch never
+/// invalidates. The mutex only guards the build-once handoff.
+struct SnapshotColumnar {
+  std::mutex mu;
+  std::shared_ptr<const ColumnarBatch> batch;
+};
 
 /// \brief One immutable published version of a dataset.
 ///
@@ -37,6 +49,10 @@ struct DatasetSnapshot {
   uint64_t version = 0;
   std::shared_ptr<const std::vector<stream::StreamEvent>> events;
   std::shared_ptr<const PackedRTree<uint32_t>> tree;
+  /// Columnar slab cache for this epoch (never null; batch inside is built
+  /// on first use). Not part of the torn-swap consistency contract.
+  std::shared_ptr<SnapshotColumnar> columnar =
+      std::make_shared<SnapshotColumnar>();
 
   /// Internal-consistency check used by the snapshot hammer test: a torn
   /// publication (events from one version, tree from another) trips this.

@@ -1,0 +1,187 @@
+/// \file columnar_refine.h
+/// Bridges JoinPredicate semantics onto the columnar batch kernels: given a
+/// candidate list (row indices into a ColumnarBatch, e.g. the survivors of
+/// FilterEnvelopesBatch or an R-tree probe) and one fixed prepared operand,
+/// refine the candidates batch-at-a-time with results and emission order
+/// exactly equal to per-candidate BoundPredicate::Eval calls.
+///
+/// Point rows run through the RefineXxxBatch spatial kernels plus the
+/// branchless TemporalOverlapBatch pass; non-point rows fall back to the
+/// scalar prepared evaluation over the caller's original objects and are
+/// counted as engine.columnar.fallbacks material. Mixed batches merge both
+/// survivor streams back into the original candidate order, so callers can
+/// substitute this for a scalar refinement loop without changing output.
+#ifndef STARK_SPATIAL_RDD_COLUMNAR_REFINE_H_
+#define STARK_SPATIAL_RDD_COLUMNAR_REFINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/columnar.h"
+#include "geometry/kernels.h"
+#include "spatial_rdd/predicate.h"
+
+namespace stark {
+namespace columnar_refine {
+
+/// True when the batch kernels can evaluate \p pred at all. Custom
+/// withinDistance functions interrogate whole STObjects and never go
+/// through preparation, so they stay on the per-object path.
+inline bool Refinable(const JoinPredicate& pred) {
+  return !(pred.type == PredicateType::kWithinDistance &&
+           pred.distance != nullptr);
+}
+
+/// Rows evaluated by the batch kernels vs the scalar fallback; callers
+/// flush these into engine.columnar.{rows,fallbacks} once per task.
+struct Stats {
+  size_t kernel_rows = 0;
+  size_t fallback_rows = 0;
+};
+
+namespace internal {
+
+/// Spatial kernel dispatch for point candidates. The candidate fills the
+/// `cand_left` operand slot, so the predicate maps onto the prepared fixed
+/// side exactly as in EvalWithPreparedRight/Left: e.g. candidate-left
+/// kContains means candidate.Contains(fixed), i.e. prep.ContainedByPoint.
+inline size_t SpatialKernel(const ColumnarBatch& batch,
+                            const JoinPredicate& pred,
+                            const PreparedGeometry& prep, bool cand_left,
+                            const uint32_t* cand, size_t count,
+                            uint32_t* out) {
+  const double* px = batch.x().data();
+  const double* py = batch.y().data();
+  switch (pred.type) {
+    case PredicateType::kIntersects:
+      return RefineIntersectsBatch(prep, px, py, cand, count, out);
+    case PredicateType::kContains:
+      return cand_left
+                 ? RefineContainedByBatch(prep, px, py, cand, count, out)
+                 : RefineContainsBatch(prep, px, py, cand, count, out);
+    case PredicateType::kContainedBy:
+      return cand_left
+                 ? RefineContainsBatch(prep, px, py, cand, count, out)
+                 : RefineContainedByBatch(prep, px, py, cand, count, out);
+    case PredicateType::kWithinDistance:
+      return RefineWithinDistanceBatch(prep, px, py, cand, count,
+                                       pred.max_distance, out);
+  }
+  return 0;
+}
+
+/// Combined-temporal pass matching CombinedST's operand orientation:
+/// kIntersects is symmetric; for the containment predicates the query
+/// interval sits on the EvalTemporalPredicate left side iff
+/// (candidate-left XOR pred == kContainedBy) — the same table
+/// EvalWithPreparedRight/Left encode. withinDistance has no temporal
+/// semantics and must not reach here.
+inline size_t TemporalKernel(const ColumnarBatch& batch,
+                             const JoinPredicate& pred, const STObject& fixed,
+                             bool cand_left, const uint32_t* cand,
+                             size_t count, uint32_t* out) {
+  const bool query_has_time = fixed.HasTime();
+  const int64_t qs = query_has_time ? fixed.time()->start() : 0;
+  const int64_t qe = query_has_time ? fixed.time()->end() : 0;
+  TemporalPredicate tpred = TemporalPredicate::kIntersects;
+  bool query_is_left = true;
+  if (pred.type != PredicateType::kIntersects) {
+    tpred = TemporalPredicate::kContains;
+    // kContains, candidate left: cand.t must contain fixed.t -> query right.
+    // kContainedBy, candidate left: fixed.t must contain cand.t -> query
+    // left. Candidate-right flips both.
+    query_is_left = (pred.type == PredicateType::kContains) != cand_left;
+  }
+  return TemporalOverlapBatch(batch.t_start().data(), batch.t_end().data(),
+                              batch.has_time().data(), query_has_time, qs, qe,
+                              tpred, query_is_left, cand, count, out);
+}
+
+}  // namespace internal
+
+/// Refines `*cand` in place against \p fixed (prepared as \p prep, which
+/// must be built from fixed.geo()). \p cand_left states which operand slot
+/// the candidates fill: true means Eval(c) == pred.Eval(c, fixed).
+/// \p obj_at maps a row index to the original STObject and is consulted
+/// only for non-point rows. \p scratch is caller-provided to keep the
+/// per-probe hot path allocation-free once warmed up.
+template <typename ObjAt>
+inline void RefineCandidates(const ColumnarBatch& batch,
+                             const JoinPredicate& pred, const STObject& fixed,
+                             const PreparedGeometry& prep, bool cand_left,
+                             std::vector<uint32_t>* cand, ObjAt&& obj_at,
+                             Stats* stats, std::vector<uint32_t>* scratch) {
+  const size_t in_count = cand->size();
+  if (in_count == 0) return;
+  const bool temporal = pred.type != PredicateType::kWithinDistance;
+
+  if (batch.AllPoints()) {
+    scratch->resize(in_count);
+    size_t n = internal::SpatialKernel(batch, pred, prep, cand_left,
+                                       cand->data(), in_count,
+                                       scratch->data());
+    if (temporal) {
+      n = internal::TemporalKernel(batch, pred, fixed, cand_left,
+                                   scratch->data(), n, cand->data());
+      cand->resize(n);
+    } else {
+      cand->assign(scratch->begin(), scratch->begin() + n);
+    }
+    stats->kernel_rows += in_count;
+    return;
+  }
+
+  // Mixed batch: split by row type (candidate order preserved within each
+  // sublist), refine each side, then merge the two ordered survivor
+  // subsequences back into the original candidate order.
+  std::vector<uint32_t> point_cand;
+  std::vector<uint32_t> object_survivors;
+  point_cand.reserve(in_count);
+  for (const uint32_t j : *cand) {
+    if (batch.RowIsPoint(j)) {
+      point_cand.push_back(j);
+    } else {
+      const STObject& obj = obj_at(j);
+      const bool keep =
+          cand_left ? EvalWithPreparedRight(pred, obj, fixed, prep)
+                    : EvalWithPreparedLeft(pred, fixed, obj, prep);
+      if (keep) object_survivors.push_back(j);
+    }
+  }
+  stats->kernel_rows += point_cand.size();
+  stats->fallback_rows += in_count - point_cand.size();
+
+  scratch->resize(point_cand.size());
+  size_t n = internal::SpatialKernel(batch, pred, prep, cand_left,
+                                     point_cand.data(), point_cand.size(),
+                                     scratch->data());
+  const uint32_t* point_survivors = scratch->data();
+  if (temporal) {
+    n = internal::TemporalKernel(batch, pred, fixed, cand_left,
+                                 scratch->data(), n, point_cand.data());
+    point_survivors = point_cand.data();
+  }
+
+  // Both survivor lists are ordered subsequences of *cand with distinct row
+  // values, so a two-cursor walk restores the original emission order.
+  size_t out_n = 0, pk = 0, nk = 0;
+  for (size_t i = 0; i < in_count; ++i) {
+    const uint32_t j = (*cand)[i];
+    bool keep = false;
+    if (pk < n && point_survivors[pk] == j) {
+      keep = true;
+      ++pk;
+    } else if (nk < object_survivors.size() && object_survivors[nk] == j) {
+      keep = true;
+      ++nk;
+    }
+    (*cand)[out_n] = j;
+    out_n += keep ? 1 : 0;
+  }
+  cand->resize(out_n);
+}
+
+}  // namespace columnar_refine
+}  // namespace stark
+
+#endif  // STARK_SPATIAL_RDD_COLUMNAR_REFINE_H_

@@ -32,11 +32,13 @@
 #include <utility>
 #include <vector>
 
+#include "core/columnar.h"
 #include "engine/context.h"
 #include "geometry/prepared.h"
 #include "index/packed_rtree.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "spatial_rdd/columnar_refine.h"
 #include "spatial_rdd/query_stats.h"
 #include "spatial_rdd/spatial_rdd.h"
 
@@ -312,6 +314,19 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
         tree = PackedRTree<size_t>(options.index_order, std::move(entries));
         metrics.tree_builds->Increment();
       }
+      // Columnar refinement: the broadcast side is stable for the whole
+      // join, so build its SoA batch once and refine each probe's candidate
+      // list through the batch kernels (the probe becomes the prepared
+      // fixed operand). Results and emission order are identical to the
+      // scalar refine.
+      std::unique_ptr<const ColumnarBatch> small_batch;
+      if (use_index && columnar::Enabled() &&
+          columnar_refine::Refinable(pred) && !small.empty() &&
+          small.size() <= UINT32_MAX) {
+        small_batch = std::make_unique<const ColumnarBatch>(ColumnarBatch::Build(
+            small, [](const R& e) -> const STObject& { return e.first; }));
+        GlobalColumnarMetrics().batches->Increment();
+      }
       std::vector<std::vector<Out>> out(nl);
       ctx->RunTasks("spatial.join.broadcast", nl, [&](size_t i) {
         std::vector<Out>& sink = out[i];
@@ -319,7 +334,12 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
         size_t prefilter_skips = 0;
         size_t probed = 0;
         size_t packed_probes = 0;
+        size_t prep_hits = 0;
+        size_t prep_misses = 0;
         PreparedGeometryCache cache;
+        columnar_refine::Stats cstats;
+        std::vector<uint32_t> cand;
+        std::vector<uint32_t> scratch;
         auto refine = [&](const L& l, const R& r) {
           return custom_fn ? pred.Eval(l.first, r.first)
                            : EvalWithPreparedRight(pred, l.first, r.first,
@@ -330,7 +350,27 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
           // job is cancelled or past its deadline.
           if ((probed++ & 1023u) == 0) ThrowIfTaskCancelled();
           const Envelope probe = l.first.envelope().Expanded(margin);
-          if (use_index) {
+          if (small_batch != nullptr) {
+            cand.clear();
+            tree.Query(probe, [&](const Envelope&, const size_t& e) {
+              cand.push_back(static_cast<uint32_t>(e));
+            });
+            ++packed_probes;
+            if (!cand.empty()) {
+              const size_t in_count = cand.size();
+              PreparedGeometry prep(l.first.geo());
+              columnar_refine::RefineCandidates(
+                  *small_batch, pred, l.first, prep, /*cand_left=*/false,
+                  &cand,
+                  [&](uint32_t e) -> const STObject& {
+                    return small[e].first;
+                  },
+                  &cstats, &scratch);
+              prep_misses += 1;
+              prep_hits += in_count - 1;
+              for (const uint32_t e : cand) sink.push_back(project(l, small[e]));
+            }
+          } else if (use_index) {
             tree.Query(probe, [&](const Envelope&, const size_t& e) {
               if (refine(l, small[e])) sink.push_back(project(l, small[e]));
             });
@@ -345,14 +385,22 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
             }
           }
         }
+        if (small_batch != nullptr) {
+          const ColumnarMetricSet& cm = GlobalColumnarMetrics();
+          cm.rows->Add(cstats.kernel_rows);
+          cm.fallbacks->Add(cstats.fallback_rows);
+          cm.slab_reuse->Increment();  // batch + envelope slab shared by task
+        }
         ji::AnnotateSpan("L" + std::to_string(i) + "xR* (broadcast)" +
-                             ji::IndexDetail(packed_probes, cache.hits(),
-                                             cache.misses()),
+                             ji::IndexDetail(packed_probes,
+                                             cache.hits() + prep_hits,
+                                             cache.misses() + prep_misses),
                          left_parts[i].size(), sink.size(), packed_probes,
                          sink.size());
         metrics.prefilter_skips->Add(prefilter_skips);
         metrics.results->Add(sink.size());
-        ji::FlushIndexMetrics(packed_probes, cache.hits(), cache.misses());
+        ji::FlushIndexMetrics(packed_probes, cache.hits() + prep_hits,
+                              cache.misses() + prep_misses);
       });
       return MakeRDDFromPartitions(ctx, std::move(out));
     }
@@ -372,6 +420,16 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
       tree = PackedRTree<size_t>(options.index_order, std::move(entries));
       metrics.tree_builds->Increment();
     }
+    // Columnar refinement over the stable broadcast side (see the
+    // right-broadcast branch above); here the candidates fill the left
+    // operand slot.
+    std::unique_ptr<const ColumnarBatch> small_batch;
+    if (use_index && columnar::Enabled() && columnar_refine::Refinable(pred) &&
+        !small.empty() && small.size() <= UINT32_MAX) {
+      small_batch = std::make_unique<const ColumnarBatch>(ColumnarBatch::Build(
+          small, [](const L& e) -> const STObject& { return e.first; }));
+      GlobalColumnarMetrics().batches->Increment();
+    }
     std::vector<std::vector<Out>> out(nr);
     ctx->RunTasks("spatial.join.broadcast", nr, [&](size_t j) {
       std::vector<Out>& sink = out[j];
@@ -379,7 +437,12 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
       size_t prefilter_skips = 0;
       size_t probed = 0;
       size_t packed_probes = 0;
+      size_t prep_hits = 0;
+      size_t prep_misses = 0;
       PreparedGeometryCache cache;
+      columnar_refine::Stats cstats;
+      std::vector<uint32_t> cand;
+      std::vector<uint32_t> scratch;
       auto refine = [&](const L& l, const R& r) {
         return custom_fn ? pred.Eval(l.first, r.first)
                          : EvalWithPreparedLeft(pred, l.first, r.first,
@@ -388,7 +451,24 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
       for (const R& r : right_parts[j]) {
         if ((probed++ & 1023u) == 0) ThrowIfTaskCancelled();
         const Envelope probe = r.first.envelope().Expanded(margin);
-        if (use_index) {
+        if (small_batch != nullptr) {
+          cand.clear();
+          tree.Query(probe, [&](const Envelope&, const size_t& e) {
+            cand.push_back(static_cast<uint32_t>(e));
+          });
+          ++packed_probes;
+          if (!cand.empty()) {
+            const size_t in_count = cand.size();
+            PreparedGeometry prep(r.first.geo());
+            columnar_refine::RefineCandidates(
+                *small_batch, pred, r.first, prep, /*cand_left=*/true, &cand,
+                [&](uint32_t e) -> const STObject& { return small[e].first; },
+                &cstats, &scratch);
+            prep_misses += 1;
+            prep_hits += in_count - 1;
+            for (const uint32_t e : cand) sink.push_back(project(small[e], r));
+          }
+        } else if (use_index) {
           tree.Query(probe, [&](const Envelope&, const size_t& e) {
             if (refine(small[e], r)) sink.push_back(project(small[e], r));
           });
@@ -403,14 +483,22 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
           }
         }
       }
+      if (small_batch != nullptr) {
+        const ColumnarMetricSet& cm = GlobalColumnarMetrics();
+        cm.rows->Add(cstats.kernel_rows);
+        cm.fallbacks->Add(cstats.fallback_rows);
+        cm.slab_reuse->Increment();  // batch + envelope slab shared by task
+      }
       ji::AnnotateSpan("L*xR" + std::to_string(j) + " (broadcast)" +
-                           ji::IndexDetail(packed_probes, cache.hits(),
-                                           cache.misses()),
+                           ji::IndexDetail(packed_probes,
+                                           cache.hits() + prep_hits,
+                                           cache.misses() + prep_misses),
                        right_parts[j].size(), sink.size(), packed_probes,
                        sink.size());
       metrics.prefilter_skips->Add(prefilter_skips);
       metrics.results->Add(sink.size());
-      ji::FlushIndexMetrics(packed_probes, cache.hits(), cache.misses());
+      ji::FlushIndexMetrics(packed_probes, cache.hits() + prep_hits,
+                            cache.misses() + prep_misses);
     });
     return MakeRDDFromPartitions(ctx, std::move(out));
   }
@@ -446,9 +534,17 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
     left_used[i] = 1;
   }
   std::vector<std::unique_ptr<PackedRTree<size_t>>> left_trees(nl);
+  // Columnar refinement: hoist the SoA batch build into the same stage that
+  // builds the live trees — one batch per participating left partition,
+  // reused by every probe task that targets it (skew-split sub-tasks of the
+  // same pair share one slab: engine.columnar.slab_reuse).
+  const bool use_columnar =
+      use_index && columnar::Enabled() && columnar_refine::Refinable(pred);
+  std::vector<std::unique_ptr<const ColumnarBatch>> left_batches(nl);
   if (use_index) {
     size_t builds = 0;
     for (size_t i = 0; i < nl; ++i) builds += left_used[i] ? 1 : 0;
+    size_t batch_builds = 0;
     ctx->RunTasks("spatial.join.build", nl, [&](size_t i) {
       if (!left_used[i]) return;
       std::vector<std::pair<Envelope, size_t>> entries;
@@ -458,8 +554,17 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
       }
       left_trees[i] = std::make_unique<PackedRTree<size_t>>(
           options.index_order, std::move(entries));
+      if (use_columnar && !left_parts[i].empty() &&
+          left_parts[i].size() <= UINT32_MAX) {
+        left_batches[i] =
+            std::make_unique<const ColumnarBatch>(ColumnarBatch::Build(
+                left_parts[i],
+                [](const L& e) -> const STObject& { return e.first; }));
+      }
     });
+    for (size_t i = 0; i < nl; ++i) batch_builds += left_batches[i] ? 1 : 0;
     metrics.tree_builds->Add(builds);
+    GlobalColumnarMetrics().batches->Add(batch_builds);
   }
 
   // Plan the probe schedule: per-pair costs, skew splitting, longest-first.
@@ -480,7 +585,43 @@ auto SpatialJoinProject(const SpatialRDD<V>& left, const SpatialRDD<W>& right,
     size_t packed_probes = 0;
     size_t prep_hits = 0;
     size_t prep_misses = 0;
-    if (use_index) {
+    if (use_index && left_batches[task.left] != nullptr) {
+      // Columnar probe: collect the tree's candidate rows, then refine them
+      // batch-at-a-time against the probe's prepared geometry. Survivors
+      // come back in candidate order, so emission matches the scalar path.
+      const PackedRTree<size_t>& tree = *left_trees[task.left];
+      const ColumnarBatch& batch = *left_batches[task.left];
+      columnar_refine::Stats cstats;
+      std::vector<uint32_t> cand;
+      std::vector<uint32_t> scratch;
+      if (task.begin != 0) {
+        // A skew-split sub-task reuses the slab its sibling built.
+        GlobalColumnarMetrics().slab_reuse->Increment();
+      }
+      for (size_t rix = task.begin; rix < task.end; ++rix) {
+        if (((rix - task.begin) & 1023u) == 0) ThrowIfTaskCancelled();
+        const R& r = rv[rix];
+        const Envelope probe = r.first.envelope().Expanded(margin);
+        cand.clear();
+        tree.Query(probe, [&](const Envelope&, const size_t& e) {
+          cand.push_back(static_cast<uint32_t>(e));
+        });
+        ++packed_probes;
+        if (cand.empty()) continue;
+        const size_t in_count = cand.size();
+        PreparedGeometry prep(r.first.geo());
+        columnar_refine::RefineCandidates(
+            batch, pred, r.first, prep, /*cand_left=*/true, &cand,
+            [&](uint32_t e) -> const STObject& { return lv[e].first; },
+            &cstats, &scratch);
+        prep_misses += 1;
+        prep_hits += in_count - 1;
+        for (const uint32_t e : cand) sink.push_back(project(lv[e], r));
+      }
+      const ColumnarMetricSet& cm = GlobalColumnarMetrics();
+      cm.rows->Add(cstats.kernel_rows);
+      cm.fallbacks->Add(cstats.fallback_rows);
+    } else if (use_index) {
       const PackedRTree<size_t>& tree = *left_trees[task.left];
       for (size_t rix = task.begin; rix < task.end; ++rix) {
         // Cooperative checkpoint for cancellation/deadline/speculation.

@@ -9,10 +9,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/columnar.h"
 #include "core/distance.h"
 #include "core/st_serde.h"
 #include "core/stobject.h"
@@ -21,6 +24,7 @@
 #include "index/rtree.h"
 #include "obs/trace.h"
 #include "partition/partitioner.h"
+#include "spatial_rdd/columnar_refine.h"
 #include "spatial_rdd/predicate.h"
 #include "spatial_rdd/query_stats.h"
 #include "spatial_rdd/value_serde.h"
@@ -251,15 +255,35 @@ class IndexedSpatialRDD {
         WriteFileBytes(directory + "/index.meta", meta.buffer()));
     for (size_t p = 0; p < parts.size(); ++p) {
       BinaryWriter w;
-      w.WriteU32(kPartMagic);
       size_t count = 0;
       for (const TreePtr& tree : parts[p]) count += tree->size();
-      w.WriteU64(count);
-      for (const TreePtr& tree : parts[p]) {
-        tree->ForEach([&w](const Envelope&, const Element& e) {
-          WriteSTObject(&w, e.first);
-          Serde<V>::Write(&w, e.second);
-        });
+      if (columnar::Enabled()) {
+        // Zero-copy slab format: all STObjects as one columnar batch
+        // (length-prefixed contiguous column blocks, a handful of bulk
+        // writes) followed by the payload column. Loaders that predate the
+        // format reject the magic instead of misreading.
+        w.WriteU32(kPartMagicColumnar);
+        ColumnarBatch batch;
+        batch.Reserve(count);
+        BinaryWriter payloads;
+        for (const TreePtr& tree : parts[p]) {
+          tree->ForEach([&batch, &payloads](const Envelope&,
+                                            const Element& e) {
+            batch.Append(e.first);
+            Serde<V>::Write(&payloads, e.second);
+          });
+        }
+        WriteColumnarBatch(&w, batch);
+        w.WriteRaw(payloads.buffer().data(), payloads.buffer().size());
+      } else {
+        w.WriteU32(kPartMagic);
+        w.WriteU64(count);
+        for (const TreePtr& tree : parts[p]) {
+          tree->ForEach([&w](const Envelope&, const Element& e) {
+            WriteSTObject(&w, e.first);
+            Serde<V>::Write(&w, e.second);
+          });
+        }
       }
       STARK_RETURN_NOT_OK(
           WriteFileBytes(directory + "/part-" + std::to_string(p) + ".idx",
@@ -291,18 +315,31 @@ class IndexedSpatialRDD {
           ReadFileBytes(directory + "/part-" + std::to_string(p) + ".idx"));
       BinaryReader r(buf);
       STARK_ASSIGN_OR_RETURN(uint32_t part_magic, r.ReadU32());
-      if (part_magic != kPartMagic) {
+      if (part_magic != kPartMagic && part_magic != kPartMagicColumnar) {
         return Status::IOError("bad index part magic");
       }
-      STARK_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
       std::vector<std::pair<Envelope, Element>> entries;
-      entries.reserve(count);
-      for (uint64_t i = 0; i < count; ++i) {
-        STARK_ASSIGN_OR_RETURN(STObject obj, ReadSTObject(&r));
-        STARK_ASSIGN_OR_RETURN(V value, Serde<V>::Read(&r));
-        Envelope env = obj.envelope();
-        entries.emplace_back(env,
-                             Element{std::move(obj), std::move(value)});
+      if (part_magic == kPartMagicColumnar) {
+        // Slab format: bulk-read the column blocks, then the payloads.
+        STARK_ASSIGN_OR_RETURN(ColumnarBatch batch, ReadColumnarBatch(&r));
+        STARK_ASSIGN_OR_RETURN(std::vector<STObject> objs, batch.ToObjects());
+        entries.reserve(objs.size());
+        for (auto& obj : objs) {
+          STARK_ASSIGN_OR_RETURN(V value, Serde<V>::Read(&r));
+          Envelope env = obj.envelope();
+          entries.emplace_back(env,
+                               Element{std::move(obj), std::move(value)});
+        }
+      } else {
+        STARK_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+        entries.reserve(count);
+        for (uint64_t i = 0; i < count; ++i) {
+          STARK_ASSIGN_OR_RETURN(STObject obj, ReadSTObject(&r));
+          STARK_ASSIGN_OR_RETURN(V value, Serde<V>::Read(&r));
+          Envelope env = obj.envelope();
+          entries.emplace_back(env,
+                               Element{std::move(obj), std::move(value)});
+        }
       }
       parts[p].push_back(
           std::make_shared<PackedRTree<Element>>(order, std::move(entries)));
@@ -314,6 +351,9 @@ class IndexedSpatialRDD {
  private:
   static constexpr uint32_t kMetaMagic = 0x53544958;  // "STIX"
   static constexpr uint32_t kPartMagic = 0x53544950;  // "STIP"
+  /// Columnar slab part format ("STIC"): one ColumnarBatch of the
+  /// STObjects followed by the Serde<V> payload column.
+  static constexpr uint32_t kPartMagicColumnar = 0x53544943;
 
   RDD<TreePtr> trees_;
   std::shared_ptr<std::vector<Envelope>> extents_;  // may be null
@@ -409,15 +449,77 @@ class SpatialRDD {
             return keep;
           });
     }
+    // Columnar plane: envelope-prefilter over the partition's SoA slabs,
+    // then batched refinement — identical results and emission order to the
+    // scalar loop below (the kernels replicate BoundPredicate::Eval's
+    // arithmetic exactly). The batch is built once per partition and cached
+    // on this SpatialRDD, so repeated filters reuse the slabs.
+    const bool use_columnar =
+        columnar::Enabled() && columnar_refine::Refinable(pred);
+    auto cache = columnar_cache_;
     return source.MapPartitionsWithIndex(
-        [query, pred, stats](size_t, std::vector<Element> items) {
+        [query, pred, stats, use_columnar, cache,
+         probe](size_t idx, std::vector<Element> items) {
           std::vector<Element> out;
-          // Prepared refinement: the query geometry is prepared on the
-          // first element and reused for the rest of the partition.
-          BoundPredicate bound(pred, query,
-                               BoundPredicate::Side::kCandidateLeft);
-          for (auto& e : items) {
-            if (bound.Eval(e.first)) out.push_back(std::move(e));
+          size_t prepared_hits = 0;
+          size_t prepared_misses = 0;
+          if (use_columnar && !items.empty()) {
+            const ColumnarMetricSet& cm = GlobalColumnarMetrics();
+            std::shared_ptr<const ColumnarBatch> batch;
+            {
+              std::lock_guard<std::mutex> lock(cache->mu);
+              auto it = cache->batches.find(idx);
+              if (it != cache->batches.end() &&
+                  it->second->rows() == items.size()) {
+                batch = it->second;
+              }
+            }
+            if (batch != nullptr) {
+              cm.slab_reuse->Increment();
+            } else {
+              auto built = std::make_shared<ColumnarBatch>(ColumnarBatch::Build(
+                  items,
+                  [](const Element& e) -> const STObject& { return e.first; }));
+              std::lock_guard<std::mutex> lock(cache->mu);
+              cache->batches[idx] = built;
+              batch = std::move(built);
+              cm.batches->Increment();
+            }
+            std::vector<uint32_t> cand;
+            FilterEnvelopesBatch(batch->envelopes(), probe, &cand);
+            columnar_refine::Stats cstats;
+            if (!cand.empty()) {
+              PreparedGeometry prep(query.geo());
+              std::vector<uint32_t> scratch;
+              columnar_refine::RefineCandidates(
+                  *batch, pred, query, prep, /*cand_left=*/true, &cand,
+                  [&items](uint32_t j) -> const STObject& {
+                    return items[j].first;
+                  },
+                  &cstats, &scratch);
+              const size_t refined = cstats.kernel_rows + cstats.fallback_rows;
+              prepared_misses = refined > 0 ? 1 : 0;
+              prepared_hits = refined > 0 ? refined - 1 : 0;
+            }
+            out.reserve(cand.size());
+            for (const uint32_t j : cand) out.push_back(std::move(items[j]));
+            cm.rows->Add(cstats.kernel_rows);
+            cm.fallbacks->Add(cstats.fallback_rows);
+          } else {
+            // Prepared refinement: the query geometry is prepared on the
+            // first element and reused for the rest of the partition.
+            BoundPredicate bound(pred, query,
+                                 BoundPredicate::Side::kCandidateLeft);
+            for (auto& e : items) {
+              if (bound.Eval(e.first)) out.push_back(std::move(e));
+            }
+            prepared_hits = bound.prepared_hits();
+            prepared_misses = bound.prepared_misses();
+            if (!items.empty() && columnar::Enabled()) {
+              // Columnar was on but this predicate can't go through the
+              // kernels (custom distance fn): the whole partition fell back.
+              GlobalColumnarMetrics().fallbacks->Add(items.size());
+            }
           }
           if (stats) {
             if (!items.empty()) ++stats->partitions_scanned;
@@ -429,8 +531,8 @@ class SpatialRDD {
           global.candidates->Add(items.size());
           global.results->Add(out.size());
           const IndexMetricSet& index_metrics = GlobalIndexMetrics();
-          index_metrics.prepared_hits->Add(bound.prepared_hits());
-          index_metrics.prepared_misses->Add(bound.prepared_misses());
+          index_metrics.prepared_hits->Add(prepared_hits);
+          index_metrics.prepared_misses->Add(prepared_misses);
           return out;
         });
   }
@@ -541,8 +643,21 @@ class SpatialRDD {
     return extents;
   }
 
+  /// Lazily-built columnar slabs, one ColumnarBatch per partition index.
+  /// Shared by copies of this wrapper so repeated filters over the same
+  /// dataset reuse the slabs instead of rebuilding them per query
+  /// (engine.columnar.slab_reuse); entries are revalidated against the
+  /// partition's row count before reuse. Partition contents are stable
+  /// because RDD lineage recomputation is deterministic.
+  struct ColumnarCache {
+    std::mutex mu;
+    std::unordered_map<size_t, std::shared_ptr<const ColumnarBatch>> batches;
+  };
+
   RDD<Element> rdd_;
   std::shared_ptr<SpatialPartitioner> partitioner_;
+  std::shared_ptr<ColumnarCache> columnar_cache_ =
+      std::make_shared<ColumnarCache>();
 };
 
 /// Mirrors STARK's implicit Scala conversion: lifts a plain engine RDD of
